@@ -1,0 +1,93 @@
+// E10: the paper's adoption challenges, quantified — coherence schemes
+// (LazyPIM-style speculation vs. flush/uncacheable), PIM address
+// translation (page walk vs. IMPICA-style region table), and the
+// offload decision model over a kernel zoo.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/coherence.h"
+#include "core/offload.h"
+#include "core/vm.h"
+
+int main() {
+  using namespace pim;
+  using namespace pim::core;
+
+  std::cout << "=== E10a: host/PIM coherence over shared data ===\n\n";
+  table t({"scheme", "total time (ms)", "coherence traffic (KiB)",
+           "conflicts", "overhead vs ideal"});
+  for (const auto& r : compare_coherence()) {
+    t.row()
+        .cell(to_string(r.scheme))
+        .cell(static_cast<double>(r.total_time) / 1e9)
+        .cell(static_cast<double>(r.coherence_traffic) / 1024.0, 1)
+        .cell(r.conflicts)
+        .cell(r.overhead_vs_ideal);
+  }
+  t.print(std::cout);
+  std::cout << "(LazyPIM/CoNDA: speculative batching cuts coherence "
+               "traffic by an order of magnitude when sharing is rare)\n\n";
+
+  std::cout << "=== sensitivity: conflict rate vs speculation win ===\n\n";
+  table ts({"conflict fraction", "speculative (ms)", "flush-based (ms)"});
+  for (double conflict : {0.01, 0.1, 0.3, 0.6, 0.9}) {
+    coherence_config cfg;
+    cfg.conflict_fraction = conflict;
+    const auto spec = simulate_coherence(coherence_scheme::speculative, cfg);
+    const auto flush = simulate_coherence(coherence_scheme::flush_based, cfg);
+    ts.row()
+        .cell(conflict)
+        .cell(static_cast<double>(spec.total_time) / 1e9)
+        .cell(static_cast<double>(flush.total_time) / 1e9);
+  }
+  ts.print(std::cout);
+
+  std::cout << "=== E10b: PIM address translation (pointer chasing) ===\n\n";
+  table t2({"translation", "time (ms)", "ns/hop", "translation accesses",
+            "TLB hit rate"});
+  pointer_chase_config cfg;
+  for (auto scheme :
+       {translation_scheme::page_walk, translation_scheme::region_table}) {
+    const auto r = simulate_pointer_chase(scheme, cfg);
+    t2.row()
+        .cell(to_string(scheme))
+        .cell(static_cast<double>(r.total_time) / 1e9)
+        .cell(r.ns_per_hop, 1)
+        .cell(r.translation_accesses)
+        .cell(r.tlb_hit_rate);
+  }
+  t2.print(std::cout);
+  std::cout << "(IMPICA-style region translation removes nearly all "
+               "translation memory accesses)\n\n";
+
+  std::cout << "=== offload decision model over a kernel zoo ===\n\n";
+  table t3({"kernel", "traffic", "cache hit", "speedup on PIM",
+            "energy ratio", "decision"});
+  struct zoo_entry {
+    const char* name;
+    std::uint64_t instr;
+    bytes traffic;
+    double hit;
+  };
+  const zoo_entry zoo[] = {
+      {"texture tiling", 1'000'000, 64 * mib, 0.05},
+      {"memcpy", 500'000, 128 * mib, 0.02},
+      {"pointer chase", 3'000'000, 32 * mib, 0.10},
+      {"blocked gemm", 500'000'000, 8 * mib, 0.90},
+      {"cache-resident filter", 10'000'000, 1 * mib, 0.95},
+      {"video SAD search", 40'000'000, 24 * mib, 0.60},
+  };
+  for (const auto& k : zoo) {
+    kernel_profile profile{k.name, k.instr, k.traffic, k.hit};
+    const offload_decision d = decide(profile);
+    t3.row()
+        .cell(k.name)
+        .cell(format_bytes(k.traffic))
+        .cell(format_double(k.hit * 100, 0) + "%")
+        .cell(d.speedup)
+        .cell(d.energy_ratio)
+        .cell(d.offload ? "offload to PIM" : "keep on host");
+  }
+  t3.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E3: energy of bulk bitwise operations, DDR3 interface vs. Ambit
+// (paper: 35x average reduction).
+#include <iostream>
+
+#include "analytic/models.h"
+#include "common/energy_constants.h"
+#include "common/table.h"
+#include "dram/memory_system.h"
+
+int main() {
+  using namespace pim;
+  using namespace pim::analytic;
+
+  const streaming_device ddr3 = ddr3_interface();
+  const ambit_device ambit = ambit_ddr3(8);
+  const dram::organization org = dram::ddr3_dimm();
+
+  std::cout << "=== E3: Energy per output kilobyte (nJ/KB) ===\n\n";
+  table t({"op", "DDR3 interface", "Ambit", "reduction"});
+  double mean = 0.0;
+  for (dram::bulk_op op : dram::all_bulk_ops()) {
+    const double ddr3_pj = ddr3.energy_pj_per_byte(
+        op, org, energy::offchip_io_pj_per_bit);
+    const double ambit_pj = ambit.energy_pj_per_byte(op);
+    t.row()
+        .cell(to_string(op))
+        .cell(ddr3_pj * 1024.0 / 1000.0)
+        .cell(ambit_pj * 1024.0 / 1000.0)
+        .cell(ddr3_pj / ambit_pj, 1);
+    mean += ddr3_pj / ambit_pj;
+  }
+  t.print(std::cout);
+  mean /= static_cast<double>(dram::all_bulk_ops().size());
+  std::cout << "mean energy reduction: " << format_double(mean, 1)
+            << "x   (paper: 35x)\n\n";
+
+  // Cross-check one op against the cycle simulator's command counts.
+  std::cout << "=== Cross-check: cycle-level AND energy (8 banks x 4 rows) "
+               "===\n\n";
+  dram::organization sim_org;
+  sim_org.channels = 1;
+  sim_org.ranks = 1;
+  sim_org.banks = 8;
+  sim_org.subarrays = 8;
+  sim_org.rows = 1024;
+  sim_org.columns = 128;
+  dram::memory_system mem(sim_org, dram::ddr3_1600());
+  dram::ambit_allocator alloc(sim_org);
+  dram::ambit_engine engine(mem);
+  auto group = alloc.allocate_group(sim_org.row_bits() * 32, 3);
+  engine.execute(dram::bulk_op::and_op, group[0], &group[1], group[2]);
+  mem.drain();
+  const dram::dram_energy e = compute_dram_energy(
+      mem.counters(), sim_org, 0, energy::offchip_io_pj_per_bit);
+  const double out_kb = 32.0 * 8.0;  // 32 rows x 8 KiB
+  std::cout << "simulated Ambit AND energy: "
+            << format_double(e.total() / out_kb / 1000.0, 2)
+            << " nJ/KB (analytic: "
+            << format_double(ambit.energy_pj_per_byte(dram::bulk_op::and_op) *
+                                 1024.0 / 1000.0,
+                             2)
+            << " nJ/KB)\n";
+  return 0;
+}

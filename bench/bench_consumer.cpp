@@ -1,0 +1,89 @@
+// E6 + E7 + E8: Google consumer workloads — data-movement energy share
+// (paper: 62.7%), PIM logic-layer area (9.4% core / 35.4% accelerator),
+// and the energy/time reductions from offloading the target functions
+// (paper: 55.4% energy, 54.2% time on average).
+#include <iostream>
+
+#include "common/table.h"
+#include "consumer/workloads.h"
+
+int main() {
+  using namespace pim;
+  using namespace pim::consumer;
+
+  const auto host = cpu::mobile_soc();
+  const auto pimc = cpu::pim_logic_core();
+
+  std::cout << "=== E6: where the energy goes (host-only execution) ===\n\n";
+  table t({"workload", "compute", "L1", "L2", "NoC", "DRAM", "chan. I/O",
+           "data movement"});
+  double dm_sum = 0;
+  std::vector<workload_report> reports;
+  for (const auto& w : consumer_suite()) {
+    reports.push_back(analyze_workload(w, host, pimc));
+    const auto& r = reports.back();
+    const double total = r.host_energy.total();
+    auto pct = [&](picojoules e) {
+      return format_double(e / total * 100.0, 1) + "%";
+    };
+    t.row()
+        .cell(r.workload)
+        .cell(pct(r.host_energy.compute()))
+        .cell(pct(r.host_energy.l1))
+        .cell(pct(r.host_energy.l2 + r.host_energy.llc))
+        .cell(pct(r.host_energy.noc))
+        .cell(pct(r.host_energy.dram_core))
+        .cell(pct(r.host_energy.dram_io))
+        .cell(pct(r.host_energy.data_movement()));
+    dm_sum += r.data_movement_fraction();
+  }
+  t.print(std::cout);
+  std::cout << "average data-movement share: "
+            << format_double(dm_sum / reports.size() * 100.0, 1)
+            << "%   (paper: 62.7%)\n\n";
+
+  std::cout << "=== E7: logic-layer area occupancy ===\n\n";
+  const area_report a = logic_layer_area();
+  table t2({"PIM logic", "area (mm^2)", "share of per-vault budget"});
+  t2.row()
+      .cell("in-order PIM core")
+      .cell(a.pim_core_mm2)
+      .cell(format_double(a.core_fraction * 100.0, 1) + "%");
+  t2.row()
+      .cell("fixed-function accelerators (all 4)")
+      .cell(a.pim_accel_mm2)
+      .cell(format_double(a.accel_fraction * 100.0, 1) + "%");
+  t2.print(std::cout);
+  std::cout << "(paper: 9.4% and 35.4% of the " << a.budget_mm2
+            << " mm^2 per-vault budget)\n\n";
+
+  std::cout << "=== E8: offloading the target functions ===\n\n";
+  table t3({"workload", "PIM-core -energy", "PIM-core -time",
+            "PIM-accel -energy", "PIM-accel -time"});
+  double ce = 0, ct = 0, ae = 0, at = 0, be = 0, bt = 0;
+  for (const auto& r : reports) {
+    auto pct = [](double x) { return format_double(x * 100.0, 1) + "%"; };
+    t3.row()
+        .cell(r.workload)
+        .cell(pct(r.core_energy_reduction()))
+        .cell(pct(r.core_time_reduction()))
+        .cell(pct(r.accel_energy_reduction()))
+        .cell(pct(r.accel_time_reduction()));
+    ce += r.core_energy_reduction();
+    ct += r.core_time_reduction();
+    ae += r.accel_energy_reduction();
+    at += r.accel_time_reduction();
+    be += std::max(r.core_energy_reduction(), r.accel_energy_reduction());
+    bt += std::max(r.core_time_reduction(), r.accel_time_reduction());
+  }
+  t3.print(std::cout);
+  const double n = static_cast<double>(reports.size());
+  std::cout << "averages: PIM-core -E " << format_double(ce / n * 100, 1)
+            << "% / -T " << format_double(ct / n * 100, 1)
+            << "%;  PIM-accel -E " << format_double(ae / n * 100, 1)
+            << "% / -T " << format_double(at / n * 100, 1) << "%\n";
+  std::cout << "best-per-workload: -E " << format_double(be / n * 100, 1)
+            << "% / -T " << format_double(bt / n * 100, 1)
+            << "%   (paper: 55.4% energy, 54.2% time)\n";
+  return 0;
+}

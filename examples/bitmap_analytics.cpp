@@ -1,0 +1,60 @@
+// Database analytics on PIM: build a BitWeaving-V column and a bitmap
+// index over a synthetic orders table, run predicate scans, and price
+// them on the CPU and on Ambit.
+//
+//   $ ./examples/bitmap_analytics [rows=16777216]
+#include <iostream>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "db/bitmap_index.h"
+#include "db/query.h"
+
+int main(int argc, char** argv) {
+  using namespace pim;
+  using namespace pim::db;
+  const config cfg = config::from_args({argv + 1, argv + argc});
+  const auto rows =
+      static_cast<std::size_t>(cfg.get_int("rows", 16'777'216));
+
+  std::cout << "orders table: " << rows << " rows\n\n";
+  rng gen(11);
+
+  // 'quantity' column: 10-bit values.
+  const column quantity = random_column(rows, 10, gen);
+  const bitslice_storage qty(quantity);
+
+  std::cout << "Q1: SELECT COUNT(*) WHERE quantity < 24\n";
+  const auto q1 = compare_scan(qty, predicate{cmp_op::lt, 24, 0});
+  std::cout << "  matches: " << q1.matches << "  CPU "
+            << static_cast<double>(q1.cpu_ps) / 1e6 << " us, Ambit "
+            << static_cast<double>(q1.ambit_ps) / 1e6 << " us  ("
+            << format_double(q1.speedup(), 1) << "x)\n\n";
+
+  std::cout << "Q2: SELECT COUNT(*) WHERE 100 <= quantity <= 200\n";
+  const auto q2 = compare_scan(qty, predicate{cmp_op::between, 100, 200});
+  std::cout << "  matches: " << q2.matches << "  CPU "
+            << static_cast<double>(q2.cpu_ps) / 1e6 << " us, Ambit "
+            << static_cast<double>(q2.ambit_ps) / 1e6 << " us  ("
+            << format_double(q2.speedup(), 1) << "x)\n\n";
+
+  // 'status' column: cardinality 8, served by a bitmap index.
+  const column status = random_column(rows, 3, gen);
+  const bitmap_index index(status, 8);
+  std::cout << "Q3: SELECT COUNT(*) WHERE status IN ('new','paid','held')\n";
+  const auto sel = index.query_in({0, 2, 5});
+  const auto cpu_ps = cpu_scan_latency(rows, 8, sel.ops);
+  const auto ambit_ps = ambit_scan_latency(rows, sel.ops);
+  std::cout << "  matches: " << sel.selection.popcount() << "  CPU "
+            << static_cast<double>(cpu_ps) / 1e6 << " us, Ambit "
+            << static_cast<double>(ambit_ps) / 1e6 << " us  ("
+            << format_double(static_cast<double>(cpu_ps) /
+                                 static_cast<double>(ambit_ps),
+                             1)
+            << "x)\n\n";
+
+  std::cout << "Ambit executes each bulk Boolean op at row granularity "
+               "inside the DRAM banks,\nso scan latency stays flat while "
+               "CPU scans fall off the cache cliff.\n";
+  return 0;
+}

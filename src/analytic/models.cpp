@@ -1,0 +1,138 @@
+#include "analytic/models.h"
+
+#include <stdexcept>
+
+#include "common/energy_constants.h"
+
+namespace pim::analytic {
+
+namespace ec = pim::energy;
+
+double streaming_device::traffic_factor(dram::bulk_op op) const {
+  // Binary ops read two operands and write one result; NOT reads one.
+  const double reads = dram::is_unary(op) ? 1.0 : 2.0;
+  const double writes = 1.0;
+  const double rfo = write_allocate ? 1.0 : 0.0;
+  return reads + writes + rfo;
+}
+
+double streaming_device::throughput_gbps(dram::bulk_op op) const {
+  return effective_bw_gbps() / traffic_factor(op);
+}
+
+double streaming_device::energy_pj_per_byte(dram::bulk_op op,
+                                            const dram::organization& org,
+                                            double io_pj_per_bit) const {
+  // Per 64 B line: amortized activate+precharge (streaming traffic hits
+  // each row once per column), the internal column access, and the
+  // channel transfer.
+  const double lines_per_row =
+      static_cast<double>(org.row_bytes()) / static_cast<double>(org.column_bytes);
+  const double act_pre =
+      (ec::dram_activate_pj + ec::dram_precharge_pj) / lines_per_row;
+  const double line_pj = act_pre + ec::dram_column_pj +
+                         static_cast<double>(org.column_bytes) * 8.0 *
+                             io_pj_per_bit;
+  return traffic_factor(op) * line_pj /
+         static_cast<double>(org.column_bytes);
+}
+
+int ambit_device::step_count(dram::bulk_op op) const {
+  dram::organization org;  // layout-independent: any valid org works
+  return dram::ambit_compiler(org, rich_decoder).step_count(op);
+}
+
+int ambit_device::tra_count(dram::bulk_op op) const {
+  dram::organization org;
+  const dram::subarray_layout layout(org);
+  const auto steps = dram::ambit_compiler(org, rich_decoder)
+                         .compile(op, 0, layout.data_row(0, 0),
+                                  layout.data_row(0, 1),
+                                  layout.data_row(0, 2));
+  int tras = 0;
+  for (const auto& s : steps) {
+    if (s.tra) ++tras;
+  }
+  return tras;
+}
+
+double ambit_device::throughput_gbps(dram::bulk_op op) const {
+  const double bytes_per_schedule =
+      static_cast<double>(row_bytes) * static_cast<double>(banks);
+  const double schedule_ps =
+      static_cast<double>(step_count(op)) * static_cast<double>(aap_ps());
+  return bytes_per_schedule / schedule_ps * 1e3;
+}
+
+double ambit_device::energy_pj_per_byte(dram::bulk_op op) const {
+  // Activation energy scales with the row size relative to the 8 KiB
+  // row the constant is calibrated for.
+  const double act = ec::dram_activate_pj *
+                     (static_cast<double>(row_bytes) / 8192.0);
+  const double pre = ec::dram_precharge_pj;
+  const int steps = step_count(op);
+  const int tras = tra_count(op);
+  // Each step: first activation (1 row, or 3 for a TRA), the
+  // copy-activate (restores one row), and a precharge.
+  const double energy = static_cast<double>(steps - tras) * (act + act + pre) +
+                        static_cast<double>(tras) * (3.0 * act + act + pre);
+  return energy / static_cast<double>(row_bytes);
+}
+
+streaming_device skylake_cpu() {
+  return {"Skylake (2ch DDR4-2133)", 34.1, 0.80, true};
+}
+
+streaming_device gtx745_gpu() {
+  return {"GTX 745 (128b GDDR)", 28.8, 0.90, false};
+}
+
+streaming_device hmc_logic_layer() {
+  return {"HMC 2.0 logic layer", 480.0, 0.90, false};
+}
+
+streaming_device ddr3_interface() {
+  return {"DDR3-1600 interface", 12.8, 0.85, true};
+}
+
+ambit_device ambit_ddr3(int banks, bool rich_decoder) {
+  ambit_device d;
+  d.name = "Ambit (DDR3, " + std::to_string(banks) + " banks)";
+  d.banks = banks;
+  d.row_bytes = 8192;
+  d.timing = dram::ddr3_1600();
+  d.rich_decoder = rich_decoder;
+  return d;
+}
+
+ambit_device ambit_hmc() {
+  ambit_device d;
+  d.name = "Ambit-HMC (256 banks)";
+  d.banks = 256;
+  d.row_bytes = 1024;
+  d.timing = dram::hmc_vault();
+  d.rich_decoder = true;
+  return d;
+}
+
+double mean_speedup(const ambit_device& ambit, const streaming_device& dev) {
+  double sum = 0.0;
+  for (dram::bulk_op op : dram::all_bulk_ops()) {
+    sum += ambit.throughput_gbps(op) / dev.throughput_gbps(op);
+  }
+  return sum / static_cast<double>(dram::all_bulk_ops().size());
+}
+
+double mean_energy_reduction(const ambit_device& ambit,
+                             const streaming_device& ddr3,
+                             const dram::organization& org,
+                             double io_pj_per_bit) {
+  double sum = 0.0;
+  for (dram::bulk_op op : dram::all_bulk_ops()) {
+    sum += ddr3.energy_pj_per_byte(op, org, io_pj_per_bit) /
+           ambit.energy_pj_per_byte(op);
+  }
+  return sum / static_cast<double>(dram::all_bulk_ops().size());
+}
+
+}  // namespace pim::analytic

@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Every stochastic choice in pimlib (graph generation, workload data,
+// variation injection) draws from this generator with an explicit seed,
+// so all experiments are bit-for-bit reproducible.
+#ifndef PIM_COMMON_RNG_H
+#define PIM_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace pim {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, and small
+/// enough to embed one generator per simulated component.
+class rng {
+ public:
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 seeding, the reference initialization recipe.
+    std::uint64_t z = seed;
+    for (auto& word : state_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t s = z;
+      s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ull;
+      s = (s ^ (s >> 27)) * 0x94d049bb133111ebull;
+      word = s ^ (s >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 yields 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection-free multiply-shift (Lemire); bias is < 2^-64 * bound,
+    // negligible for workload synthesis.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Approximately geometric/exponential integer with the given mean,
+  /// used for synthetic burst sizes and skewed value distributions.
+  std::uint64_t next_geometric(double mean) {
+    if (mean <= 0.0) return 0;
+    double u = next_double();
+    // Inverse-CDF of the exponential distribution, floored.
+    double x = -mean * log1p(-u);
+    return static_cast<std::uint64_t>(x);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace pim
+
+#endif  // PIM_COMMON_RNG_H

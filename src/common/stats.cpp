@@ -1,0 +1,86 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pim {
+
+void counter_set::add(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+std::uint64_t counter_set::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void counter_set::merge(const counter_set& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+}
+
+void counter_set::clear() { counters_.clear(); }
+
+void summary::add(double x) {
+  ++count_;
+  total_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double summary::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double summary::stddev() const { return std::sqrt(variance()); }
+
+histogram::histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  if (buckets == 0 || hi <= lo) {
+    throw std::invalid_argument("histogram: bad bucket configuration");
+  }
+}
+
+void histogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+  } else if (x >= hi_) {
+    overflow_ += weight;
+  } else {
+    auto index = static_cast<std::size_t>((x - lo_) / width_);
+    counts_[std::min(index, counts_.size() - 1)] += weight;
+  }
+}
+
+double histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double seen = static_cast<double>(underflow_);
+  if (seen >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += static_cast<double>(counts_[i]);
+    if (seen >= target) return lo_ + (static_cast<double>(i) + 0.5) * width_;
+  }
+  return hi_;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) throw std::invalid_argument("geometric_mean: value <= 0");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace pim

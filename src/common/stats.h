@@ -1,0 +1,92 @@
+// Event counters and summary statistics for simulation components.
+//
+// Every simulated component owns a counter_set; experiments read the
+// counters after a run and feed them to the energy model and the table
+// printers. Counters are plain named integers — there is deliberately
+// no global registry, so two systems can be simulated side by side.
+#ifndef PIM_COMMON_STATS_H
+#define PIM_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pim {
+
+/// Named monotonically-increasing event counters.
+class counter_set {
+ public:
+  /// Adds `delta` to the counter `name`, creating it at zero first.
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Value of `name`, or 0 if never touched.
+  std::uint64_t get(const std::string& name) const;
+
+  /// Merges all counters from `other` into this set.
+  void merge(const counter_set& other);
+
+  void clear();
+
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+class summary {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double variance() const;
+  double stddev() const;
+  double total() const { return total_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples go
+/// to saturating underflow/overflow buckets.
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Approximate quantile (0 <= q <= 1) from bucket midpoints.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Geometric mean of a series of ratios; the aggregation the paper's
+/// source works use for cross-workload speedups.
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace pim
+
+#endif  // PIM_COMMON_STATS_H

@@ -1,0 +1,96 @@
+#include "common/table.h"
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pim {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("table: no headers");
+}
+
+table& table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+table& table::cell(const std::string& text) {
+  if (rows_.empty()) throw std::logic_error("table: cell before row");
+  if (rows_.back().size() >= headers_.size()) {
+    throw std::logic_error("table: too many cells in row");
+  }
+  rows_.back().push_back(text);
+  return *this;
+}
+
+table& table::cell(const char* text) { return cell(std::string(text)); }
+
+table& table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+table& table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+table& table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+table& table::cell(int value) { return cell(std::to_string(value)); }
+
+std::string table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      out << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+          << text << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void table::print(std::ostream& out) const { out << render() << '\n'; }
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string format_bytes(std::uint64_t count) {
+  constexpr std::uint64_t one_kib = 1024;
+  constexpr std::uint64_t one_mib = 1024 * one_kib;
+  constexpr std::uint64_t one_gib = 1024 * one_mib;
+  std::ostringstream out;
+  if (count >= one_gib && count % one_gib == 0) {
+    out << count / one_gib << " GiB";
+  } else if (count >= one_mib && count % one_mib == 0) {
+    out << count / one_mib << " MiB";
+  } else if (count >= one_kib && count % one_kib == 0) {
+    out << count / one_kib << " KiB";
+  } else {
+    out << count << " B";
+  }
+  return out.str();
+}
+
+}  // namespace pim

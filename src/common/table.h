@@ -1,0 +1,51 @@
+// Fixed-width ASCII table printer used by every benchmark harness to
+// emit paper-style result rows.
+#ifndef PIM_COMMON_TABLE_H
+#define PIM_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pim {
+
+/// Accumulates rows of string cells and renders them with aligned
+/// columns. Numeric helpers format with a fixed precision so the bench
+/// output is stable across runs.
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  table& row();
+
+  table& cell(const std::string& text);
+  table& cell(const char* text);
+  table& cell(double value, int precision = 2);
+  table& cell(std::uint64_t value);
+  table& cell(std::int64_t value);
+  table& cell(int value);
+
+  /// Renders the full table (header, separator, rows).
+  std::string render() const;
+
+  /// Convenience: renders to the stream with a trailing newline.
+  void print(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (shared by table and ad-hoc
+/// printing in the benches).
+std::string format_double(double value, int precision);
+
+/// Formats a byte count with a binary-unit suffix (KiB/MiB/GiB).
+std::string format_bytes(std::uint64_t count);
+
+}  // namespace pim
+
+#endif  // PIM_COMMON_TABLE_H

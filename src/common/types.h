@@ -1,0 +1,55 @@
+// Fundamental scalar types shared across the pimlib simulation stack.
+#ifndef PIM_COMMON_TYPES_H
+#define PIM_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pim {
+
+/// Simulation time in picoseconds. Integer picoseconds keep DRAM timing
+/// arithmetic exact across mixed clock domains (DRAM tCK vs. core clocks).
+using picoseconds = std::int64_t;
+
+/// Clock cycles of some named domain (always paired with a frequency).
+using cycles = std::int64_t;
+
+/// Energy in picojoules. Energy is accumulated, never compared for
+/// exact equality, so floating point is acceptable here.
+using picojoules = double;
+
+/// Data sizes in bytes and bits.
+using bytes = std::uint64_t;
+using bits = std::uint64_t;
+
+inline constexpr picoseconds ps_per_ns = 1000;
+
+/// Converts nanoseconds (how datasheets quote DRAM timings) to the
+/// internal picosecond time base.
+constexpr picoseconds ns_to_ps(double ns) {
+  return static_cast<picoseconds>(ns * static_cast<double>(ps_per_ns));
+}
+
+constexpr double ps_to_ns(picoseconds ps) {
+  return static_cast<double>(ps) / static_cast<double>(ps_per_ns);
+}
+
+/// Converts a frequency in MHz to the period in picoseconds.
+constexpr picoseconds mhz_to_period_ps(double mhz) {
+  return static_cast<picoseconds>(1e6 / mhz);
+}
+
+inline constexpr bytes kib = 1024;
+inline constexpr bytes mib = 1024 * kib;
+inline constexpr bytes gib = 1024 * mib;
+
+/// Bandwidth helper: bytes moved over a duration, in GB/s (decimal GB,
+/// the unit memory-industry datasheets use).
+constexpr double gigabytes_per_second(bytes moved, picoseconds elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(moved) / static_cast<double>(elapsed) * 1e3;
+}
+
+}  // namespace pim
+
+#endif  // PIM_COMMON_TYPES_H

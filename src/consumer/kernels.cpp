@@ -1,0 +1,345 @@
+#include "consumer/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pim::consumer {
+
+namespace {
+// Distinct address-space regions for the replayed traces.
+constexpr std::uint64_t input_base = 0;
+constexpr std::uint64_t output_base = 1ull * gib;
+constexpr std::uint64_t aux_base = 2ull * gib;
+constexpr bytes line = 64;
+
+/// Emits the line-granularity accesses covering [addr, addr+size).
+void touch(const cpu::access_sink& sink, std::uint64_t addr, bytes size,
+           bool is_write) {
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + size - 1) / line;
+  for (std::uint64_t l = first; l <= last; ++l) sink(l * line, is_write);
+}
+}  // namespace
+
+// --------------------------------------------------------------------------
+// texture tiling
+// --------------------------------------------------------------------------
+
+texture_tiling_kernel::texture_tiling_kernel(int width, int height,
+                                             std::uint64_t seed)
+    : width_(width), height_(height) {
+  if (width % tile != 0 || height % tile != 0) {
+    throw std::invalid_argument("texture_tiling: dims must be tile-aligned");
+  }
+  rng gen(seed);
+  linear_.resize(static_cast<std::size_t>(width) * height);
+  for (auto& px : linear_) px = static_cast<std::uint32_t>(gen.next_u64());
+  tiled_.assign(linear_.size(), 0);
+}
+
+std::size_t texture_tiling_kernel::tiled_index(int x, int y) const {
+  const int tiles_per_row = width_ / tile;
+  const int tx = x / tile;
+  const int ty = y / tile;
+  const int within = (y % tile) * tile + (x % tile);
+  return (static_cast<std::size_t>(ty) * tiles_per_row + tx) * (tile * tile) +
+         static_cast<std::size_t>(within);
+}
+
+cpu::kernel_stats texture_tiling_kernel::run(const cpu::access_sink& sink) {
+  for (int y = 0; y < height_; ++y) {
+    for (int tx = 0; tx < width_ / tile; ++tx) {
+      // One tile-row segment: 32 pixels read linearly, written into the
+      // tile's row (both 128 B, sequential at line granularity).
+      const std::size_t lin =
+          static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(tx) * tile;
+      touch(sink, input_base + lin * 4, tile * 4, false);
+      const std::size_t out = tiled_index(tx * tile, y);
+      touch(sink, output_base + out * 4, tile * 4, true);
+      for (int i = 0; i < tile; ++i) {
+        tiled_[out + static_cast<std::size_t>(i)] =
+            linear_[lin + static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  cpu::kernel_stats s;
+  const std::uint64_t pixels =
+      static_cast<std::uint64_t>(width_) * static_cast<std::uint64_t>(height_);
+  s.word_accesses = pixels;           // one 2-pixel word load + store
+  s.instructions = pixels;            // SIMD copy + address arithmetic
+  return s;
+}
+
+// --------------------------------------------------------------------------
+// color blitting
+// --------------------------------------------------------------------------
+
+color_blitting_kernel::color_blitting_kernel(int width, int height,
+                                             std::uint64_t seed)
+    : width_(width), height_(height) {
+  rng gen(seed);
+  src_.resize(static_cast<std::size_t>(width) * height);
+  dst_.resize(src_.size());
+  for (auto& px : src_) px = static_cast<std::uint32_t>(gen.next_u64());
+  for (auto& px : dst_) px = static_cast<std::uint32_t>(gen.next_u64());
+}
+
+std::uint32_t color_blitting_kernel::blend(std::uint32_t src,
+                                           std::uint32_t dst) {
+  const std::uint32_t alpha = src >> 24;
+  std::uint32_t out = 0xff000000u;
+  for (int ch = 0; ch < 3; ++ch) {
+    const std::uint32_t s = (src >> (8 * ch)) & 0xff;
+    const std::uint32_t d = (dst >> (8 * ch)) & 0xff;
+    const std::uint32_t blended = (s * alpha + d * (255 - alpha)) / 255;
+    out |= blended << (8 * ch);
+  }
+  return out;
+}
+
+cpu::kernel_stats color_blitting_kernel::run(const cpu::access_sink& sink) {
+  const std::size_t pixels = src_.size();
+  for (std::size_t i = 0; i < pixels; ++i) {
+    if (i % 16 == 0) {  // one 64 B line = 16 RGBA pixels
+      touch(sink, input_base + i * 4, line, false);
+      touch(sink, output_base + i * 4, line, true);  // read-modify-write
+    }
+    dst_[i] = blend(src_[i], dst_[i]);
+  }
+  cpu::kernel_stats s;
+  s.word_accesses = pixels;  // src load + dst rmw, 2 px per word
+  s.instructions = 2 * pixels;  // unpack/multiply/pack, SIMD-amortized
+  return s;
+}
+
+// --------------------------------------------------------------------------
+// quantize + pack
+// --------------------------------------------------------------------------
+
+quantize_pack_kernel::quantize_pack_kernel(int rows, int cols,
+                                           std::uint64_t seed)
+    : rows_(rows), cols_(cols) {
+  if (rows % block != 0 || cols % block != 0) {
+    throw std::invalid_argument("quantize_pack: dims must be block-aligned");
+  }
+  rng gen(seed);
+  input_.resize(static_cast<std::size_t>(rows) * cols);
+  float max_abs = 0.0f;
+  for (auto& x : input_) {
+    x = static_cast<float>(gen.next_double() * 2.0 - 1.0);
+    max_abs = std::max(max_abs, std::fabs(x));
+  }
+  scale_ = max_abs / 127.0f;
+  packed_.assign(input_.size(), 0);
+}
+
+std::size_t quantize_pack_kernel::packed_index(int r, int c) const {
+  const int blocks_per_row = cols_ / block;
+  const int br = r / block;
+  const int bc = c / block;
+  const int within = (r % block) * block + (c % block);
+  return (static_cast<std::size_t>(br) * blocks_per_row + bc) *
+             (block * block) +
+         static_cast<std::size_t>(within);
+}
+
+cpu::kernel_stats quantize_pack_kernel::run(const cpu::access_sink& sink) {
+  for (int r = 0; r < rows_; ++r) {
+    for (int bc = 0; bc < cols_ / block; ++bc) {
+      const std::size_t in =
+          static_cast<std::size_t>(r) * cols_ + static_cast<std::size_t>(bc) * block;
+      touch(sink, input_base + in * 4, block * 4, false);  // 128 B floats
+      const std::size_t out = packed_index(r, bc * block);
+      touch(sink, output_base + out, block, true);  // 32 B int8
+      for (int i = 0; i < block; ++i) {
+        const float q = input_[in + static_cast<std::size_t>(i)] / scale_;
+        packed_[out + static_cast<std::size_t>(i)] =
+            static_cast<std::int8_t>(std::lround(std::clamp(q, -127.0f, 127.0f)));
+      }
+    }
+  }
+  cpu::kernel_stats s;
+  const std::uint64_t n = input_.size();
+  s.word_accesses = n / 2 + n / 8;  // float loads + int8 stores
+  s.instructions = n;               // divide/round/clamp, SIMD-amortized
+  return s;
+}
+
+// --------------------------------------------------------------------------
+// sub-pixel interpolation (VP9 playback)
+// --------------------------------------------------------------------------
+
+subpel_interpolation_kernel::subpel_interpolation_kernel(int width, int height,
+                                                         std::uint64_t seed)
+    : width_(width), height_(height) {
+  if (width % block != 0 || height % block != 0) {
+    throw std::invalid_argument("subpel: dims must be block-aligned");
+  }
+  rng gen(seed);
+  ref_.resize(static_cast<std::size_t>(width + 1) * (height + 1));
+  for (auto& px : ref_) px = static_cast<std::uint8_t>(gen.next_below(256));
+  out_.assign(static_cast<std::size_t>(width) * height, 0);
+  const std::size_t blocks = static_cast<std::size_t>(width / block) *
+                             static_cast<std::size_t>(height / block);
+  subpel_.resize(blocks);
+  for (auto& p : subpel_) p = static_cast<std::uint8_t>(gen.next_below(4));
+}
+
+std::uint8_t subpel_interpolation_kernel::ref_at(int x, int y) const {
+  return ref_[static_cast<std::size_t>(y) * (width_ + 1) +
+              static_cast<std::size_t>(x)];
+}
+
+cpu::kernel_stats subpel_interpolation_kernel::run(
+    const cpu::access_sink& sink) {
+  const int bw = width_ / block;
+  std::uint64_t pixels = 0;
+  for (int by = 0; by < height_ / block; ++by) {
+    for (int bx = 0; bx < bw; ++bx) {
+      const std::uint8_t phase =
+          subpel_[static_cast<std::size_t>(by) * bw + bx];
+      const int hx = phase & 1;  // half-pel in x
+      const int hy = phase >> 1; // half-pel in y
+      for (int y = 0; y < block; ++y) {
+        const int ry = by * block + y;
+        // Reference rows (block+1 pixels when interpolating).
+        touch(sink,
+              input_base + static_cast<std::uint64_t>(ry) * (width_ + 1) +
+                  static_cast<std::uint64_t>(bx) * block,
+              block + 1, false);
+        for (int x = 0; x < block; ++x) {
+          const int rx = bx * block + x;
+          // Bilinear half-pel: average of the 1/2/4 neighbours.
+          int sum = ref_at(rx, ry);
+          int count = 1;
+          if (hx != 0) {
+            sum += ref_at(rx + 1, ry);
+            ++count;
+          }
+          if (hy != 0) {
+            sum += ref_at(rx, ry + 1);
+            ++count;
+          }
+          if (hx != 0 && hy != 0) {
+            sum += ref_at(rx + 1, ry + 1);
+            ++count;
+          }
+          out_[static_cast<std::size_t>(ry) * width_ +
+               static_cast<std::size_t>(rx)] =
+              static_cast<std::uint8_t>((sum + count / 2) / count);
+          ++pixels;
+        }
+        touch(sink,
+              output_base + static_cast<std::uint64_t>(ry) * width_ +
+                  static_cast<std::uint64_t>(bx) * block,
+              block, true);
+      }
+    }
+  }
+  cpu::kernel_stats s;
+  s.word_accesses = pixels / 4;   // byte-packed SIMD loads/stores
+  s.instructions = pixels / 2;    // filter arithmetic, SIMD-amortized
+  return s;
+}
+
+// --------------------------------------------------------------------------
+// SAD motion estimation (VP9 capture)
+// --------------------------------------------------------------------------
+
+sad_motion_estimation_kernel::sad_motion_estimation_kernel(int width,
+                                                           int height,
+                                                           int search_range,
+                                                           std::uint64_t seed)
+    : width_(width), height_(height), range_(search_range) {
+  if (width % block != 0 || height % block != 0) {
+    throw std::invalid_argument("sad_me: dims must be block-aligned");
+  }
+  rng gen(seed);
+  ref_.resize(static_cast<std::size_t>(width) * height);
+  for (auto& px : ref_) px = static_cast<std::uint8_t>(gen.next_below(256));
+  planted_ = {static_cast<int>(gen.next_below(
+                  static_cast<std::uint64_t>(2 * range_ + 1))) -
+                  range_,
+              static_cast<int>(gen.next_below(
+                  static_cast<std::uint64_t>(2 * range_ + 1))) -
+                  range_};
+  // Current frame = reference shifted by the planted motion vector.
+  cur_.resize(ref_.size());
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const int sx = std::clamp(x + planted_.dx, 0, width - 1);
+      const int sy = std::clamp(y + planted_.dy, 0, height - 1);
+      cur_[static_cast<std::size_t>(y) * width + x] =
+          ref_[static_cast<std::size_t>(sy) * width + sx];
+    }
+  }
+}
+
+cpu::kernel_stats sad_motion_estimation_kernel::run(
+    const cpu::access_sink& sink) {
+  vectors_.clear();
+  std::uint64_t sad_rows = 0;
+  for (int by = 0; by < height_ / block; ++by) {
+    for (int bx = 0; bx < width_ / block; ++bx) {
+      // Load the current block and the search window once per block
+      // (register/L1 blocking); candidates then reuse them.
+      for (int y = 0; y < block; ++y) {
+        touch(sink,
+              input_base +
+                  static_cast<std::uint64_t>(by * block + y) * width_ +
+                  static_cast<std::uint64_t>(bx) * block,
+              block, false);
+      }
+      const int wy0 = std::max(by * block - range_, 0);
+      const int wy1 = std::min(by * block + block + range_, height_);
+      const int wx0 = std::max(bx * block - range_, 0);
+      const int wx1 = std::min(bx * block + block + range_, width_);
+      for (int y = wy0; y < wy1; ++y) {
+        touch(sink,
+              aux_base + static_cast<std::uint64_t>(y) * width_ +
+                  static_cast<std::uint64_t>(wx0),
+              static_cast<bytes>(wx1 - wx0), false);
+      }
+
+      std::uint64_t best = ~std::uint64_t{0};
+      motion_vector best_mv;
+      for (int dy = -range_; dy <= range_; ++dy) {
+        for (int dx = -range_; dx <= range_; ++dx) {
+          if (by * block + dy < 0 || bx * block + dx < 0 ||
+              by * block + block + dy > height_ ||
+              bx * block + block + dx > width_) {
+            continue;
+          }
+          std::uint64_t sad = 0;
+          for (int y = 0; y < block; ++y) {
+            ++sad_rows;
+            for (int x = 0; x < block; ++x) {
+              const int cy = by * block + y;
+              const int cx = bx * block + x;
+              const int a =
+                  cur_[static_cast<std::size_t>(cy) * width_ + cx];
+              const int b = ref_[static_cast<std::size_t>(cy + dy) * width_ +
+                                 cx + dx];
+              sad += static_cast<std::uint64_t>(std::abs(a - b));
+            }
+          }
+          if (sad < best) {
+            best = sad;
+            best_mv = {dx, dy};
+          }
+        }
+      }
+      // cur(x) == ref(x + planted), so interior blocks find
+      // best_mv == planted.
+      vectors_.push_back(best_mv);
+    }
+  }
+  cpu::kernel_stats s;
+  // psadbw-style SIMD: one 16 B row per instruction (plus accumulate).
+  s.instructions = sad_rows * 2;
+  s.word_accesses = sad_rows * 4;  // two 16 B operands per row
+  return s;
+}
+
+}  // namespace pim::consumer

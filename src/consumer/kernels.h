@@ -1,0 +1,137 @@
+// Target-function kernels of the Google consumer workloads (ASPLOS'18):
+// Chrome texture tiling and color blitting, TensorFlow Mobile
+// quantization + packing, VP9 playback sub-pixel interpolation, and VP9
+// capture SAD motion estimation.
+//
+// Each kernel performs the real computation on synthetic data (verified
+// functionally in the tests) while emitting its memory trace through
+// the cpu::kernel interface, so one implementation serves correctness
+// tests, the host energy analysis, and the PIM offload analysis.
+#ifndef PIM_CONSUMER_KERNELS_H
+#define PIM_CONSUMER_KERNELS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "cpu/system.h"
+
+namespace pim::consumer {
+
+/// Chrome: converts a linear RGBA surface into 32x32-pixel tiles (the
+/// rasterizer-to-GPU handoff that dominates scrolling energy).
+class texture_tiling_kernel : public cpu::kernel {
+ public:
+  texture_tiling_kernel(int width, int height, std::uint64_t seed = 1);
+  std::string name() const override { return "chrome.texture_tiling"; }
+  cpu::kernel_stats run(const cpu::access_sink& sink) override;
+
+  static constexpr int tile = 32;  // pixels per tile side
+  const std::vector<std::uint32_t>& linear() const { return linear_; }
+  const std::vector<std::uint32_t>& tiled() const { return tiled_; }
+  /// Index into tiled() for pixel (x, y) of the linear surface.
+  std::size_t tiled_index(int x, int y) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<std::uint32_t> linear_;
+  std::vector<std::uint32_t> tiled_;
+};
+
+/// Chrome: alpha-blends a source layer over a destination surface
+/// (compositing; 8-bit per channel, SRC-over).
+class color_blitting_kernel : public cpu::kernel {
+ public:
+  color_blitting_kernel(int width, int height, std::uint64_t seed = 2);
+  std::string name() const override { return "chrome.color_blitting"; }
+  cpu::kernel_stats run(const cpu::access_sink& sink) override;
+
+  static std::uint32_t blend(std::uint32_t src, std::uint32_t dst);
+  const std::vector<std::uint32_t>& dst() const { return dst_; }
+  const std::vector<std::uint32_t>& src() const { return src_; }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<std::uint32_t> src_;
+  std::vector<std::uint32_t> dst_;
+};
+
+/// TensorFlow Mobile: quantizes a float32 matrix to int8 and packs it
+/// into cache-friendly 32x32 blocks for gemmlowp-style kernels.
+class quantize_pack_kernel : public cpu::kernel {
+ public:
+  quantize_pack_kernel(int rows, int cols, std::uint64_t seed = 3);
+  std::string name() const override { return "tfmobile.quantize_pack"; }
+  cpu::kernel_stats run(const cpu::access_sink& sink) override;
+
+  static constexpr int block = 32;
+  float scale() const { return scale_; }
+  const std::vector<float>& input() const { return input_; }
+  const std::vector<std::int8_t>& packed() const { return packed_; }
+  /// Index into packed() for element (r, c).
+  std::size_t packed_index(int r, int c) const;
+
+ private:
+  int rows_;
+  int cols_;
+  float scale_ = 1.0f;
+  std::vector<float> input_;
+  std::vector<std::int8_t> packed_;
+};
+
+/// VP9 playback: half-pixel bilinear motion-compensated interpolation
+/// of 8x8 luma blocks from a reference frame.
+class subpel_interpolation_kernel : public cpu::kernel {
+ public:
+  subpel_interpolation_kernel(int width, int height, std::uint64_t seed = 4);
+  std::string name() const override { return "vp9play.subpel_interp"; }
+  cpu::kernel_stats run(const cpu::access_sink& sink) override;
+
+  static constexpr int block = 8;
+  const std::vector<std::uint8_t>& reference() const { return ref_; }
+  const std::vector<std::uint8_t>& output() const { return out_; }
+
+ private:
+  std::uint8_t ref_at(int x, int y) const;
+
+  int width_;
+  int height_;
+  std::vector<std::uint8_t> ref_;
+  std::vector<std::uint8_t> out_;
+  std::vector<std::uint8_t> subpel_;  // per-block half-pel phase (0..3)
+};
+
+/// VP9 capture: full-search sum-of-absolute-differences motion
+/// estimation of 16x16 blocks over a +/-8 pixel window. The current
+/// frame is the reference shifted by a planted motion vector plus
+/// noise, so the found vectors are verifiable.
+class sad_motion_estimation_kernel : public cpu::kernel {
+ public:
+  sad_motion_estimation_kernel(int width, int height, int search_range = 8,
+                               std::uint64_t seed = 5);
+  std::string name() const override { return "vp9capture.sad_me"; }
+  cpu::kernel_stats run(const cpu::access_sink& sink) override;
+
+  static constexpr int block = 16;
+  struct motion_vector {
+    int dx = 0;
+    int dy = 0;
+  };
+  const std::vector<motion_vector>& vectors() const { return vectors_; }
+  motion_vector planted() const { return planted_; }
+
+ private:
+  int width_;
+  int height_;
+  int range_;
+  motion_vector planted_;
+  std::vector<std::uint8_t> ref_;
+  std::vector<std::uint8_t> cur_;
+  std::vector<motion_vector> vectors_;
+};
+
+}  // namespace pim::consumer
+
+#endif  // PIM_CONSUMER_KERNELS_H

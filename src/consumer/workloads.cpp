@@ -1,0 +1,217 @@
+#include "consumer/workloads.h"
+
+#include "common/energy_constants.h"
+#include "consumer/kernels.h"
+#include "cpu/kernels.h"
+
+namespace pim::consumer {
+
+namespace {
+
+/// Host-side (non-offloadable) phase: a compute-dominated kernel with a
+/// given instruction budget and a modest streaming footprint. Models
+/// rasterization, gemm inner loops, entropy decoding, rate control —
+/// the phases the study keeps on the CPU.
+class compute_phase_kernel : public cpu::kernel {
+ public:
+  compute_phase_kernel(std::string name, std::uint64_t instructions,
+                       bytes streamed)
+      : name_(std::move(name)), instructions_(instructions),
+        streamed_(streamed) {}
+  std::string name() const override { return name_; }
+  cpu::kernel_stats run(const cpu::access_sink& sink) override {
+    for (bytes off = 0; off < streamed_; off += 64) {
+      sink(3ull * gib + off, false);
+    }
+    cpu::kernel_stats s;
+    s.instructions = instructions_;
+    s.word_accesses = instructions_ / 3;  // typical load/store density
+    return s;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t instructions_;
+  bytes streamed_;
+};
+
+workload_phase host_phase(const std::string& name,
+                          std::uint64_t instructions, bytes streamed) {
+  return {name, false, [=] {
+            return std::make_unique<compute_phase_kernel>(name, instructions,
+                                                          streamed);
+          }};
+}
+
+}  // namespace
+
+consumer_workload chrome_scrolling(int frames) {
+  consumer_workload w;
+  w.name = "chrome";
+  const int width = 1280;
+  const int height = 704;
+  for (int f = 0; f < frames; ++f) {
+    const auto seed = static_cast<std::uint64_t>(f);
+    w.phases.push_back(
+        host_phase("rasterize", 10'000'000, 2 * mib));
+    w.phases.push_back({"texture_tiling", true, [=] {
+                          return std::make_unique<texture_tiling_kernel>(
+                              width, height, seed + 1);
+                        }});
+    w.phases.push_back({"color_blitting", true, [=] {
+                          return std::make_unique<color_blitting_kernel>(
+                              width, height, seed + 2);
+                        }});
+  }
+  return w;
+}
+
+consumer_workload tensorflow_mobile(int layers) {
+  consumer_workload w;
+  w.name = "tfmobile";
+  for (int l = 0; l < layers; ++l) {
+    const auto seed = static_cast<std::uint64_t>(l);
+    w.phases.push_back({"quantize_pack", true, [=] {
+                          return std::make_unique<quantize_pack_kernel>(
+                              1024, 1024, seed + 1);
+                        }});
+    w.phases.push_back(host_phase("gemm", 18'000'000, 2 * mib));
+  }
+  return w;
+}
+
+consumer_workload vp9_playback(int frames) {
+  consumer_workload w;
+  w.name = "vp9-playback";
+  for (int f = 0; f < frames; ++f) {
+    const auto seed = static_cast<std::uint64_t>(f);
+    w.phases.push_back(host_phase("entropy_decode", 8'000'000, 1 * mib));
+    w.phases.push_back({"subpel_interp", true, [=] {
+                          return std::make_unique<
+                              subpel_interpolation_kernel>(2560, 1408,
+                                                           seed + 1);
+                        }});
+  }
+  return w;
+}
+
+consumer_workload vp9_capture(int frames) {
+  consumer_workload w;
+  w.name = "vp9-capture";
+  for (int f = 0; f < frames; ++f) {
+    const auto seed = static_cast<std::uint64_t>(f);
+    w.phases.push_back({"sad_motion_est", true, [=] {
+                          return std::make_unique<
+                              sad_motion_estimation_kernel>(2560, 1408, 4,
+                                                            seed + 1);
+                        }});
+    w.phases.push_back(host_phase("rate_control", 5'000'000, 512 * kib));
+  }
+  return w;
+}
+
+std::vector<consumer_workload> consumer_suite() {
+  return {chrome_scrolling(), tensorflow_mobile(), vp9_playback(),
+          vp9_capture()};
+}
+
+// --------------------------------------------------------------------------
+// Analysis
+// --------------------------------------------------------------------------
+
+cpu::run_result run_on_accelerator(cpu::kernel& k,
+                                   const cpu::system_config& pim_core) {
+  namespace ec = pim::energy;
+  // The accelerator streams through the stack with no caches; reuse the
+  // system model for traffic/DRAM accounting, then replace the core
+  // component with fixed-function costs.
+  cpu::system_config cfg = pim_core;
+  // The accelerator keeps a small line-buffer scratchpad (modelled as
+  // the L1) but no deeper hierarchy.
+  cfg.l1 = cpu::cache_config{"scratchpad", 32 * kib, 8, 64};
+  cfg.l2.reset();
+  cfg.llc.reset();
+  cfg.core.name = "pim-accelerator";
+  cfg.core.static_mw = 5.0;
+  cpu::system_model model(cfg);
+  cpu::run_result r = model.run(k);
+
+  // Fixed-function datapath: processes its streams at line rate; time
+  // is bounded by the memory system, not instruction issue.
+  const dram::timing_params& t = cfg.mem_timing;
+  const picoseconds miss_latency =
+      (t.trcd + t.tcl + t.tbl) * t.tck_ps + cfg.mem_overhead_ps;
+  const picoseconds stream_time = static_cast<picoseconds>(
+      static_cast<double>(r.dram_bytes) /
+      (cfg.mem_timing.channel_peak_gbps() *
+       static_cast<double>(cfg.mem_org.channels) * 0.9) *
+      1e3);
+  r.time = std::max(stream_time, miss_latency);
+  r.energy.core_dynamic = static_cast<double>(r.dram_bytes) *
+                          ec::pim_accel_byte_pj;
+  r.energy.core_static = cfg.core.static_mw * 1e-3 *
+                         static_cast<double>(r.time);
+  return r;
+}
+
+workload_report analyze_workload(const consumer_workload& workload,
+                                 const cpu::system_config& host,
+                                 const cpu::system_config& pim_core) {
+  workload_report report;
+  report.workload = workload.name;
+  cpu::system_model host_model(host);
+  cpu::system_model pim_model(pim_core);
+
+  auto accumulate = [](picoseconds& time, cpu::energy_breakdown& energy,
+                       const cpu::run_result& r) {
+    time += r.time;
+    energy.core_dynamic += r.energy.core_dynamic;
+    energy.core_static += r.energy.core_static;
+    energy.l1 += r.energy.l1;
+    energy.l2 += r.energy.l2;
+    energy.llc += r.energy.llc;
+    energy.noc += r.energy.noc;
+    energy.dram_core += r.energy.dram_core;
+    energy.dram_io += r.energy.dram_io;
+  };
+
+  for (const workload_phase& phase : workload.phases) {
+    // Host-only execution.
+    {
+      auto kernel = phase.make();
+      accumulate(report.host_time, report.host_energy,
+                 host_model.run(*kernel));
+    }
+    // PIM-core configuration.
+    {
+      auto kernel = phase.make();
+      const cpu::run_result r = phase.offloadable
+                                    ? pim_model.run(*kernel)
+                                    : host_model.run(*kernel);
+      accumulate(report.pim_core_time, report.pim_core_energy, r);
+    }
+    // PIM-accelerator configuration.
+    {
+      auto kernel = phase.make();
+      const cpu::run_result r = phase.offloadable
+                                    ? run_on_accelerator(*kernel, pim_core)
+                                    : host_model.run(*kernel);
+      accumulate(report.pim_accel_time, report.pim_accel_energy, r);
+    }
+  }
+  return report;
+}
+
+area_report logic_layer_area() {
+  namespace ec = pim::energy;
+  const stacked::logic_layer_budget budget;
+  area_report r;
+  r.budget_mm2 = budget.per_vault_mm2();
+  r.pim_core_mm2 = ec::pim_core_area_mm2;
+  r.pim_accel_mm2 = ec::pim_accel_area_mm2;
+  r.core_fraction = budget.vault_fraction(r.pim_core_mm2);
+  r.accel_fraction = budget.vault_fraction(r.pim_accel_mm2);
+  return r;
+}
+
+}  // namespace pim::consumer

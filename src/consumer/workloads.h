@@ -1,0 +1,116 @@
+// The four Google consumer workloads as phase lists, and the
+// data-movement / PIM-offload energy analysis (ASPLOS'18 methodology).
+#ifndef PIM_CONSUMER_WORKLOADS_H
+#define PIM_CONSUMER_WORKLOADS_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/system.h"
+#include "stacked/hmc.h"
+
+namespace pim::consumer {
+
+/// One phase of a workload. Target phases (`offloadable`) are the
+/// memcpy/arithmetic-dominated functions the study identified as PIM
+/// candidates; host phases stay on the CPU in every configuration.
+struct workload_phase {
+  std::string name;
+  bool offloadable = false;
+  /// Fresh kernel per run (runs happen on several system models).
+  std::function<std::unique_ptr<cpu::kernel>()> make;
+};
+
+struct consumer_workload {
+  std::string name;
+  std::vector<workload_phase> phases;
+};
+
+/// Chrome scrolling: rasterization (host) + texture tiling and color
+/// blitting (targets).
+consumer_workload chrome_scrolling(int frames = 4);
+
+/// TensorFlow Mobile inference: gemm compute (host) + quantization and
+/// packing (targets).
+consumer_workload tensorflow_mobile(int layers = 4);
+
+/// VP9 playback: entropy decode (host) + sub-pixel interpolation
+/// (target).
+consumer_workload vp9_playback(int frames = 4);
+
+/// VP9 capture: rate control (host) + SAD motion estimation (target).
+consumer_workload vp9_capture(int frames = 2);
+
+/// All four, in the paper's order.
+std::vector<consumer_workload> consumer_suite();
+
+// --------------------------------------------------------------------------
+// Analysis
+// --------------------------------------------------------------------------
+
+struct phase_energy {
+  std::string phase;
+  bool offloaded = false;
+  cpu::run_result host;  // result on the system that executed it
+};
+
+struct workload_report {
+  std::string workload;
+
+  // Host-only execution.
+  picoseconds host_time = 0;
+  cpu::energy_breakdown host_energy;
+
+  // Target functions moved to a PIM core / fixed-function PIM
+  // accelerator in the logic layer.
+  picoseconds pim_core_time = 0;
+  cpu::energy_breakdown pim_core_energy;
+  picoseconds pim_accel_time = 0;
+  cpu::energy_breakdown pim_accel_energy;
+
+  double data_movement_fraction() const {
+    return host_energy.data_movement_fraction();
+  }
+  double core_energy_reduction() const {
+    return 1.0 - pim_core_energy.total() / host_energy.total();
+  }
+  double core_time_reduction() const {
+    return 1.0 - static_cast<double>(pim_core_time) /
+                     static_cast<double>(host_time);
+  }
+  double accel_energy_reduction() const {
+    return 1.0 - pim_accel_energy.total() / host_energy.total();
+  }
+  double accel_time_reduction() const {
+    return 1.0 - static_cast<double>(pim_accel_time) /
+                     static_cast<double>(host_time);
+  }
+};
+
+/// Runs the workload on the host, then with target phases offloaded to
+/// a PIM core and to a PIM accelerator.
+workload_report analyze_workload(const consumer_workload& workload,
+                                 const cpu::system_config& host,
+                                 const cpu::system_config& pim_core);
+
+/// PIM-accelerator execution of one kernel: fixed-function logic at the
+/// TSV bandwidth, pim_accel_byte_pj per byte processed.
+cpu::run_result run_on_accelerator(cpu::kernel& k,
+                                   const cpu::system_config& pim_core);
+
+/// Logic-layer area occupancy (E7): PIM core and per-workload
+/// accelerator areas against the per-vault budget.
+struct area_report {
+  double budget_mm2 = 0;
+  double pim_core_mm2 = 0;
+  double pim_accel_mm2 = 0;
+  double core_fraction = 0;
+  double accel_fraction = 0;
+};
+area_report logic_layer_area();
+
+}  // namespace pim::consumer
+
+#endif  // PIM_CONSUMER_WORKLOADS_H

@@ -1,0 +1,103 @@
+#include "core/coherence.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pim::core {
+
+std::string to_string(coherence_scheme scheme) {
+  switch (scheme) {
+    case coherence_scheme::flush_based: return "flush-based";
+    case coherence_scheme::uncacheable: return "uncacheable";
+    case coherence_scheme::speculative: return "speculative (LazyPIM)";
+  }
+  throw std::logic_error("unknown coherence scheme");
+}
+
+coherence_result simulate_coherence(coherence_scheme scheme,
+                                    const coherence_config& cfg) {
+  rng gen(cfg.seed);
+  coherence_result result;
+  result.scheme = scheme;
+
+  const double lines_in_region = static_cast<double>(cfg.region) / 64.0;
+  const picoseconds kernel_time = static_cast<picoseconds>(
+      static_cast<double>(cfg.region) / cfg.pim_bw_gbps * 1e3);
+  // Ideal: kernels run back to back, host updates hit its cache.
+  const picoseconds ideal_time =
+      static_cast<picoseconds>(cfg.kernel_invocations) * kernel_time;
+
+  picoseconds time = 0;
+  for (int k = 0; k < cfg.kernel_invocations; ++k) {
+    // --- host phase: touch (write) a fraction of the region ----------
+    const double touched = lines_in_region * cfg.host_touch_fraction;
+    switch (scheme) {
+      case coherence_scheme::flush_based: {
+        // Host writes hit its cache; before the kernel, dirty lines in
+        // cache are written back (bounded by cache capacity).
+        const double dirty =
+            std::min(touched, static_cast<double>(cfg.host_cache) / 64.0);
+        const bytes wb = static_cast<bytes>(dirty * 64.0);
+        result.coherence_traffic += wb;
+        time += static_cast<picoseconds>(
+            static_cast<double>(wb) / cfg.channel_bw_gbps * 1e3);
+        time += cfg.channel_latency_ps;  // flush handshake
+        break;
+      }
+      case coherence_scheme::uncacheable: {
+        // Every host write goes straight over the channel, paying
+        // latency with limited write combining (4 lines overlapped).
+        const bytes traffic = static_cast<bytes>(touched * 64.0);
+        result.coherence_traffic += traffic;
+        time += static_cast<picoseconds>(
+            static_cast<double>(traffic) / cfg.channel_bw_gbps * 1e3);
+        time += static_cast<picoseconds>(
+            touched * static_cast<double>(cfg.channel_latency_ps) / 4.0);
+        break;
+      }
+      case coherence_scheme::speculative: {
+        // Host keeps caching; only signatures cross the channel later.
+        break;
+      }
+    }
+
+    // --- PIM kernel ---------------------------------------------------
+    time += kernel_time;
+    if (scheme == coherence_scheme::speculative) {
+      result.coherence_traffic += cfg.signature_bytes;
+      time += static_cast<picoseconds>(
+          static_cast<double>(cfg.signature_bytes) / cfg.channel_bw_gbps *
+          1e3);
+      time += cfg.channel_latency_ps;  // signature check round trip
+      // Conflict: the kernel read a line the host dirtied concurrently.
+      if (gen.next_bool(cfg.conflict_fraction)) {
+        ++result.conflicts;
+        // Re-execute after pulling the dirty lines.
+        const bytes dirty =
+            static_cast<bytes>(touched * 64.0 * cfg.conflict_fraction);
+        result.coherence_traffic += dirty;
+        time += static_cast<picoseconds>(
+            static_cast<double>(dirty) / cfg.channel_bw_gbps * 1e3);
+        time += kernel_time;
+      }
+    }
+  }
+
+  result.total_time = time;
+  result.overhead_vs_ideal =
+      static_cast<double>(time) / static_cast<double>(ideal_time);
+  return result;
+}
+
+std::vector<coherence_result> compare_coherence(
+    const coherence_config& config) {
+  std::vector<coherence_result> results;
+  for (coherence_scheme s :
+       {coherence_scheme::flush_based, coherence_scheme::uncacheable,
+        coherence_scheme::speculative}) {
+    results.push_back(simulate_coherence(s, config));
+  }
+  return results;
+}
+
+}  // namespace pim::core

@@ -1,0 +1,64 @@
+// Coherence between host caches and PIM logic over shared data (the
+// paper's adoption challenge #3; LazyPIM CAL'16 / CoNDA ISCA'19).
+//
+// Simulates a host and a PIM accelerator alternately working on one
+// shared region and compares three mechanisms:
+//  - flush_based: the host writes back and invalidates the region's
+//    dirty lines before every PIM kernel;
+//  - uncacheable: the region is never cached by the host, so every host
+//    access crosses the channel;
+//  - speculative (LazyPIM-style): the PIM kernel runs speculatively
+//    while recording read/write signatures; signatures are compared at
+//    the end, with re-execution on conflict.
+#ifndef PIM_CORE_COHERENCE_H
+#define PIM_CORE_COHERENCE_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace pim::core {
+
+enum class coherence_scheme { flush_based, uncacheable, speculative };
+
+std::string to_string(coherence_scheme scheme);
+
+struct coherence_config {
+  bytes region = 8 * mib;
+  bytes host_cache = 2 * mib;
+  /// Host phase: fraction of the region's lines the host touches
+  /// (writes) between PIM kernels.
+  double host_touch_fraction = 0.02;
+  /// Fraction of host-touched lines the PIM kernel actually reads
+  /// (true sharing; drives speculation conflicts).
+  double conflict_fraction = 0.1;
+  int kernel_invocations = 32;
+  /// PIM kernel: one pass over the region at vault bandwidth.
+  double pim_bw_gbps = 128.0;
+  double channel_bw_gbps = 12.8;
+  picoseconds channel_latency_ps = 60'000;
+  bytes signature_bytes = 4 * kib;  // LazyPIM compressed signatures
+  std::uint64_t seed = 99;
+};
+
+struct coherence_result {
+  coherence_scheme scheme;
+  picoseconds total_time = 0;
+  bytes coherence_traffic = 0;  // channel bytes spent on coherence only
+  std::uint64_t conflicts = 0;  // speculative re-executions
+  double overhead_vs_ideal = 0;  // time / no-coherence-cost time
+};
+
+/// Runs the alternating host/PIM workload under one scheme.
+coherence_result simulate_coherence(coherence_scheme scheme,
+                                    const coherence_config& config = {});
+
+/// All three schemes side by side.
+std::vector<coherence_result> compare_coherence(
+    const coherence_config& config = {});
+
+}  // namespace pim::core
+
+#endif  // PIM_CORE_COHERENCE_H

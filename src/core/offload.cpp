@@ -1,0 +1,42 @@
+#include "core/offload.h"
+
+#include <algorithm>
+
+namespace pim::core {
+
+offload_decision decide(const kernel_profile& kernel,
+                        const machine_profile& m) {
+  offload_decision d;
+  const double instr = static_cast<double>(kernel.instructions);
+  const double host_traffic = static_cast<double>(kernel.memory_traffic);
+  // PIM has no deep cache hierarchy: reuse the host captured becomes
+  // stack traffic.
+  const double pim_traffic = host_traffic / (1.0 - std::min(
+      kernel.host_cache_hit, 0.99));
+
+  const double host_compute_ns = instr / m.host_gips;
+  const double host_mem_ns = host_traffic / m.host_bw_gbps;
+  d.host_time = static_cast<picoseconds>(
+      std::max(host_compute_ns, host_mem_ns) * 1e3);
+
+  const double pim_compute_ns = instr / m.pim_gips;
+  const double pim_mem_ns = pim_traffic / m.pim_bw_gbps;
+  d.pim_time = static_cast<picoseconds>(
+      std::max(pim_compute_ns, pim_mem_ns) * 1e3);
+
+  d.host_energy = instr * m.pj_per_instruction +
+                  host_traffic * m.host_pj_per_byte;
+  d.pim_energy = instr * m.pj_per_instruction +
+                 pim_traffic * m.pim_pj_per_byte;
+
+  d.speedup = d.pim_time == 0
+                  ? 0.0
+                  : static_cast<double>(d.host_time) /
+                        static_cast<double>(d.pim_time);
+  d.energy_ratio =
+      d.host_energy == 0 ? 0.0 : d.pim_energy / d.host_energy;
+  d.offload = d.speedup >= 1.0 && d.energy_ratio <= 1.0;
+  return d;
+}
+
+}  // namespace pim::core

@@ -1,0 +1,75 @@
+#include "core/pim_system.h"
+
+#include "common/energy_constants.h"
+
+namespace pim::core {
+
+pim_system::pim_system(pim_system_config config)
+    : config_(config),
+      mem_(config.org, config.timing, dram::row_policy::open,
+           config.bulk_power_exempt),
+      allocator_(config.org),
+      ambit_(mem_, config.rich_decoder),
+      rowclone_(mem_) {}
+
+std::vector<dram::bulk_vector> pim_system::allocate(bits size, int count) {
+  return allocator_.allocate_group(size, count);
+}
+
+void pim_system::write(const dram::bulk_vector& v, const bitvector& data) {
+  ambit_.write_vector(v, data);
+}
+
+bitvector pim_system::read(const dram::bulk_vector& v) const {
+  return ambit_.read_vector(v);
+}
+
+op_report pim_system::timed(std::function<void()> enqueue,
+                            bytes output_bytes) {
+  const dram::dram_energy before =
+      compute_dram_energy(mem_.counters(), config_.org, 0,
+                          energy::offchip_io_pj_per_bit);
+  const picoseconds start = mem_.now_ps();
+  enqueue();
+  mem_.drain();
+  const picoseconds end = mem_.now_ps();
+  const dram::dram_energy after =
+      compute_dram_energy(mem_.counters(), config_.org, 0,
+                          energy::offchip_io_pj_per_bit);
+  op_report report;
+  report.latency = end - start;
+  report.energy = after.total() - before.total();
+  report.throughput_gbps = gigabytes_per_second(output_bytes, report.latency);
+  return report;
+}
+
+op_report pim_system::execute(dram::bulk_op op, const dram::bulk_vector& a,
+                              const dram::bulk_vector* b,
+                              dram::bulk_vector& d) {
+  return timed([&] { ambit_.execute(op, a, b, d); }, d.size / 8);
+}
+
+op_report pim_system::copy_row(const dram::address& src,
+                               const dram::address& dst, bool same_subarray) {
+  return timed(
+      [&] {
+        if (same_subarray) {
+          rowclone_.copy_fpm(src, dst);
+        } else {
+          rowclone_.copy_psm(src, dst);
+        }
+      },
+      config_.org.row_bytes());
+}
+
+op_report pim_system::memset_row(const dram::address& dst, bool ones) {
+  return timed([&] { rowclone_.memset_row(dst, ones); },
+               config_.org.row_bytes());
+}
+
+dram::dram_energy pim_system::energy() const {
+  return compute_dram_energy(mem_.counters(), config_.org, mem_.now_ps(),
+                             energy::offchip_io_pj_per_bit);
+}
+
+}  // namespace pim::core

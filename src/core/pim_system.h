@@ -1,0 +1,73 @@
+// pim_system: the top-level facade of pimlib.
+//
+// Owns a cycle-level DRAM memory system with the Ambit and RowClone
+// in-DRAM compute extensions and exposes a synchronous, allocation-
+// based API: allocate bulk bit vectors, load data, run bulk Boolean
+// ops, copy/initialize rows — with cycle-accurate timing and an energy
+// report. This is the entry point the examples and the quickstart use.
+#ifndef PIM_CORE_PIM_SYSTEM_H
+#define PIM_CORE_PIM_SYSTEM_H
+
+#include <memory>
+#include <string>
+
+#include "dram/ambit.h"
+#include "dram/memory_system.h"
+#include "dram/rowclone.h"
+
+namespace pim::core {
+
+struct pim_system_config {
+  dram::organization org = dram::ddr3_dimm(1);
+  dram::timing_params timing = dram::ddr3_1600();
+  bool rich_decoder = true;
+  bool bulk_power_exempt = true;
+};
+
+/// Timing/energy outcome of one synchronous operation.
+struct op_report {
+  picoseconds latency = 0;
+  picojoules energy = 0;
+  double throughput_gbps = 0;  // output bytes per wall-clock
+};
+
+class pim_system {
+ public:
+  explicit pim_system(pim_system_config config = {});
+
+  /// Allocates `count` co-located bulk vectors of `size` bits.
+  std::vector<dram::bulk_vector> allocate(bits size, int count);
+
+  /// Host data movement (functional).
+  void write(const dram::bulk_vector& v, const bitvector& data);
+  bitvector read(const dram::bulk_vector& v) const;
+
+  /// Synchronous bulk Boolean op: d = op(a[, b]). Returns timing and
+  /// the energy spent by the command sequence.
+  op_report execute(dram::bulk_op op, const dram::bulk_vector& a,
+                    const dram::bulk_vector* b, dram::bulk_vector& d);
+
+  /// Synchronous RowClone row copy / initialization.
+  op_report copy_row(const dram::address& src, const dram::address& dst,
+                     bool same_subarray);
+  op_report memset_row(const dram::address& dst, bool ones);
+
+  /// Cumulative DRAM energy since construction.
+  dram::dram_energy energy() const;
+
+  dram::memory_system& memory() { return mem_; }
+  const dram::organization& org() const { return config_.org; }
+
+ private:
+  op_report timed(std::function<void()> enqueue, bytes output_bytes);
+
+  pim_system_config config_;
+  dram::memory_system mem_;
+  dram::ambit_allocator allocator_;
+  dram::ambit_engine ambit_;
+  dram::rowclone_engine rowclone_;
+};
+
+}  // namespace pim::core
+
+#endif  // PIM_CORE_PIM_SYSTEM_H

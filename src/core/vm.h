@@ -1,0 +1,48 @@
+// Virtual-memory support for PIM logic (the paper's adoption challenge
+// #4): pointer chasing with a conventional page-table walker versus an
+// IMPICA-style region-based translation (Hsieh et al., ICCD'16).
+#ifndef PIM_CORE_VM_H
+#define PIM_CORE_VM_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace pim::core {
+
+enum class translation_scheme { page_walk, region_table };
+
+std::string to_string(translation_scheme scheme);
+
+struct pointer_chase_config {
+  std::uint64_t nodes = 1 << 20;   // linked structure size
+  bytes node_bytes = 64;
+  std::uint64_t traversals = 64;   // chains followed
+  std::uint64_t chain_length = 4096;
+  int tlb_entries = 64;            // PIM-side TLB
+  bytes page = 4 * kib;
+  picoseconds vault_access_ps = 45'000;
+  /// Region-table lookups hit a small in-logic-layer cache this often.
+  double region_cache_hit = 0.95;
+  std::uint64_t seed = 17;
+};
+
+struct pointer_chase_result {
+  translation_scheme scheme;
+  picoseconds total_time = 0;
+  std::uint64_t memory_accesses = 0;      // data + translation
+  std::uint64_t translation_accesses = 0; // page walks / region lookups
+  double tlb_hit_rate = 0;
+  /// Nanoseconds per pointer dereference.
+  double ns_per_hop = 0;
+};
+
+/// Simulates the traversals under one translation scheme.
+pointer_chase_result simulate_pointer_chase(
+    translation_scheme scheme, const pointer_chase_config& config = {});
+
+}  // namespace pim::core
+
+#endif  // PIM_CORE_VM_H

@@ -1,0 +1,117 @@
+#include "cpu/cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pim::cpu {
+
+cache::cache(const cache_config& config) : config_(config) {
+  if (config.size == 0 || config.ways <= 0 || config.line_size == 0) {
+    throw std::invalid_argument("cache: bad configuration");
+  }
+  const bytes lines = config.size / config.line_size;
+  if (lines % static_cast<bytes>(config.ways) != 0) {
+    throw std::invalid_argument("cache: size not divisible by ways");
+  }
+  num_sets_ = lines / static_cast<bytes>(config.ways);
+  if (!std::has_single_bit(num_sets_)) {
+    throw std::invalid_argument("cache: set count must be a power of two");
+  }
+  lines_.resize(num_sets_ * static_cast<std::uint64_t>(config.ways));
+}
+
+std::uint64_t cache::set_index(std::uint64_t addr) const {
+  return (addr / config_.line_size) & (num_sets_ - 1);
+}
+
+std::uint64_t cache::tag_of(std::uint64_t addr) const {
+  return addr / config_.line_size / num_sets_;
+}
+
+std::uint64_t cache::addr_of(std::uint64_t set, std::uint64_t tag) const {
+  return (tag * num_sets_ + set) * config_.line_size;
+}
+
+cache::outcome cache::access(std::uint64_t addr, bool is_write) {
+  ++tick_;
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  line* base = &lines_[set * static_cast<std::uint64_t>(config_.ways)];
+
+  line* victim = base;
+  for (int w = 0; w < config_.ways; ++w) {
+    line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = tick_;
+      l.dirty |= is_write;
+      counters_.add("hit");
+      return {true, std::nullopt};
+    }
+    if (!l.valid) {
+      victim = &l;  // prefer filling an invalid way
+    } else if (victim->valid && l.lru < victim->lru) {
+      victim = &l;
+    }
+  }
+
+  counters_.add("miss");
+  std::optional<std::uint64_t> writeback;
+  if (victim->valid && victim->dirty) {
+    writeback = addr_of(set, victim->tag);
+    counters_.add("writeback");
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->lru = tick_;
+  return {false, writeback};
+}
+
+std::optional<std::uint64_t> cache::invalidate(std::uint64_t addr) {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  line* base = &lines_[set * static_cast<std::uint64_t>(config_.ways)];
+  for (int w = 0; w < config_.ways; ++w) {
+    line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.valid = false;
+      counters_.add("invalidate");
+      if (l.dirty) return addr_of(set, tag);
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint64_t> cache::flush() {
+  std::vector<std::uint64_t> dirty;
+  for (std::uint64_t set = 0; set < num_sets_; ++set) {
+    for (int w = 0; w < config_.ways; ++w) {
+      line& l = lines_[set * static_cast<std::uint64_t>(config_.ways) +
+                       static_cast<std::uint64_t>(w)];
+      if (l.valid && l.dirty) dirty.push_back(addr_of(set, l.tag));
+      l.valid = false;
+      l.dirty = false;
+    }
+  }
+  counters_.add("flush");
+  return dirty;
+}
+
+bool cache::contains(std::uint64_t addr) const {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const line* base = &lines_[set * static_cast<std::uint64_t>(config_.ways)];
+  for (int w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+double cache::hit_rate() const {
+  const std::uint64_t total = accesses();
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits()) / static_cast<double>(total);
+}
+
+}  // namespace pim::cpu

@@ -1,0 +1,75 @@
+// Set-associative write-back cache with LRU replacement.
+#ifndef PIM_CPU_CACHE_H
+#define PIM_CPU_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace pim::cpu {
+
+struct cache_config {
+  std::string name = "L1";
+  bytes size = 32 * kib;
+  int ways = 8;
+  bytes line_size = 64;
+};
+
+/// One cache level. Functional (no timing): `access` reports hit/miss
+/// and any dirty victim writeback, which the caller propagates to the
+/// next level. Write misses allocate (write-allocate policy).
+class cache {
+ public:
+  explicit cache(const cache_config& config);
+
+  struct outcome {
+    bool hit = false;
+    /// Address of an evicted dirty line that must be written back to
+    /// the next level, if any.
+    std::optional<std::uint64_t> writeback;
+  };
+
+  outcome access(std::uint64_t addr, bool is_write);
+
+  /// Invalidates a line if present; returns the dirty line's address
+  /// when it needed a writeback (used by coherence models).
+  std::optional<std::uint64_t> invalidate(std::uint64_t addr);
+
+  /// Writes back and invalidates everything (cache flush).
+  std::vector<std::uint64_t> flush();
+
+  bool contains(std::uint64_t addr) const;
+
+  const cache_config& config() const { return config_; }
+  const counter_set& counters() const { return counters_; }
+  std::uint64_t hits() const { return counters_.get("hit"); }
+  std::uint64_t misses() const { return counters_.get("miss"); }
+  std::uint64_t accesses() const { return hits() + misses(); }
+  double hit_rate() const;
+
+ private:
+  struct line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  // larger = more recently used
+  };
+
+  std::uint64_t set_index(std::uint64_t addr) const;
+  std::uint64_t tag_of(std::uint64_t addr) const;
+  std::uint64_t addr_of(std::uint64_t set, std::uint64_t tag) const;
+
+  cache_config config_;
+  std::uint64_t num_sets_;
+  std::vector<line> lines_;  // [set * ways + way]
+  std::uint64_t tick_ = 0;
+  counter_set counters_;
+};
+
+}  // namespace pim::cpu
+
+#endif  // PIM_CPU_CACHE_H

@@ -1,0 +1,119 @@
+#include "cpu/kernels.h"
+
+namespace pim::cpu {
+
+namespace {
+constexpr bytes word_bytes = 8;
+constexpr bytes line_bytes = 64;
+
+std::uint64_t words_in(bytes size) { return size / word_bytes; }
+std::uint64_t lines_in(bytes size) { return (size + line_bytes - 1) / line_bytes; }
+}  // namespace
+
+stream_read_kernel::stream_read_kernel(bytes size, std::uint64_t base,
+                                       int simd_lanes)
+    : size_(size), base_(base), lanes_(simd_lanes) {}
+
+kernel_stats stream_read_kernel::run(const access_sink& sink) {
+  for (bytes off = 0; off < size_; off += line_bytes) {
+    sink(base_ + off, false);
+  }
+  kernel_stats s;
+  s.word_accesses = words_in(size_);
+  // One SIMD load + one SIMD add per `lanes_` words, plus loop overhead.
+  s.instructions = 2 * words_in(size_) / static_cast<std::uint64_t>(lanes_) +
+                   lines_in(size_);
+  return s;
+}
+
+stream_copy_kernel::stream_copy_kernel(bytes size, std::uint64_t src,
+                                       std::uint64_t dst, int simd_lanes)
+    : size_(size), src_(src), dst_(dst), lanes_(simd_lanes) {}
+
+kernel_stats stream_copy_kernel::run(const access_sink& sink) {
+  for (bytes off = 0; off < size_; off += line_bytes) {
+    sink(src_ + off, false);
+    sink(dst_ + off, true);  // write-allocate fetches then dirties
+  }
+  kernel_stats s;
+  s.word_accesses = 2 * words_in(size_);
+  s.instructions = 2 * words_in(size_) / static_cast<std::uint64_t>(lanes_) +
+                   lines_in(size_);
+  return s;
+}
+
+stream_set_kernel::stream_set_kernel(bytes size, std::uint64_t dst,
+                                     bool streaming_stores, int simd_lanes)
+    : size_(size), dst_(dst), nt_stores_(streaming_stores),
+      lanes_(simd_lanes) {}
+
+kernel_stats stream_set_kernel::run(const access_sink& sink) {
+  for (bytes off = 0; off < size_; off += line_bytes) {
+    // Non-temporal stores skip the allocate read; modelled as a write
+    // access that the hierarchy still tracks (full-line store).
+    sink(dst_ + off, true);
+  }
+  kernel_stats s;
+  s.word_accesses = words_in(size_);
+  s.instructions = words_in(size_) / static_cast<std::uint64_t>(lanes_) +
+                   lines_in(size_);
+  return s;
+}
+
+stream_bitwise_kernel::stream_bitwise_kernel(bytes size, bool unary,
+                                             std::uint64_t a, std::uint64_t b,
+                                             std::uint64_t d, int simd_lanes)
+    : size_(size), unary_(unary), a_(a), b_(b), d_(d), lanes_(simd_lanes) {}
+
+kernel_stats stream_bitwise_kernel::run(const access_sink& sink) {
+  for (bytes off = 0; off < size_; off += line_bytes) {
+    sink(a_ + off, false);
+    if (!unary_) sink(b_ + off, false);
+    sink(d_ + off, true);
+  }
+  kernel_stats s;
+  const std::uint64_t words = words_in(size_);
+  const auto loads = unary_ ? words : 2 * words;
+  s.word_accesses = loads + words;
+  // loads + op + store per word, SIMD-vectorized, plus loop overhead.
+  s.instructions = (loads + 2 * words) / static_cast<std::uint64_t>(lanes_) +
+                   lines_in(size_);
+  return s;
+}
+
+random_access_kernel::random_access_kernel(std::uint64_t accesses,
+                                           bytes working_set,
+                                           std::uint64_t base,
+                                           std::uint64_t seed)
+    : accesses_(accesses), working_set_(working_set), base_(base),
+      seed_(seed) {}
+
+kernel_stats random_access_kernel::run(const access_sink& sink) {
+  rng gen(seed_);
+  const std::uint64_t lines = working_set_ / line_bytes;
+  for (std::uint64_t i = 0; i < accesses_; ++i) {
+    sink(base_ + gen.next_below(lines) * line_bytes, false);
+  }
+  kernel_stats s;
+  s.word_accesses = accesses_;
+  s.instructions = 3 * accesses_;  // address compute + load + use
+  return s;
+}
+
+strided_read_kernel::strided_read_kernel(bytes size, bytes stride,
+                                         std::uint64_t base)
+    : size_(size), stride_(stride), base_(base) {}
+
+kernel_stats strided_read_kernel::run(const access_sink& sink) {
+  std::uint64_t touches = 0;
+  for (bytes off = 0; off < size_; off += stride_) {
+    sink(base_ + (off / line_bytes) * line_bytes, false);
+    ++touches;
+  }
+  kernel_stats s;
+  s.word_accesses = touches;
+  s.instructions = 3 * touches;
+  return s;
+}
+
+}  // namespace pim::cpu

@@ -1,0 +1,107 @@
+// Generic memory kernels: the building blocks for baselines
+// (bulk bitwise ops on the CPU, bulk copy/init for RowClone's baseline)
+// and for tests of the system model.
+#ifndef PIM_CPU_KERNELS_H
+#define PIM_CPU_KERNELS_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "cpu/system.h"
+
+namespace pim::cpu {
+
+/// Sequential read of `size` bytes (sum-reduce).
+class stream_read_kernel : public kernel {
+ public:
+  stream_read_kernel(bytes size, std::uint64_t base = 0, int simd_lanes = 4);
+  std::string name() const override { return "stream_read"; }
+  kernel_stats run(const access_sink& sink) override;
+
+ private:
+  bytes size_;
+  std::uint64_t base_;
+  int lanes_;
+};
+
+/// memcpy: read `size` bytes from src, write to dst (write-allocate:
+/// the destination lines are fetched before being overwritten).
+class stream_copy_kernel : public kernel {
+ public:
+  stream_copy_kernel(bytes size, std::uint64_t src, std::uint64_t dst,
+                     int simd_lanes = 4);
+  std::string name() const override { return "stream_copy"; }
+  kernel_stats run(const access_sink& sink) override;
+
+ private:
+  bytes size_;
+  std::uint64_t src_;
+  std::uint64_t dst_;
+  int lanes_;
+};
+
+/// memset: write `size` bytes (write-allocate unless streaming stores).
+class stream_set_kernel : public kernel {
+ public:
+  stream_set_kernel(bytes size, std::uint64_t dst, bool streaming_stores,
+                    int simd_lanes = 4);
+  std::string name() const override { return "stream_set"; }
+  kernel_stats run(const access_sink& sink) override;
+
+ private:
+  bytes size_;
+  std::uint64_t dst_;
+  bool nt_stores_;
+  int lanes_;
+};
+
+/// d = a OP b over `size`-byte vectors: the CPU bulk-bitwise baseline
+/// of the Ambit comparison (2 loads + 1 op + 1 store per word).
+class stream_bitwise_kernel : public kernel {
+ public:
+  /// `unary` models NOT (one input); binary ops read two inputs.
+  stream_bitwise_kernel(bytes size, bool unary, std::uint64_t a,
+                        std::uint64_t b, std::uint64_t d, int simd_lanes = 4);
+  std::string name() const override { return "stream_bitwise"; }
+  kernel_stats run(const access_sink& sink) override;
+
+ private:
+  bytes size_;
+  bool unary_;
+  std::uint64_t a_;
+  std::uint64_t b_;
+  std::uint64_t d_;
+  int lanes_;
+};
+
+/// Dependent random reads over a working set (pointer chasing).
+class random_access_kernel : public kernel {
+ public:
+  random_access_kernel(std::uint64_t accesses, bytes working_set,
+                       std::uint64_t base = 0, std::uint64_t seed = 1);
+  std::string name() const override { return "random_access"; }
+  kernel_stats run(const access_sink& sink) override;
+
+ private:
+  std::uint64_t accesses_;
+  bytes working_set_;
+  std::uint64_t base_;
+  std::uint64_t seed_;
+};
+
+/// Strided reads (every `stride` bytes) over `size` bytes.
+class strided_read_kernel : public kernel {
+ public:
+  strided_read_kernel(bytes size, bytes stride, std::uint64_t base = 0);
+  std::string name() const override { return "strided_read"; }
+  kernel_stats run(const access_sink& sink) override;
+
+ private:
+  bytes size_;
+  bytes stride_;
+  std::uint64_t base_;
+};
+
+}  // namespace pim::cpu
+
+#endif  // PIM_CPU_KERNELS_H

@@ -1,0 +1,167 @@
+#include "cpu/system.h"
+
+#include <algorithm>
+
+#include "dram/memory_system.h"
+
+namespace pim::cpu {
+
+system_config mobile_soc() {
+  system_config cfg;
+  cfg.core.name = "mobile-big-core";
+  cfg.core.freq_ghz = 2.4;
+  cfg.core.ipc = 2.0;
+  cfg.core.max_outstanding_misses = 6;
+  // Mobile cores race to idle and clock-gate aggressively.
+  cfg.core.static_mw = 60.0;
+  cfg.num_cores = 4;
+  cfg.l1 = cache_config{"L1", 64 * kib, 4, 64};
+  cfg.l2 = cache_config{"L2", 2 * mib, 16, 64};
+  // One 64-bit LPDDR4-like channel.
+  cfg.mem_org = dram::ddr3_dimm(1);
+  cfg.mem_timing = dram::ddr3_1600();
+  cfg.io_pj_per_bit = energy::lpddr_io_pj_per_bit;
+  return cfg;
+}
+
+system_config desktop_system() {
+  system_config cfg;
+  cfg.core.name = "desktop-core";
+  cfg.core.freq_ghz = 3.2;
+  cfg.core.ipc = 4.0;
+  cfg.core.max_outstanding_misses = 10;
+  cfg.num_cores = 4;
+  cfg.l1 = cache_config{"L1", 32 * kib, 8, 64};
+  cfg.l2 = cache_config{"L2", 256 * kib, 8, 64};
+  cfg.llc = cache_config{"LLC", 8 * mib, 16, 64};
+  cfg.mem_org = dram::ddr3_dimm(2);
+  cfg.mem_timing = dram::ddr3_2133();
+  cfg.io_pj_per_bit = energy::offchip_io_pj_per_bit;
+  return cfg;
+}
+
+system_config pim_logic_core(int num_cores) {
+  system_config cfg;
+  cfg.core.name = "pim-core";
+  cfg.core.freq_ghz = 1.5;   // small in-order core in the logic layer
+  cfg.core.ipc = 1.0;
+  cfg.core.max_outstanding_misses = 4;
+  cfg.core.static_mw = energy::pim_core_static_mw;
+  cfg.num_cores = num_cores;
+  cfg.l1 = cache_config{"L1", 16 * kib, 4, 64};
+  cfg.l2.reset();  // no L2: the stack is right below
+  cfg.mem_org = dram::hmc_vault_org();
+  // One PIM core per vault; collectively they see the vaults' aggregate
+  // TSV bandwidth (modelled as 8 vault channels).
+  cfg.mem_org.channels = 8;
+  cfg.mem_timing = dram::hmc_vault();
+  cfg.mem_org.rows = 32768;  // 4 GiB visible: traces span several GiB
+  cfg.io_pj_per_bit = energy::tsv_io_pj_per_bit;
+  cfg.noc_pj_per_bit = 0.1;  // logic layer sits on the TSVs
+  cfg.dram_background_mw = 10.0;  // per-vault standby, not a DIMM rank
+  cfg.mem_overhead_ps = 8'000;  // no off-chip hop
+  return cfg;
+}
+
+system_model::system_model(system_config config)
+    : config_(std::move(config)) {}
+
+run_result system_model::run(kernel& k) {
+  namespace ec = pim::energy;
+  std::optional<cache> l1;
+  std::optional<cache> l2;
+  std::optional<cache> llc;
+  if (config_.l1) l1.emplace(*config_.l1);
+  if (config_.l2) l2.emplace(*config_.l2);
+  if (config_.llc) llc.emplace(*config_.llc);
+
+  dram_traffic_model traffic(config_.mem_org, config_.mem_timing);
+  std::uint64_t l2_lines = 0;
+  std::uint64_t llc_lines = 0;
+
+  auto to_dram = [&](std::uint64_t addr, bool is_write) {
+    traffic.access(addr, is_write);
+  };
+  auto through_llc = [&](std::uint64_t addr, bool is_write) {
+    if (!llc) {
+      to_dram(addr, is_write);
+      return;
+    }
+    ++llc_lines;
+    const auto out = llc->access(addr, is_write);
+    if (!out.hit) to_dram(addr, false);
+    if (out.writeback) to_dram(*out.writeback, true);
+  };
+  auto through_l2 = [&](std::uint64_t addr, bool is_write) {
+    if (!l2) {
+      through_llc(addr, is_write);
+      return;
+    }
+    ++l2_lines;
+    const auto out = l2->access(addr, is_write);
+    if (!out.hit) through_llc(addr, false);
+    if (out.writeback) through_llc(*out.writeback, true);
+  };
+  access_sink sink = [&](std::uint64_t addr, bool is_write) {
+    if (!l1) {
+      through_l2(addr, is_write);
+      return;
+    }
+    const auto out = l1->access(addr, is_write);
+    if (!out.hit) through_l2(addr, false);
+    if (out.writeback) through_l2(*out.writeback, true);
+  };
+
+  run_result result;
+  result.kernel_name = k.name();
+  result.stats = k.run(sink);
+
+  // --- time ---------------------------------------------------------
+  const double core_hz = config_.core.freq_ghz * 1e9;
+  const double instr_per_second =
+      core_hz * config_.core.ipc * static_cast<double>(config_.num_cores);
+  const picoseconds compute_time = static_cast<picoseconds>(
+      static_cast<double>(result.stats.instructions) / instr_per_second *
+      1e12);
+  const picoseconds bandwidth_time = traffic.service_time_ps();
+  // Exposed miss latency: each DRAM line pays the access latency, but
+  // max_outstanding_misses of them overlap (per core).
+  const dram::timing_params& t = config_.mem_timing;
+  const picoseconds miss_latency =
+      (t.trcd + t.tcl + t.tbl) * t.tck_ps + config_.mem_overhead_ps;
+  const double overlap = static_cast<double>(
+      config_.core.max_outstanding_misses * config_.num_cores);
+  const picoseconds latency_time = static_cast<picoseconds>(
+      static_cast<double>(traffic.lines_read() + traffic.lines_written()) *
+      static_cast<double>(miss_latency) / overlap);
+  result.time = std::max({compute_time, bandwidth_time, latency_time});
+
+  // --- energy -------------------------------------------------------
+  energy_breakdown& e = result.energy;
+  e.core_dynamic =
+      static_cast<double>(result.stats.instructions) *
+      (config_.core.alu_pj + config_.core.overhead_pj);
+  e.core_static = config_.core.static_mw * 1e-3 *
+                  static_cast<double>(result.time) *
+                  static_cast<double>(config_.num_cores);
+  e.l1 = static_cast<double>(result.stats.word_accesses) * ec::l1_access_pj;
+  // Lower levels move whole 64 B lines = 8 words per transfer.
+  e.l2 = static_cast<double>(l2_lines) * 8.0 * ec::l2_access_pj;
+  e.llc = static_cast<double>(llc_lines) * 8.0 * ec::llc_access_pj;
+  e.noc = static_cast<double>(traffic.bytes_moved()) * 8.0 *
+          config_.noc_pj_per_bit;
+  const dram::dram_energy de = dram::compute_dram_energy(
+      traffic.counters(), config_.mem_org, result.time,
+      config_.io_pj_per_bit, config_.dram_background_mw);
+  e.dram_io = de.channel_io;
+  e.dram_core = de.total() - de.channel_io;
+
+  // --- reporting ----------------------------------------------------
+  result.dram_bytes = traffic.bytes_moved();
+  if (l1) result.l1_hit_rate = l1->hit_rate();
+  if (l2) result.l2_hit_rate = l2->hit_rate();
+  result.dram_row_hit_rate = traffic.row_hit_rate();
+  return result;
+}
+
+}  // namespace pim::cpu

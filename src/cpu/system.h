@@ -1,0 +1,136 @@
+// Host-system performance & energy model.
+//
+// A roofline-style model with real cache simulation: kernels emit their
+// word-level operation counts plus a line-granularity memory trace; the
+// trace runs through a two/three-level cache hierarchy into the DRAM
+// traffic model. Execution time is the max of the compute rate and the
+// memory service rate (plus exposed miss latency for low-MLP cores);
+// energy is counted events x per-event costs from energy_constants.h.
+// This is the methodology of the paper's consumer-workloads study
+// (ASPLOS'18), applied uniformly to host CPUs and PIM logic-layer cores.
+#ifndef PIM_CPU_SYSTEM_H
+#define PIM_CPU_SYSTEM_H
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/energy_constants.h"
+#include "cpu/cache.h"
+#include "cpu/traffic_model.h"
+#include "dram/organization.h"
+
+namespace pim::cpu {
+
+/// Energy by component; "data movement" = everything except the core
+/// datapath, the split the consumer-workloads study reports.
+struct energy_breakdown {
+  picojoules core_dynamic = 0;
+  picojoules core_static = 0;
+  picojoules l1 = 0;
+  picojoules l2 = 0;
+  picojoules llc = 0;
+  picojoules noc = 0;
+  picojoules dram_core = 0;  // activates/precharges/columns/refresh
+  picojoules dram_io = 0;    // interface (channel pins or TSVs)
+
+  picojoules compute() const { return core_dynamic + core_static; }
+  picojoules data_movement() const {
+    return l1 + l2 + llc + noc + dram_core + dram_io;
+  }
+  picojoules total() const { return compute() + data_movement(); }
+  double data_movement_fraction() const {
+    const picojoules t = total();
+    return t == 0 ? 0.0 : data_movement() / t;
+  }
+};
+
+struct core_config {
+  std::string name = "big-core";
+  double freq_ghz = 3.2;
+  double ipc = 4.0;               // sustained instructions/cycle/core
+  int max_outstanding_misses = 10;  // MLP: how much miss latency hides
+  double static_mw = energy::host_core_static_mw;
+  picojoules alu_pj = energy::cpu_alu_op_pj;
+  picojoules overhead_pj = energy::cpu_instruction_overhead_pj;
+};
+
+struct system_config {
+  core_config core;
+  int num_cores = 4;
+  std::optional<cache_config> l1 = cache_config{"L1", 32 * kib, 8, 64};
+  std::optional<cache_config> l2 = cache_config{"L2", 1 * mib, 16, 64};
+  std::optional<cache_config> llc;
+  dram::organization mem_org = dram::ddr3_dimm(2);
+  dram::timing_params mem_timing = dram::ddr3_1600();
+  double io_pj_per_bit = energy::offchip_io_pj_per_bit;
+  /// Interconnect energy between the cache hierarchy and the memory
+  /// controller (PIM logic sits next to the TSVs and pays almost none).
+  double noc_pj_per_bit = energy::noc_pj_per_bit;
+  /// DRAM standby power per rank/vault-channel.
+  double dram_background_mw = energy::dram_background_mw;
+  /// Extra memory latency beyond the DRAM device (controller, NoC).
+  picoseconds mem_overhead_ps = 20'000;
+};
+
+/// A mobile SoC (the consumer-workloads host): 4 big cores, LPDDR-like
+/// channel energy.
+system_config mobile_soc();
+
+/// A desktop-class system (the Ambit CPU baseline's shape).
+system_config desktop_system();
+
+/// A PIM core in the logic layer of a 3D stack: small in-order core,
+/// no L2, TSV interface energy, high internal bandwidth.
+system_config pim_logic_core(int num_cores = 16);
+
+/// What a kernel tells the model about itself.
+struct kernel_stats {
+  std::uint64_t instructions = 0;      // dynamic instruction count
+  std::uint64_t word_accesses = 0;     // L1-level loads+stores (8 B words)
+};
+
+/// Emits one 64 B-line memory access.
+using access_sink = std::function<void(std::uint64_t addr, bool is_write)>;
+
+/// A workload kernel: declares its op counts and replays its trace.
+class kernel {
+ public:
+  virtual ~kernel() = default;
+  virtual std::string name() const = 0;
+  /// Replays the memory trace into `sink` and returns op counts.
+  virtual kernel_stats run(const access_sink& sink) = 0;
+};
+
+struct run_result {
+  std::string kernel_name;
+  picoseconds time = 0;
+  energy_breakdown energy;
+  kernel_stats stats;
+  bytes dram_bytes = 0;
+  double l1_hit_rate = 0;
+  double l2_hit_rate = 0;
+  double dram_row_hit_rate = 0;
+
+  double bandwidth_gbps() const {
+    return gigabytes_per_second(dram_bytes, time);
+  }
+};
+
+class system_model {
+ public:
+  explicit system_model(system_config config);
+
+  /// Runs one kernel on cold caches and returns time/energy.
+  run_result run(kernel& k);
+
+  const system_config& config() const { return config_; }
+
+ private:
+  system_config config_;
+};
+
+}  // namespace pim::cpu
+
+#endif  // PIM_CPU_SYSTEM_H

@@ -1,0 +1,77 @@
+#include "cpu/traffic_model.h"
+
+#include <algorithm>
+
+namespace pim::cpu {
+
+dram_traffic_model::dram_traffic_model(const dram::organization& org,
+                                       const dram::timing_params& timing,
+                                       dram::mapping_policy mapping)
+    : org_(org),
+      timing_(timing),
+      mapper_(org, mapping),
+      open_row_(static_cast<std::size_t>(org.channels) * org.ranks * org.banks,
+                -1),
+      channel_cols_(static_cast<std::size_t>(org.channels), 0) {}
+
+void dram_traffic_model::access(std::uint64_t addr, bool is_write) {
+  const dram::address a = mapper_.decode(addr);
+  const std::size_t bank_id =
+      (static_cast<std::size_t>(a.channel) * org_.ranks +
+       static_cast<std::size_t>(a.rank)) *
+          org_.banks +
+      static_cast<std::size_t>(a.bank);
+  if (open_row_[bank_id] != a.row) {
+    if (open_row_[bank_id] != -1) counters_.add("dram.pre");
+    counters_.add("dram.act");
+    open_row_[bank_id] = a.row;
+  } else {
+    counters_.add("ctrl.row_hits");
+  }
+  counters_.add(is_write ? "dram.wr" : "dram.rd");
+  ++channel_cols_[static_cast<std::size_t>(a.channel)];
+}
+
+bytes dram_traffic_model::bytes_moved() const {
+  return (lines_read() + lines_written()) * org_.column_bytes;
+}
+
+double dram_traffic_model::row_hit_rate() const {
+  const std::uint64_t total = lines_read() + lines_written();
+  if (total == 0) return 0.0;
+  return static_cast<double>(counters_.get("ctrl.row_hits")) /
+         static_cast<double>(total);
+}
+
+picoseconds dram_traffic_model::service_time_ps() const {
+  // Data-bus time: every column command occupies tBL cycles on its
+  // channel's bus.
+  std::uint64_t max_cols = 0;
+  for (std::uint64_t cols : channel_cols_) max_cols = std::max(max_cols, cols);
+  const picoseconds bus_time =
+      static_cast<picoseconds>(max_cols) * timing_.tbl * timing_.tck_ps;
+
+  // Activation-rate time: each activation ties its bank up for tRC;
+  // banks overlap, and tFAW caps the rank-wide rate at 4 per window.
+  const auto acts = counters_.get("dram.act");
+  const std::uint64_t banks_total = static_cast<std::uint64_t>(
+      org_.channels * org_.ranks * org_.banks);
+  const picoseconds bank_time = static_cast<picoseconds>(
+      static_cast<double>(acts) / static_cast<double>(banks_total) *
+      static_cast<double>(timing_.trc() * timing_.tck_ps));
+  const std::uint64_t ranks_total =
+      static_cast<std::uint64_t>(org_.channels * org_.ranks);
+  const picoseconds faw_time = static_cast<picoseconds>(
+      static_cast<double>(acts) / static_cast<double>(ranks_total) / 4.0 *
+      static_cast<double>(timing_.tfaw * timing_.tck_ps));
+
+  return std::max({bus_time, bank_time, faw_time});
+}
+
+void dram_traffic_model::reset() {
+  std::fill(open_row_.begin(), open_row_.end(), -1);
+  std::fill(channel_cols_.begin(), channel_cols_.end(), 0);
+  counters_.clear();
+}
+
+}  // namespace pim::cpu

@@ -1,0 +1,61 @@
+// DRAM traffic model: converts a stream of line-granularity accesses
+// into DRAM command counts and a bandwidth/row-locality time estimate.
+//
+// This sits between the functional cache hierarchy and the energy
+// model: it tracks open rows per bank through the real address mapper,
+// so streaming traffic is charged few activations and random traffic
+// many — the effect the paper's data-movement arguments build on —
+// without paying for full cycle-level simulation of multi-megabyte
+// workloads. The cycle-accurate dram::memory_system validates this
+// model in the tests.
+#ifndef PIM_CPU_TRAFFIC_MODEL_H
+#define PIM_CPU_TRAFFIC_MODEL_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "dram/address.h"
+#include "dram/timing.h"
+
+namespace pim::cpu {
+
+class dram_traffic_model {
+ public:
+  dram_traffic_model(const dram::organization& org,
+                     const dram::timing_params& timing,
+                     dram::mapping_policy mapping =
+                         dram::mapping_policy::row_bank_column);
+
+  /// Records one 64 B line transfer.
+  void access(std::uint64_t addr, bool is_write);
+
+  /// DRAM command counters in the same scheme the controllers use, so
+  /// dram::compute_dram_energy applies directly.
+  const counter_set& counters() const { return counters_; }
+
+  std::uint64_t lines_read() const { return counters_.get("dram.rd"); }
+  std::uint64_t lines_written() const { return counters_.get("dram.wr"); }
+  std::uint64_t activations() const { return counters_.get("dram.act"); }
+  bytes bytes_moved() const;
+
+  /// Row-buffer hit rate of the recorded stream.
+  double row_hit_rate() const;
+
+  /// Minimum service time: the max of data-bus occupancy and
+  /// activate-rate limits across channels/banks.
+  picoseconds service_time_ps() const;
+
+  void reset();
+
+ private:
+  dram::organization org_;
+  dram::timing_params timing_;
+  dram::address_mapper mapper_;
+  std::vector<int> open_row_;            // per (channel, rank, bank)
+  std::vector<std::uint64_t> channel_cols_;  // column commands per channel
+  counter_set counters_;
+};
+
+}  // namespace pim::cpu
+
+#endif  // PIM_CPU_TRAFFIC_MODEL_H

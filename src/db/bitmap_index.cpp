@@ -1,0 +1,40 @@
+#include "db/bitmap_index.h"
+
+#include <stdexcept>
+
+namespace pim::db {
+
+bitmap_index::bitmap_index(const column& col, std::uint32_t cardinality)
+    : rows_(col.rows()) {
+  if (cardinality == 0) {
+    throw std::invalid_argument("bitmap_index: zero cardinality");
+  }
+  bitmaps_.assign(cardinality, bitvector(rows_));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (col.values[r] >= cardinality) {
+      throw std::invalid_argument("bitmap_index: value exceeds cardinality");
+    }
+    bitmaps_[col.values[r]].set(r, true);
+  }
+}
+
+scan_result bitmap_index::query_in(
+    const std::vector<std::uint32_t>& values) const {
+  scan_result result;
+  result.selection = bitvector(rows_);
+  for (std::uint32_t v : values) {
+    if (v >= cardinality()) {
+      throw std::out_of_range("bitmap_index: value out of range");
+    }
+    result.selection |= bitmaps_[v];
+    result.ops.push_back(dram::bulk_op::or_op);
+  }
+  return result;
+}
+
+std::size_t bitmap_index::count_in(
+    const std::vector<std::uint32_t>& values) const {
+  return query_in(values).selection.popcount();
+}
+
+}  // namespace pim::db

@@ -1,0 +1,38 @@
+// Bitmap index over a low-cardinality column: one bitmap per distinct
+// value; IN/range queries are ORs of bitmaps plus a population count.
+#ifndef PIM_DB_BITMAP_INDEX_H
+#define PIM_DB_BITMAP_INDEX_H
+
+#include <vector>
+
+#include "db/bitweaving.h"
+
+namespace pim::db {
+
+class bitmap_index {
+ public:
+  /// Builds one bitmap per distinct value in [0, cardinality).
+  bitmap_index(const column& col, std::uint32_t cardinality);
+
+  std::uint32_t cardinality() const {
+    return static_cast<std::uint32_t>(bitmaps_.size());
+  }
+  std::size_t rows() const { return rows_; }
+  const bitvector& bitmap(std::uint32_t value) const {
+    return bitmaps_[value];
+  }
+
+  /// Rows whose value is in `values` (OR of bitmaps); records the ops.
+  scan_result query_in(const std::vector<std::uint32_t>& values) const;
+
+  /// COUNT(*) WHERE value IN values.
+  std::size_t count_in(const std::vector<std::uint32_t>& values) const;
+
+ private:
+  std::size_t rows_;
+  std::vector<bitvector> bitmaps_;
+};
+
+}  // namespace pim::db
+
+#endif  // PIM_DB_BITMAP_INDEX_H

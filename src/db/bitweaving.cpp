@@ -1,0 +1,169 @@
+#include "db/bitweaving.h"
+
+#include <stdexcept>
+
+namespace pim::db {
+
+column random_column(std::size_t rows, int bit_width, rng& gen) {
+  if (bit_width <= 0 || bit_width > 32) {
+    throw std::invalid_argument("random_column: bad bit width");
+  }
+  column col;
+  col.bit_width = bit_width;
+  col.values.resize(rows);
+  const std::uint64_t bound = std::uint64_t{1} << bit_width;
+  for (auto& v : col.values) {
+    v = static_cast<std::uint32_t>(gen.next_below(bound));
+  }
+  return col;
+}
+
+bitslice_storage::bitslice_storage(const column& col)
+    : width_(col.bit_width), rows_(col.rows()) {
+  slices_.assign(static_cast<std::size_t>(width_), bitvector(rows_));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::uint32_t v = col.values[r];
+    for (int b = 0; b < width_; ++b) {
+      if ((v >> b) & 1u) slices_[static_cast<std::size_t>(b)].set(r, true);
+    }
+  }
+}
+
+std::uint32_t bitslice_storage::value_at(std::size_t row) const {
+  std::uint32_t v = 0;
+  for (int b = 0; b < width_; ++b) {
+    if (slices_[static_cast<std::size_t>(b)].get(row)) {
+      v |= std::uint32_t{1} << b;
+    }
+  }
+  return v;
+}
+
+namespace {
+
+/// Evaluation context that both computes and tallies ops.
+struct evaluator {
+  const bitslice_storage& storage;
+  std::vector<dram::bulk_op>& ops;
+
+  bitvector and_(const bitvector& a, const bitvector& b) {
+    ops.push_back(dram::bulk_op::and_op);
+    return a & b;
+  }
+  bitvector or_(const bitvector& a, const bitvector& b) {
+    ops.push_back(dram::bulk_op::or_op);
+    return a | b;
+  }
+  bitvector not_(const bitvector& a) {
+    ops.push_back(dram::bulk_op::not_op);
+    return ~a;
+  }
+  bitvector xnor_(const bitvector& a, const bitvector& b) {
+    ops.push_back(dram::bulk_op::xnor_op);
+    return ~(a ^ b);
+  }
+
+  /// Bit-sliced comparison: returns (lt, eq) against constant `c`.
+  /// Walks from the most significant slice down, maintaining the
+  /// classic invariant: lt collects rows already decided smaller, eq
+  /// tracks rows still equal on the processed prefix.
+  std::pair<bitvector, bitvector> compare(std::uint32_t c) {
+    const std::size_t n = storage.rows();
+    bitvector lt(n, false);
+    bitvector eq(n, true);
+    for (int b = storage.width() - 1; b >= 0; --b) {
+      const bitvector& s = storage.slice(b);
+      const bool cb = (c >> b) & 1u;
+      if (cb) {
+        // Rows with slice bit 0 while the constant has 1 become less.
+        lt = or_(lt, and_(eq, not_(s)));
+        eq = and_(eq, s);
+      } else {
+        // Rows with slice bit 1 while the constant has 0 become
+        // greater: they just drop out of eq.
+        eq = and_(eq, not_(s));
+      }
+    }
+    return {std::move(lt), std::move(eq)};
+  }
+
+  /// Pure equality: one XNOR + AND per slice.
+  bitvector equal(std::uint32_t c) {
+    const std::size_t n = storage.rows();
+    bitvector eq(n, true);
+    for (int b = storage.width() - 1; b >= 0; --b) {
+      const bitvector& s = storage.slice(b);
+      const bool cb = (c >> b) & 1u;
+      eq = cb ? and_(eq, s) : and_(eq, not_(s));
+    }
+    return eq;
+  }
+};
+
+}  // namespace
+
+scan_result evaluate(const bitslice_storage& storage, const predicate& pred) {
+  scan_result result;
+  evaluator ev{storage, result.ops};
+  switch (pred.op) {
+    case cmp_op::eq:
+      result.selection = ev.equal(pred.value);
+      break;
+    case cmp_op::ne:
+      result.selection = ev.not_(ev.equal(pred.value));
+      break;
+    case cmp_op::lt: {
+      auto [lt, eq] = ev.compare(pred.value);
+      result.selection = std::move(lt);
+      break;
+    }
+    case cmp_op::le: {
+      auto [lt, eq] = ev.compare(pred.value);
+      result.selection = ev.or_(lt, eq);
+      break;
+    }
+    case cmp_op::ge: {
+      auto [lt, eq] = ev.compare(pred.value);
+      result.selection = ev.not_(lt);
+      break;
+    }
+    case cmp_op::gt: {
+      auto [lt, eq] = ev.compare(pred.value);
+      result.selection = ev.not_(ev.or_(lt, eq));
+      break;
+    }
+    case cmp_op::between: {
+      // value <= x <= value2.
+      auto [lt_lo, eq_lo] = ev.compare(pred.value);
+      const bitvector ge_lo = ev.not_(lt_lo);
+      auto [lt_hi, eq_hi] = ev.compare(pred.value2);
+      const bitvector le_hi = ev.or_(lt_hi, eq_hi);
+      result.selection = ev.and_(ge_lo, le_hi);
+      break;
+    }
+  }
+  return result;
+}
+
+bitvector evaluate_reference(const column& col, const predicate& pred) {
+  bitvector out(col.rows());
+  for (std::size_t r = 0; r < col.rows(); ++r) {
+    const std::uint32_t v = col.values[r];
+    bool match = false;
+    switch (pred.op) {
+      case cmp_op::eq: match = v == pred.value; break;
+      case cmp_op::ne: match = v != pred.value; break;
+      case cmp_op::lt: match = v < pred.value; break;
+      case cmp_op::le: match = v <= pred.value; break;
+      case cmp_op::gt: match = v > pred.value; break;
+      case cmp_op::ge: match = v >= pred.value; break;
+      case cmp_op::between:
+        match = v >= pred.value && v <= pred.value2;
+        break;
+    }
+    out.set(r, match);
+  }
+  return out;
+}
+
+}  // namespace pim::db

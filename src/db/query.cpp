@@ -1,0 +1,70 @@
+#include "db/query.h"
+
+namespace pim::db {
+
+namespace {
+/// Effective bandwidth given the scan's working set: full LLC speed
+/// while resident, then a residency-weighted blend of LLC and DRAM
+/// time per byte (the cache cliff the paper's size sweep rides down).
+double effective_bw(bytes working_set, const cpu_scan_params& p) {
+  if (working_set <= p.llc_size) return p.llc_bw_gbps;
+  const double resident = static_cast<double>(p.llc_size) /
+                          static_cast<double>(working_set);
+  const double ns_per_byte =
+      resident / p.llc_bw_gbps + (1.0 - resident) / p.dram_bw_gbps;
+  return 1.0 / ns_per_byte;
+}
+}  // namespace
+
+picoseconds cpu_scan_latency(std::size_t rows, int width,
+                             const std::vector<dram::bulk_op>& ops,
+                             const cpu_scan_params& params) {
+  const double vector_bytes = static_cast<double>(rows) / 8.0;
+  // The scan touches every slice plus ~3 mask vectors.
+  const bytes working_set =
+      static_cast<bytes>((static_cast<double>(width) + 3.0) * vector_bytes);
+  const double bw = effective_bw(working_set, params);
+  double total_ps = 0.0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    total_ps += params.traffic_factor * vector_bytes / bw * 1e3;
+  }
+  // Final popcount pass over the selection vector.
+  total_ps += vector_bytes / bw * 1e3;
+  return static_cast<picoseconds>(total_ps);
+}
+
+picoseconds ambit_scan_latency(std::size_t rows,
+                               const std::vector<dram::bulk_op>& ops,
+                               const ambit_scan_params& params) {
+  const auto& dev = params.device;
+  // Rows of DRAM processed per schedule: all banks in lockstep.
+  const double batch_bits =
+      static_cast<double>(dev.row_bytes) * 8.0 * static_cast<double>(dev.banks);
+  const double batches =
+      std::ceil(static_cast<double>(rows) / batch_bits);
+  double total_ps = 0.0;
+  for (dram::bulk_op op : ops) {
+    total_ps += batches * static_cast<double>(dev.step_count(op)) *
+                static_cast<double>(dev.aap_ps());
+  }
+  // The host reads the final selection vector once for aggregation.
+  const double vector_bytes = static_cast<double>(rows) / 8.0;
+  total_ps += vector_bytes / params.host_bw_gbps * 1e3;
+  return static_cast<picoseconds>(total_ps);
+}
+
+query_comparison compare_scan(const bitslice_storage& storage,
+                              const predicate& pred,
+                              const cpu_scan_params& cpu_params,
+                              const ambit_scan_params& ambit_params) {
+  const scan_result scan = evaluate(storage, pred);
+  query_comparison cmp;
+  cmp.rows = storage.rows();
+  cmp.matches = scan.matches();
+  cmp.op_count = scan.ops.size();
+  cmp.cpu_ps = cpu_scan_latency(storage.rows(), storage.width(), scan.ops, cpu_params);
+  cmp.ambit_ps = ambit_scan_latency(storage.rows(), scan.ops, ambit_params);
+  return cmp;
+}
+
+}  // namespace pim::db

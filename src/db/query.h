@@ -1,0 +1,65 @@
+// Query latency models: the same scan priced on a host CPU and on
+// Ambit (the paper's 2x-12x BitWeaving result, E4).
+//
+// The CPU backend's effective bandwidth depends on where the scanned
+// bit-slices live (L2 / LLC / DRAM) — this is why Ambit's advantage
+// grows with data-set size: small scans run out of the caches, large
+// scans stream from DRAM while Ambit's in-DRAM rate is size-invariant.
+#ifndef PIM_DB_QUERY_H
+#define PIM_DB_QUERY_H
+
+#include "analytic/models.h"
+#include "db/bitweaving.h"
+
+namespace pim::db {
+
+/// Cache-aware CPU scan parameters (desktop-class defaults).
+struct cpu_scan_params {
+  bytes llc_size = 8 * mib;
+  double llc_bw_gbps = 220.0;  // aggregate multicore LLC bandwidth
+  double dram_bw_gbps = 27.3;  // sustained dual-channel DDR4
+  /// DRAM-visible bytes per output byte per op: BitWeaving-V streams
+  /// each slice once, intermediate masks mostly stay cached.
+  double traffic_factor = 1.5;
+};
+
+struct ambit_scan_params {
+  analytic::ambit_device device = analytic::ambit_ddr3();
+  /// After the in-DRAM scan, the host reads the selection vector once
+  /// over the channel to aggregate (popcount).
+  double host_bw_gbps = 27.3;
+};
+
+/// Latency of executing `ops`, each over a vector of `rows` bits, on a
+/// CPU scanning a `width`-slice column (the working set that competes
+/// for cache residency).
+picoseconds cpu_scan_latency(std::size_t rows, int width,
+                             const std::vector<dram::bulk_op>& ops,
+                             const cpu_scan_params& params = {});
+picoseconds ambit_scan_latency(std::size_t rows,
+                               const std::vector<dram::bulk_op>& ops,
+                               const ambit_scan_params& params = {});
+
+/// Convenience: evaluates the predicate functionally and prices it on
+/// both backends.
+struct query_comparison {
+  std::size_t rows = 0;
+  std::size_t matches = 0;
+  std::size_t op_count = 0;
+  picoseconds cpu_ps = 0;
+  picoseconds ambit_ps = 0;
+  double speedup() const {
+    return ambit_ps == 0 ? 0.0
+                         : static_cast<double>(cpu_ps) /
+                               static_cast<double>(ambit_ps);
+  }
+};
+
+query_comparison compare_scan(const bitslice_storage& storage,
+                              const predicate& pred,
+                              const cpu_scan_params& cpu_params = {},
+                              const ambit_scan_params& ambit_params = {});
+
+}  // namespace pim::db
+
+#endif  // PIM_DB_QUERY_H

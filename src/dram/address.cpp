@@ -1,0 +1,72 @@
+#include "dram/address.h"
+
+#include <stdexcept>
+
+namespace pim::dram {
+
+std::string to_string(mapping_policy policy) {
+  switch (policy) {
+    case mapping_policy::row_bank_column:
+      return "row:rank:bank:column:channel";
+    case mapping_policy::row_column_bank:
+      return "row:column:rank:bank:channel";
+  }
+  throw std::logic_error("unknown mapping policy");
+}
+
+address_mapper::address_mapper(const organization& org, mapping_policy policy)
+    : org_(org), policy_(policy) {}
+
+address address_mapper::decode(std::uint64_t phys_addr) const {
+  std::uint64_t line = phys_addr / org_.column_bytes;
+  address a;
+  auto take = [&line](int count) {
+    const auto digit = static_cast<int>(line % static_cast<std::uint64_t>(count));
+    line /= static_cast<std::uint64_t>(count);
+    return digit;
+  };
+  switch (policy_) {
+    case mapping_policy::row_bank_column:
+      a.channel = take(org_.channels);
+      a.column = take(org_.columns);
+      a.bank = take(org_.banks);
+      a.rank = take(org_.ranks);
+      a.row = take(org_.rows);
+      break;
+    case mapping_policy::row_column_bank:
+      a.channel = take(org_.channels);
+      a.bank = take(org_.banks);
+      a.rank = take(org_.ranks);
+      a.column = take(org_.columns);
+      a.row = take(org_.rows);
+      break;
+  }
+  return a;
+}
+
+std::uint64_t address_mapper::linearize(const address& addr) const {
+  std::uint64_t line = 0;
+  auto put = [&line](int digit, int count) {
+    line = line * static_cast<std::uint64_t>(count) +
+           static_cast<std::uint64_t>(digit);
+  };
+  switch (policy_) {
+    case mapping_policy::row_bank_column:
+      put(addr.row, org_.rows);
+      put(addr.rank, org_.ranks);
+      put(addr.bank, org_.banks);
+      put(addr.column, org_.columns);
+      put(addr.channel, org_.channels);
+      break;
+    case mapping_policy::row_column_bank:
+      put(addr.row, org_.rows);
+      put(addr.column, org_.columns);
+      put(addr.rank, org_.ranks);
+      put(addr.bank, org_.banks);
+      put(addr.channel, org_.channels);
+      break;
+  }
+  return line * org_.column_bytes;
+}
+
+}  // namespace pim::dram

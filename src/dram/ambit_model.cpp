@@ -1,0 +1,106 @@
+#include "dram/ambit_model.h"
+
+#include <stdexcept>
+
+namespace pim::dram {
+
+ambit_subarray_model::ambit_subarray_model(
+    int rows, std::size_t width, std::vector<std::pair<int, int>> dcc_pairs)
+    : width_(width),
+      cells_(static_cast<std::size_t>(rows), bitvector(width)),
+      dcc_pairs_(std::move(dcc_pairs)) {
+  for (const auto& [pos, neg] : dcc_pairs_) {
+    if (pos < 0 || neg < 0 || pos >= rows || neg >= rows || pos == neg) {
+      throw std::invalid_argument("ambit model: bad DCC pair");
+    }
+  }
+}
+
+ambit_subarray_model::resolved ambit_subarray_model::resolve(int row) const {
+  if (row < 0 || static_cast<std::size_t>(row) >= cells_.size()) {
+    throw std::out_of_range("ambit model: row out of range");
+  }
+  for (const auto& [pos, neg] : dcc_pairs_) {
+    if (row == neg) return {pos, true};
+  }
+  return {row, false};
+}
+
+void ambit_subarray_model::activate(int row) {
+  if (latch_.has_value()) {
+    throw std::logic_error("ambit model: activate with bank open");
+  }
+  const resolved r = resolve(row);
+  latch_ = r.negated ? ~cells_[static_cast<std::size_t>(r.storage_row)]
+                     : cells_[static_cast<std::size_t>(r.storage_row)];
+}
+
+void ambit_subarray_model::copy_activate(int row) {
+  if (!latch_.has_value()) {
+    throw std::logic_error("ambit model: copy-activate with bank closed");
+  }
+  const resolved r = resolve(row);
+  cells_[static_cast<std::size_t>(r.storage_row)] =
+      r.negated ? ~*latch_ : *latch_;
+}
+
+void ambit_subarray_model::triple_activate(int r0, int r1, int r2) {
+  if (latch_.has_value()) {
+    throw std::logic_error("ambit model: TRA with bank open");
+  }
+  if (r0 == r1 || r1 == r2 || r0 == r2) {
+    throw std::invalid_argument("ambit model: TRA rows must be distinct");
+  }
+  const resolved a = resolve(r0);
+  const resolved b = resolve(r1);
+  const resolved c = resolve(r2);
+  auto value = [this](const resolved& r) {
+    return r.negated ? ~cells_[static_cast<std::size_t>(r.storage_row)]
+                     : cells_[static_cast<std::size_t>(r.storage_row)];
+  };
+  bitvector result = bitvector::majority(value(a), value(b), value(c));
+  if (flip_probability_ > 0.0) {
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      if (gen_.next_bool(flip_probability_)) result.set(i, !result.get(i));
+    }
+  }
+  // Charge restoration writes the settled value back into all three
+  // rows (through the respective wordline polarity).
+  for (const resolved& r : {a, b, c}) {
+    cells_[static_cast<std::size_t>(r.storage_row)] =
+        r.negated ? ~result : result;
+  }
+  latch_ = std::move(result);
+}
+
+void ambit_subarray_model::precharge() {
+  if (!latch_.has_value()) {
+    throw std::logic_error("ambit model: precharge with bank closed");
+  }
+  latch_.reset();
+}
+
+void ambit_subarray_model::set_variation(double bit_flip_probability,
+                                         std::uint64_t seed) {
+  if (bit_flip_probability < 0.0 || bit_flip_probability > 1.0) {
+    throw std::invalid_argument("ambit model: bad flip probability");
+  }
+  flip_probability_ = bit_flip_probability;
+  gen_ = rng(seed);
+}
+
+bitvector ambit_subarray_model::read_row(int row) const {
+  const resolved r = resolve(row);
+  return r.negated ? ~cells_[static_cast<std::size_t>(r.storage_row)]
+                   : cells_[static_cast<std::size_t>(r.storage_row)];
+}
+
+void ambit_subarray_model::write_row(int row, const bitvector& value) {
+  if (value.size() != width_) {
+    throw std::invalid_argument("ambit model: row width mismatch");
+  }
+  const resolved r = resolve(row);
+  cells_[static_cast<std::size_t>(r.storage_row)] = r.negated ? ~value : value;
+}
+
+}  // namespace pim::dram

@@ -1,0 +1,80 @@
+// Sense-amplifier-level functional model of an Ambit subarray.
+//
+// Models the analog mechanisms Ambit builds on, at bit granularity:
+//  - activation latches a row into the sense amplifiers;
+//  - a second activation (copy-ACT) drives the latched value into the
+//    newly opened row (RowClone FPM);
+//  - triple-row activation (TRA) performs charge sharing across three
+//    cells per bitline; the sense amplifier settles to the bitwise
+//    majority, which is then restored into all three rows;
+//  - dual-contact cell (DCC) rows expose both the cell value (positive
+//    wordline) and its complement (negative wordline).
+//
+// The unit tests drive Ambit's published command sequences through this
+// model to prove they compute the intended Boolean functions, including
+// under Monte-Carlo process-variation failure injection. The
+// performance simulator (ambit_engine) uses the same sequences for
+// timing/energy and applies results at row granularity.
+#ifndef PIM_DRAM_AMBIT_MODEL_H
+#define PIM_DRAM_AMBIT_MODEL_H
+
+#include <optional>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/rng.h"
+
+namespace pim::dram {
+
+class ambit_subarray_model {
+ public:
+  /// `rows` x `width` subarray. `dcc_pairs` lists (positive_row,
+  /// negative_row) pairs sharing one storage cell row.
+  ambit_subarray_model(int rows, std::size_t width,
+                       std::vector<std::pair<int, int>> dcc_pairs = {});
+
+  /// Regular activation: sense amplifiers latch the row.
+  void activate(int row);
+
+  /// Second activation while the amplifiers are driven: the addressed
+  /// row is overwritten with the latched value (RowClone / AAP copy).
+  void copy_activate(int row);
+
+  /// Triple-row activation: charge sharing computes the bitwise
+  /// majority of the three cells; all three rows are restored to it.
+  /// With a variation model installed, each bit independently resolves
+  /// incorrectly with the configured probability.
+  void triple_activate(int r0, int r1, int r2);
+
+  /// Precharge: close the row, invalidate the latch.
+  void precharge();
+
+  /// Enables process-variation failure injection for TRA.
+  void set_variation(double bit_flip_probability, std::uint64_t seed);
+
+  /// Direct cell access for test setup/inspection. For a DCC negative
+  /// row this reads/writes the complement of the shared cell.
+  bitvector read_row(int row) const;
+  void write_row(int row, const bitvector& value);
+
+  bool bank_open() const { return latch_.has_value(); }
+  std::size_t width() const { return width_; }
+
+ private:
+  struct resolved {
+    int storage_row;  // row index owning the cells
+    bool negated;     // access through the complement wordline
+  };
+  resolved resolve(int row) const;
+
+  std::size_t width_;
+  std::vector<bitvector> cells_;
+  std::vector<std::pair<int, int>> dcc_pairs_;
+  std::optional<bitvector> latch_;
+  double flip_probability_ = 0.0;
+  rng gen_;
+};
+
+}  // namespace pim::dram
+
+#endif  // PIM_DRAM_AMBIT_MODEL_H

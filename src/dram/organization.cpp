@@ -1,0 +1,31 @@
+#include "dram/organization.h"
+
+namespace pim::dram {
+
+organization ddr3_dimm(int channels) {
+  organization o;
+  o.name = "DDR3-DIMM";
+  o.channels = channels;
+  o.ranks = 2;
+  o.banks = 8;
+  o.subarrays = 32;
+  o.rows = 32768;
+  o.columns = 128;  // 128 x 64 B = 8 KiB row
+  o.column_bytes = 64;
+  return o;
+}
+
+organization hmc_vault_org() {
+  organization o;
+  o.name = "HMC-vault";
+  o.channels = 1;  // one vault = one independent channel
+  o.ranks = 1;
+  o.banks = 16;  // 2 banks per layer x 8 stacked layers
+  o.subarrays = 16;
+  o.rows = 16384;
+  o.columns = 16;  // 16 x 64 B = 1 KiB row
+  o.column_bytes = 64;
+  return o;
+}
+
+}  // namespace pim::dram

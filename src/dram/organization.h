@@ -1,0 +1,43 @@
+// Physical organization of a DRAM device hierarchy.
+#ifndef PIM_DRAM_ORGANIZATION_H
+#define PIM_DRAM_ORGANIZATION_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace pim::dram {
+
+/// Geometry of one memory system: channels > ranks > banks > subarrays
+/// > rows > columns. A "column" here is one 64-byte burst, the granule
+/// at which the controller moves data.
+struct organization {
+  std::string name;
+  int channels = 1;
+  int ranks = 1;
+  int banks = 8;            // banks per rank
+  int subarrays = 16;       // subarrays per bank (RowClone/Ambit scope)
+  int rows = 32768;         // rows per bank
+  int columns = 128;        // 64 B bursts per row
+  bytes column_bytes = 64;  // bytes transferred per column command
+
+  bytes row_bytes() const { return static_cast<bytes>(columns) * column_bytes; }
+  bits row_bits() const { return row_bytes() * 8; }
+  int rows_per_subarray() const { return rows / subarrays; }
+  bytes bank_bytes() const { return static_cast<bytes>(rows) * row_bytes(); }
+  bytes total_bytes() const {
+    return static_cast<bytes>(channels) * ranks * banks * bank_bytes();
+  }
+  int total_banks() const { return channels * ranks * banks; }
+};
+
+/// A typical dual-rank DDR3 channel: 8 banks, 8 KiB rows, 4 GiB.
+organization ddr3_dimm(int channels = 1);
+
+/// An HMC-like vault stack partition: 2 banks per layer x 8 layers,
+/// 1 KiB rows (stacked DRAM uses short rows), 256 MiB per vault.
+organization hmc_vault_org();
+
+}  // namespace pim::dram
+
+#endif  // PIM_DRAM_ORGANIZATION_H

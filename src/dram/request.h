@@ -1,0 +1,35 @@
+// Memory requests and bulk in-DRAM operation sequences.
+#ifndef PIM_DRAM_REQUEST_H
+#define PIM_DRAM_REQUEST_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/command.h"
+
+namespace pim::dram {
+
+enum class request_kind { read, write };
+
+/// One 64 B read or write from the host side of the channel.
+struct request {
+  request_kind kind = request_kind::read;
+  std::uint64_t addr = 0;
+  /// Invoked when the data burst completes, with the completion time.
+  std::function<void(picoseconds)> on_complete;
+};
+
+/// An ordered command sequence emitted by an in-DRAM operation engine
+/// (RowClone copy, Ambit bulk bitwise op). The controller issues the
+/// commands in order, holding the touched banks against interference
+/// from regular requests, and reports the completion time.
+struct bulk_sequence {
+  std::vector<command> commands;
+  std::function<void(picoseconds)> on_complete;
+};
+
+}  // namespace pim::dram
+
+#endif  // PIM_DRAM_REQUEST_H

@@ -1,0 +1,74 @@
+// Reserved-row layout of an Ambit-enabled subarray.
+//
+// Ambit (MICRO'17) reserves a small "B-group" of rows in each subarray
+// next to the sense amplifiers: four designated temporary rows (T0-T3)
+// that can be activated three-at-a-time for triple-row activation, two
+// dual-contact cell rows (DCC0/DCC1) whose complement wordlines expose
+// the negated value, and two pre-initialized constant rows (C0 = all
+// zeros, C1 = all ones; C-group in the paper). RowClone's bulk
+// initialization also copies from the constant rows. This header pins
+// the row-index convention both engines and the allocator share.
+#ifndef PIM_DRAM_SUBARRAY_LAYOUT_H
+#define PIM_DRAM_SUBARRAY_LAYOUT_H
+
+#include <stdexcept>
+
+#include "dram/organization.h"
+
+namespace pim::dram {
+
+/// Row roles within one subarray, addressed relative to its base row.
+class subarray_layout {
+ public:
+  /// Number of rows reserved at the top of every subarray:
+  /// T0..T3, DCC0, DCC0N, DCC1, DCC1N, C0, C1.
+  static constexpr int reserved_rows = 10;
+
+  explicit subarray_layout(const organization& org)
+      : rows_per_subarray_(org.rows_per_subarray()) {
+    if (rows_per_subarray_ <= reserved_rows) {
+      throw std::invalid_argument("subarray too small for Ambit rows");
+    }
+  }
+
+  int rows_per_subarray() const { return rows_per_subarray_; }
+
+  /// Data rows usable by software in each subarray.
+  int data_rows() const { return rows_per_subarray_ - reserved_rows; }
+
+  /// Absolute row index of data slot `slot` in `subarray`.
+  int data_row(int subarray, int slot) const {
+    return subarray * rows_per_subarray_ + slot;
+  }
+
+  int subarray_of(int row) const { return row / rows_per_subarray_; }
+  bool is_reserved(int row) const {
+    return row % rows_per_subarray_ >= data_rows();
+  }
+
+  // Reserved-row addresses (absolute row index within the bank).
+  int t(int subarray, int i) const { return reserved(subarray, i); }         // T0..T3
+  int dcc(int subarray, int i) const { return reserved(subarray, 4 + 2 * i); }   // DCC0/1
+  int dccn(int subarray, int i) const { return reserved(subarray, 5 + 2 * i); }  // complements
+  int c0(int subarray) const { return reserved(subarray, 8); }
+  int c1(int subarray) const { return reserved(subarray, 9); }
+
+  /// For a DCC complement row, the positive row sharing the cell; -1
+  /// for any other row.
+  int dcc_pair_of(int row) const {
+    const int offset = row % rows_per_subarray_ - data_rows();
+    if (offset == 5 || offset == 7) return row - 1;
+    return -1;
+  }
+
+ private:
+  int reserved(int subarray, int i) const {
+    return subarray * rows_per_subarray_ + data_rows() + i;
+  }
+
+  int rows_per_subarray_;
+};
+
+}  // namespace pim::dram
+
+#endif  // PIM_DRAM_SUBARRAY_LAYOUT_H

@@ -1,0 +1,99 @@
+#include "dram/timing.h"
+
+namespace pim::dram {
+
+timing_params ddr3_1600() {
+  timing_params t;
+  t.name = "DDR3-1600";
+  t.tck_ps = 1250;
+  t.trcd = 11;
+  t.trp = 11;
+  t.tras = 28;
+  t.tcl = 11;
+  t.tcwl = 8;
+  t.tbl = 4;
+  t.tccd = 4;
+  t.trtp = 6;
+  t.twr = 12;
+  t.twtr = 6;
+  t.trrd = 5;
+  t.tfaw = 24;
+  t.trfc = 208;
+  t.trefi = 6240;
+  t.t_copy_act = t.tras;
+  t.t_extra_act = 0;
+  return t;
+}
+
+timing_params ddr3_2133() {
+  timing_params t;
+  t.name = "DDR3-2133";
+  t.tck_ps = 937;
+  t.trcd = 14;
+  t.trp = 14;
+  t.tras = 36;
+  t.tcl = 14;
+  t.tcwl = 10;
+  t.tbl = 4;
+  t.tccd = 4;
+  t.trtp = 8;
+  t.twr = 16;
+  t.twtr = 8;
+  t.trrd = 6;
+  t.tfaw = 27;
+  t.trfc = 278;
+  t.trefi = 8320;
+  t.t_copy_act = t.tras;
+  t.t_extra_act = 0;
+  return t;
+}
+
+timing_params ddr4_2400() {
+  timing_params t;
+  t.name = "DDR4-2400";
+  t.tck_ps = 833;
+  t.trcd = 16;
+  t.trp = 16;
+  t.tras = 39;
+  t.tcl = 16;
+  t.tcwl = 12;
+  t.tbl = 4;
+  t.tccd = 6;
+  t.trtp = 9;
+  t.twr = 18;
+  t.twtr = 9;
+  t.trrd = 6;
+  t.tfaw = 26;
+  t.trfc = 420;
+  t.trefi = 9360;
+  t.t_copy_act = t.tras;
+  t.t_extra_act = 0;
+  return t;
+}
+
+timing_params hmc_vault() {
+  timing_params t;
+  t.name = "HMC-vault";
+  // 1.25 GHz vault clock; stacked arrays with short local wordlines
+  // activate and precharge noticeably faster than planar DDR3.
+  t.tck_ps = 800;
+  t.trcd = 14;
+  t.trp = 14;
+  t.tras = 34;
+  t.tcl = 14;
+  t.tcwl = 10;
+  t.tbl = 2;  // 32-byte bursts on a wider internal TSV bus
+  t.tccd = 2;
+  t.trtp = 7;
+  t.twr = 15;
+  t.twtr = 7;
+  t.trrd = 4;
+  t.tfaw = 20;
+  t.trfc = 200;
+  t.trefi = 4875;
+  t.t_copy_act = t.tras;
+  t.t_extra_act = 0;
+  return t;
+}
+
+}  // namespace pim::dram

@@ -1,0 +1,110 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pim::graph {
+
+csr_graph csr_graph::from_edges(
+    vertex_id num_vertices, std::vector<std::pair<vertex_id, vertex_id>> edges,
+    bool weighted, std::uint64_t seed) {
+  csr_graph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    if (u >= num_vertices || v >= num_vertices) {
+      throw std::invalid_argument("csr_graph: vertex id out of range");
+    }
+    ++g.offsets_[u + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.neighbors_.resize(edges.size());
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.neighbors_[cursor[u]++] = v;
+  }
+  if (weighted) {
+    rng gen(seed);
+    g.weights_.resize(edges.size());
+    for (auto& w : g.weights_) {
+      w = static_cast<std::uint8_t>(1 + gen.next_below(255));
+    }
+  }
+  return g;
+}
+
+csr_graph rmat(int scale, int avg_degree, rng& gen, bool weighted, double a,
+               double b, double c) {
+  if (scale <= 0 || scale > 30) {
+    throw std::invalid_argument("rmat: scale out of range");
+  }
+  if (a + b + c >= 1.0) {
+    throw std::invalid_argument("rmat: probabilities must sum below 1");
+  }
+  const vertex_id n = vertex_id{1} << scale;
+  const std::uint64_t m =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(avg_degree);
+  std::vector<std::pair<vertex_id, vertex_id>> edges;
+  edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    vertex_id u = 0;
+    vertex_id v = 0;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      const double r = gen.next_double();
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= vertex_id{1} << bit;
+      } else if (r < a + b + c) {
+        u |= vertex_id{1} << bit;
+      } else {
+        u |= vertex_id{1} << bit;
+        v |= vertex_id{1} << bit;
+      }
+    }
+    edges.emplace_back(u, v);
+  }
+  return csr_graph::from_edges(n, std::move(edges), weighted, gen.next_u64());
+}
+
+csr_graph uniform_random(vertex_id num_vertices, std::uint64_t num_edges,
+                         rng& gen, bool weighted) {
+  std::vector<std::pair<vertex_id, vertex_id>> edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    edges.emplace_back(static_cast<vertex_id>(gen.next_below(num_vertices)),
+                       static_cast<vertex_id>(gen.next_below(num_vertices)));
+  }
+  return csr_graph::from_edges(num_vertices, std::move(edges), weighted,
+                               gen.next_u64());
+}
+
+partition::partition(vertex_id num_vertices, int num_parts, policy p)
+    : num_vertices_(num_vertices), num_parts_(num_parts), policy_(p) {
+  if (num_parts <= 0) {
+    throw std::invalid_argument("partition: num_parts must be positive");
+  }
+}
+
+int partition::part_of(vertex_id v) const {
+  switch (policy_) {
+    case policy::range: {
+      const std::uint64_t span =
+          (static_cast<std::uint64_t>(num_vertices_) +
+           static_cast<std::uint64_t>(num_parts_) - 1) /
+          static_cast<std::uint64_t>(num_parts_);
+      return static_cast<int>(v / span);
+    }
+    case policy::hash: {
+      // Fibonacci hashing spreads hubs across parts.
+      const std::uint64_t h =
+          static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ull;
+      return static_cast<int>((h >> 32) %
+                              static_cast<std::uint64_t>(num_parts_));
+    }
+  }
+  throw std::logic_error("unknown partition policy");
+}
+
+}  // namespace pim::graph

@@ -1,0 +1,86 @@
+// Graph substrate: CSR storage, synthetic generators, partitioning.
+#ifndef PIM_GRAPH_GRAPH_H
+#define PIM_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pim::graph {
+
+using vertex_id = std::uint32_t;
+
+/// Directed graph in compressed-sparse-row form with optional 8-bit
+/// edge weights (what SSSP uses).
+class csr_graph {
+ public:
+  csr_graph() = default;
+
+  /// Builds CSR from an edge list; duplicate edges are kept (they model
+  /// multi-edges, harmless for all five workloads).
+  static csr_graph from_edges(vertex_id num_vertices,
+                              std::vector<std::pair<vertex_id, vertex_id>> edges,
+                              bool weighted = false, std::uint64_t seed = 1);
+
+  vertex_id num_vertices() const {
+    return static_cast<vertex_id>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  std::uint64_t num_edges() const { return neighbors_.size(); }
+
+  std::uint64_t degree(vertex_id v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+  std::uint64_t edges_begin(vertex_id v) const { return offsets_[v]; }
+  std::uint64_t edges_end(vertex_id v) const { return offsets_[v + 1]; }
+  vertex_id neighbor(std::uint64_t edge_index) const {
+    return neighbors_[edge_index];
+  }
+  std::uint8_t weight(std::uint64_t edge_index) const {
+    return weights_.empty() ? 1 : weights_[edge_index];
+  }
+  bool weighted() const { return !weights_.empty(); }
+
+  /// Average degree, for reporting.
+  double avg_degree() const {
+    const auto v = num_vertices();
+    return v == 0 ? 0.0
+                  : static_cast<double>(num_edges()) / static_cast<double>(v);
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;   // size V+1
+  std::vector<vertex_id> neighbors_;     // size E
+  std::vector<std::uint8_t> weights_;    // size E if weighted
+};
+
+/// R-MAT (Kronecker) generator with the standard (0.57, 0.19, 0.19)
+/// parameters: the skewed power-law structure of the paper's graphs.
+csr_graph rmat(int scale, int avg_degree, rng& gen, bool weighted = false,
+               double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Uniform random graph (Erdos-Renyi-style), for contrast with R-MAT.
+csr_graph uniform_random(vertex_id num_vertices, std::uint64_t num_edges,
+                         rng& gen, bool weighted = false);
+
+/// Maps vertices to `num_parts` partitions (Tesseract vaults).
+class partition {
+ public:
+  enum class policy { range, hash };
+
+  partition(vertex_id num_vertices, int num_parts, policy p);
+
+  int part_of(vertex_id v) const;
+  int num_parts() const { return num_parts_; }
+  policy scheme() const { return policy_; }
+
+ private:
+  vertex_id num_vertices_;
+  int num_parts_;
+  policy policy_;
+};
+
+}  // namespace pim::graph
+
+#endif  // PIM_GRAPH_GRAPH_H

@@ -1,0 +1,202 @@
+#include "graph/workloads.h"
+
+#include <algorithm>
+
+namespace pim::graph {
+
+// --------------------------------------------------------------------------
+// PageRank
+// --------------------------------------------------------------------------
+
+void pagerank::reset(const csr_graph& g) {
+  iteration_ = 0;
+  rank_.assign(g.num_vertices(), 1.0 / static_cast<double>(g.num_vertices()));
+  next_.assign(g.num_vertices(), 0.0);
+}
+
+bool pagerank::iterate(const csr_graph& g, const update_fn& update) {
+  constexpr double damping = 0.85;
+  const double base =
+      (1.0 - damping) / static_cast<double>(g.num_vertices());
+  std::fill(next_.begin(), next_.end(), base);
+  double dangling = 0.0;
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    const auto deg = g.degree(u);
+    if (deg == 0) {
+      dangling += rank_[u];
+      continue;
+    }
+    const double contribution = damping * rank_[u] / static_cast<double>(deg);
+    for (std::uint64_t e = g.edges_begin(u); e < g.edges_end(u); ++e) {
+      const vertex_id v = g.neighbor(e);
+      update(u, v);
+      next_[v] += contribution;
+    }
+  }
+  // Dangling mass is redistributed uniformly (keeps sum(rank) == 1).
+  const double share =
+      damping * dangling / static_cast<double>(g.num_vertices());
+  for (auto& r : next_) r += share;
+  rank_.swap(next_);
+  return ++iteration_ >= max_iterations_;
+}
+
+// --------------------------------------------------------------------------
+// Average Teenage Follower
+// --------------------------------------------------------------------------
+
+void average_teenage_follower::reset(const csr_graph& g) {
+  rng gen(seed_);
+  teen_.assign(g.num_vertices(), false);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    teen_[v] = gen.next_bool(teen_fraction_);
+  }
+  count_.assign(g.num_vertices(), 0);
+  done_ = false;
+}
+
+bool average_teenage_follower::iterate(const csr_graph& g,
+                                       const update_fn& update) {
+  if (done_) return true;
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    if (!teen_[u]) continue;
+    for (std::uint64_t e = g.edges_begin(u); e < g.edges_end(u); ++e) {
+      const vertex_id v = g.neighbor(e);
+      update(u, v);
+      ++count_[v];
+    }
+  }
+  done_ = true;
+  return true;
+}
+
+double average_teenage_follower::average_followers() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t c : count_) total += c;
+  return count_.empty()
+             ? 0.0
+             : static_cast<double>(total) / static_cast<double>(count_.size());
+}
+
+// --------------------------------------------------------------------------
+// Conductance
+// --------------------------------------------------------------------------
+
+void conductance::reset(const csr_graph& g) {
+  rng gen(seed_);
+  side_.assign(g.num_vertices(), false);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    side_[v] = gen.next_bool(0.5);
+  }
+  cut_ = 0;
+  vol_in_ = 0;
+  vol_out_ = 0;
+  done_ = false;
+}
+
+bool conductance::iterate(const csr_graph& g, const update_fn& update) {
+  if (done_) return true;
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    for (std::uint64_t e = g.edges_begin(u); e < g.edges_end(u); ++e) {
+      const vertex_id v = g.neighbor(e);
+      update(u, v);
+      if (side_[u] != side_[v]) ++cut_;
+    }
+    if (side_[u]) {
+      vol_in_ += g.degree(u);
+    } else {
+      vol_out_ += g.degree(u);
+    }
+  }
+  done_ = true;
+  return true;
+}
+
+double conductance::value() const {
+  const std::uint64_t denom = std::min(vol_in_, vol_out_);
+  return denom == 0 ? 0.0
+                    : static_cast<double>(cut_) / static_cast<double>(denom);
+}
+
+// --------------------------------------------------------------------------
+// SSSP
+// --------------------------------------------------------------------------
+
+void sssp::reset(const csr_graph& g) {
+  dist_.assign(g.num_vertices(), unreachable);
+  frontier_.clear();
+  if (source_ < g.num_vertices()) {
+    dist_[source_] = 0;
+    frontier_.push_back(source_);
+  }
+}
+
+bool sssp::iterate(const csr_graph& g, const update_fn& update) {
+  if (frontier_.empty()) return true;
+  std::vector<bool> in_next(g.num_vertices(), false);
+  std::vector<vertex_id> next;
+  for (vertex_id u : frontier_) {
+    for (std::uint64_t e = g.edges_begin(u); e < g.edges_end(u); ++e) {
+      const vertex_id v = g.neighbor(e);
+      update(u, v);
+      const std::uint32_t candidate = dist_[u] + g.weight(e);
+      if (candidate < dist_[v]) {
+        dist_[v] = candidate;
+        if (!in_next[v]) {
+          in_next[v] = true;
+          next.push_back(v);
+        }
+      }
+    }
+  }
+  frontier_.swap(next);
+  return frontier_.empty();
+}
+
+// --------------------------------------------------------------------------
+// Vertex Cover
+// --------------------------------------------------------------------------
+
+void vertex_cover::reset(const csr_graph& g) {
+  covered_.assign(g.num_vertices(), false);
+  changed_last_ = true;
+}
+
+bool vertex_cover::iterate(const csr_graph& g, const update_fn& update) {
+  bool changed = false;
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    if (covered_[u]) continue;
+    for (std::uint64_t e = g.edges_begin(u); e < g.edges_end(u); ++e) {
+      const vertex_id v = g.neighbor(e);
+      update(u, v);
+      if (!covered_[u] && !covered_[v] && u != v) {
+        // Take both endpoints of an uncovered edge (2-approximation).
+        covered_[u] = true;
+        covered_[v] = true;
+        changed = true;
+      }
+    }
+  }
+  const bool converged = !changed;
+  changed_last_ = changed;
+  return converged;
+}
+
+std::uint64_t vertex_cover::cover_size() const {
+  return static_cast<std::uint64_t>(
+      std::count(covered_.begin(), covered_.end(), true));
+}
+
+// --------------------------------------------------------------------------
+
+std::vector<std::unique_ptr<vertex_workload>> tesseract_suite() {
+  std::vector<std::unique_ptr<vertex_workload>> suite;
+  suite.push_back(std::make_unique<average_teenage_follower>());
+  suite.push_back(std::make_unique<conductance>());
+  suite.push_back(std::make_unique<pagerank>());
+  suite.push_back(std::make_unique<sssp>());
+  suite.push_back(std::make_unique<vertex_cover>());
+  return suite;
+}
+
+}  // namespace pim::graph

@@ -1,0 +1,138 @@
+// The five Tesseract graph workloads (ISCA'15 §6): Average Teenage
+// Follower, Conductance, PageRank, Single-Source Shortest Paths, and
+// Vertex Cover.
+//
+// Each workload is a real algorithm producing real results (tested
+// against reference implementations). For the performance backends,
+// `iterate` reports one remote call per scanned edge of an active
+// vertex via the update callback — in Tesseract's message-passing
+// model, examining a neighbor's state means sending a function call to
+// the vault that owns it, so scanned edges and messages coincide.
+#ifndef PIM_GRAPH_WORKLOADS_H
+#define PIM_GRAPH_WORKLOADS_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pim::graph {
+
+/// One remote call: active vertex u touches neighbor v.
+using update_fn = std::function<void(vertex_id u, vertex_id v)>;
+
+class vertex_workload {
+ public:
+  virtual ~vertex_workload() = default;
+  virtual std::string name() const = 0;
+
+  /// Initializes algorithm state for `g`.
+  virtual void reset(const csr_graph& g) = 0;
+
+  /// Runs one iteration, reporting remote calls; returns true when the
+  /// algorithm has converged (no further iterations needed).
+  virtual bool iterate(const csr_graph& g, const update_fn& update) = 0;
+
+  /// Instructions a PIM core executes per scanned edge (scan, compare,
+  /// message send) and per remote call handled (receive, read-modify-
+  /// write). Calibrated against the in-order core of the Tesseract
+  /// paper; shared by both backends.
+  virtual int instr_per_edge() const { return 22; }
+  virtual int instr_per_update() const { return 35; }
+};
+
+/// PageRank with damping 0.85, fixed iteration count.
+class pagerank : public vertex_workload {
+ public:
+  explicit pagerank(int iterations = 10) : max_iterations_(iterations) {}
+  std::string name() const override { return "PR.pagerank"; }
+  void reset(const csr_graph& g) override;
+  bool iterate(const csr_graph& g, const update_fn& update) override;
+  const std::vector<double>& ranks() const { return rank_; }
+
+ private:
+  int max_iterations_;
+  int iteration_ = 0;
+  std::vector<double> rank_;
+  std::vector<double> next_;
+};
+
+/// Average Teenage Follower: counts, per vertex, followers flagged as
+/// teenagers (single pass over the teen vertices' edges).
+class average_teenage_follower : public vertex_workload {
+ public:
+  explicit average_teenage_follower(double teen_fraction = 0.3,
+                                    std::uint64_t seed = 7)
+      : teen_fraction_(teen_fraction), seed_(seed) {}
+  std::string name() const override { return "AT.teenage-follower"; }
+  void reset(const csr_graph& g) override;
+  bool iterate(const csr_graph& g, const update_fn& update) override;
+  const std::vector<std::uint32_t>& follower_counts() const { return count_; }
+  bool is_teen(vertex_id v) const { return teen_[v]; }
+  double average_followers() const;
+
+ private:
+  double teen_fraction_;
+  std::uint64_t seed_;
+  std::vector<bool> teen_;
+  std::vector<std::uint32_t> count_;
+  bool done_ = false;
+};
+
+/// Conductance of a 2-way vertex split: cut edges / smaller volume.
+class conductance : public vertex_workload {
+ public:
+  explicit conductance(std::uint64_t seed = 11) : seed_(seed) {}
+  std::string name() const override { return "CT.conductance"; }
+  void reset(const csr_graph& g) override;
+  bool iterate(const csr_graph& g, const update_fn& update) override;
+  double value() const;
+  bool in_set(vertex_id v) const { return side_[v]; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<bool> side_;
+  std::uint64_t cut_ = 0;
+  std::uint64_t vol_in_ = 0;
+  std::uint64_t vol_out_ = 0;
+  bool done_ = false;
+};
+
+/// Bellman-Ford-style SSSP with a frontier; 8-bit edge weights.
+class sssp : public vertex_workload {
+ public:
+  explicit sssp(vertex_id source = 0) : source_(source) {}
+  std::string name() const override { return "SP.sssp"; }
+  void reset(const csr_graph& g) override;
+  bool iterate(const csr_graph& g, const update_fn& update) override;
+  const std::vector<std::uint32_t>& distances() const { return dist_; }
+  static constexpr std::uint32_t unreachable = 0xffffffff;
+
+ private:
+  vertex_id source_;
+  std::vector<std::uint32_t> dist_;
+  std::vector<vertex_id> frontier_;
+};
+
+/// Greedy 2-approximate vertex cover via edge matching.
+class vertex_cover : public vertex_workload {
+ public:
+  std::string name() const override { return "VC.vertex-cover"; }
+  void reset(const csr_graph& g) override;
+  bool iterate(const csr_graph& g, const update_fn& update) override;
+  const std::vector<bool>& in_cover() const { return covered_; }
+  std::uint64_t cover_size() const;
+
+ private:
+  std::vector<bool> covered_;
+  bool changed_last_ = true;
+};
+
+/// The five-workload suite, in the order the paper lists them.
+std::vector<std::unique_ptr<vertex_workload>> tesseract_suite();
+
+}  // namespace pim::graph
+
+#endif  // PIM_GRAPH_WORKLOADS_H

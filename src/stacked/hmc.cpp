@@ -1,0 +1,7 @@
+#include "stacked/hmc.h"
+
+namespace pim::stacked {
+
+hmc_config hmc2() { return hmc_config{}; }
+
+}  // namespace pim::stacked

@@ -1,0 +1,78 @@
+// Hybrid-Memory-Cube-like 3D-stacked memory: cube geometry, vault
+// bandwidth, external links, and the logic-layer area budget.
+#ifndef PIM_STACKED_HMC_H
+#define PIM_STACKED_HMC_H
+
+#include <string>
+
+#include "common/energy_constants.h"
+#include "common/types.h"
+
+namespace pim::stacked {
+
+/// Geometry and interface parameters of one cube.
+struct hmc_config {
+  std::string name = "HMC-2.0";
+  int vaults = 32;
+  int banks_per_vault = 16;
+  bytes vault_capacity = 256 * mib;  // 8 GiB cube
+
+  /// TSV bandwidth of one vault (32 vaults x 15 GB/s = 480 GB/s
+  /// aggregate internal bandwidth).
+  double vault_bw_gbps = 15.0;
+
+  /// Aggregate external SerDes link bandwidth of the cube.
+  double external_bw_gbps = 320.0;
+
+  /// Closed-page access latency within a vault (command to data).
+  picoseconds vault_latency_ps = 45'000;
+
+  /// One hop over an inter-cube SerDes link.
+  picoseconds link_latency_ps = 25'000;
+
+  /// Latency across the intra-cube crossbar between vaults.
+  picoseconds crossbar_latency_ps = 8'000;
+
+  bytes capacity() const {
+    return static_cast<bytes>(vaults) * vault_capacity;
+  }
+  double internal_bw_gbps() const {
+    return static_cast<double>(vaults) * vault_bw_gbps;
+  }
+  int total_banks() const { return vaults * banks_per_vault; }
+};
+
+hmc_config hmc2();
+
+/// Area budget of the logic layer available for PIM logic, and the
+/// occupancy checks behind the paper's 9.4% / 35.4% result (E7).
+class logic_layer_budget {
+ public:
+  explicit logic_layer_budget(
+      int vaults = 32,
+      double area_per_vault_mm2 = energy::logic_layer_area_per_vault_mm2)
+      : vaults_(vaults), per_vault_mm2_(area_per_vault_mm2) {}
+
+  double per_vault_mm2() const { return per_vault_mm2_; }
+  double total_mm2() const {
+    return per_vault_mm2_ * static_cast<double>(vaults_);
+  }
+
+  /// Fraction of one vault's budget that `area_mm2` occupies.
+  double vault_fraction(double area_mm2) const {
+    return area_mm2 / per_vault_mm2_;
+  }
+
+  /// True if one instance per vault fits.
+  bool fits_per_vault(double area_mm2) const {
+    return area_mm2 <= per_vault_mm2_;
+  }
+
+ private:
+  int vaults_;
+  double per_vault_mm2_;
+};
+
+}  // namespace pim::stacked
+
+#endif  // PIM_STACKED_HMC_H

@@ -1,0 +1,34 @@
+#include "stacked/vault_channel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pim::stacked {
+
+vault_channel::vault_channel(double bw_gbps, picoseconds latency_ps)
+    : bw_gbps_(bw_gbps), latency_ps_(latency_ps) {
+  if (bw_gbps <= 0.0) {
+    throw std::invalid_argument("vault_channel: bandwidth must be positive");
+  }
+}
+
+picoseconds vault_channel::access(picoseconds now, bytes size) {
+  const picoseconds start = std::max(now, next_free_);
+  // bytes / (GB/s) = ns; x1000 for ps.
+  const auto transfer = static_cast<picoseconds>(
+      static_cast<double>(size) / bw_gbps_ * 1e3);
+  next_free_ = start + transfer;
+  busy_ += transfer;
+  bytes_ += size;
+  ++count_;
+  return next_free_ + latency_ps_;
+}
+
+void vault_channel::reset() {
+  next_free_ = 0;
+  busy_ = 0;
+  bytes_ = 0;
+  count_ = 0;
+}
+
+}  // namespace pim::stacked

@@ -1,0 +1,53 @@
+// Bandwidth/latency queueing model of one vault's memory channel (or
+// any fixed-bandwidth link). Used by the Tesseract simulator, where
+// per-command DRAM simulation of 512 vaults would be needlessly slow:
+// accesses occupy the channel for size/bandwidth and complete one
+// latency later, so both throughput saturation and queueing delay
+// emerge naturally.
+#ifndef PIM_STACKED_VAULT_CHANNEL_H
+#define PIM_STACKED_VAULT_CHANNEL_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pim::stacked {
+
+class vault_channel {
+ public:
+  /// `bw_gbps` of sustained bandwidth; `latency_ps` pipelined access
+  /// latency added after the data is transferred.
+  vault_channel(double bw_gbps, picoseconds latency_ps);
+
+  /// Schedules a `size`-byte access arriving at `now`; returns its
+  /// completion time. Accesses queue FIFO behind earlier ones.
+  picoseconds access(picoseconds now, bytes size);
+
+  /// Time at which the channel next becomes free.
+  picoseconds free_at() const { return next_free_; }
+
+  /// Busy time and bytes served so far (for utilization reporting).
+  picoseconds busy_ps() const { return busy_; }
+  bytes bytes_served() const { return bytes_; }
+  std::uint64_t accesses_served() const { return count_; }
+
+  double utilization(picoseconds elapsed) const {
+    return elapsed <= 0 ? 0.0
+                        : static_cast<double>(busy_) /
+                              static_cast<double>(elapsed);
+  }
+
+  void reset();
+
+ private:
+  double bw_gbps_;
+  picoseconds latency_ps_;
+  picoseconds next_free_ = 0;
+  picoseconds busy_ = 0;
+  bytes bytes_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace pim::stacked
+
+#endif  // PIM_STACKED_VAULT_CHANNEL_H

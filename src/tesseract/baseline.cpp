@@ -1,0 +1,91 @@
+#include "tesseract/baseline.h"
+
+namespace pim::tesseract {
+
+cpu::system_config conventional_graph_system() {
+  cpu::system_config cfg;
+  cfg.core.name = "ooo-host-core";
+  cfg.core.freq_ghz = 3.2;
+  cfg.core.ipc = 4.0;
+  cfg.core.max_outstanding_misses = 16;
+  cfg.core.static_mw = energy::host_core_static_mw;
+  cfg.num_cores = 32;
+  cfg.l1 = cpu::cache_config{"L1", 32 * kib, 8, 64};
+  cfg.l2 = cpu::cache_config{"L2", 256 * kib, 8, 64};
+  cfg.llc = cpu::cache_config{"LLC", 8 * mib, 16, 64};
+  cfg.mem_org = dram::ddr3_dimm(8);  // 8 x 12.8 GB/s = 102.4 GB/s
+  cfg.mem_timing = dram::ddr3_1600();
+  cfg.io_pj_per_bit = energy::offchip_io_pj_per_bit;
+  return cfg;
+}
+
+namespace {
+// Address-space layout for the replayed trace.
+constexpr std::uint64_t vertex_state_base = 0;
+constexpr std::uint64_t edge_list_base = 2ull * gib;
+constexpr bytes vertex_state_bytes = 16;
+constexpr bytes edge_entry_bytes = 8;
+}  // namespace
+
+graph_kernel::graph_kernel(graph::vertex_workload& workload,
+                           const graph::csr_graph& g)
+    : workload_(workload), g_(g) {}
+
+cpu::kernel_stats graph_kernel::run(const cpu::access_sink& sink) {
+  workload_.reset(g_);
+  cpu::kernel_stats stats;
+  iterations_ = 0;
+
+  bool converged = false;
+  while (!converged) {
+    graph::vertex_id last_active = g_.num_vertices();
+    std::uint64_t edge_cursor = 0;
+    std::uint64_t active = 0;
+    std::uint64_t edges = 0;
+    converged = workload_.iterate(
+        g_, [&](graph::vertex_id u, graph::vertex_id v) {
+          if (u != last_active) {
+            last_active = u;
+            ++active;
+            // The active vertex's own state (read-mostly, sequential).
+            sink(vertex_state_base + static_cast<std::uint64_t>(u) *
+                                         vertex_state_bytes,
+                 false);
+            // Jump to its edge-list segment.
+            edge_cursor = g_.edges_begin(u);
+          }
+          // Sequential edge-list streaming: one line per 8 entries.
+          if (edge_cursor % 8 == 0) {
+            sink(edge_list_base + edge_cursor * edge_entry_bytes, false);
+          }
+          ++edge_cursor;
+          ++edges;
+          // Random access to the destination vertex's state
+          // (read-modify-write: this is what thrashes the caches).
+          const std::uint64_t vaddr =
+              vertex_state_base +
+              static_cast<std::uint64_t>(v) * vertex_state_bytes;
+          sink(vaddr, true);
+        });
+    ++iterations_;
+    stats.instructions +=
+        active * 10 +
+        edges * static_cast<std::uint64_t>(workload_.instr_per_edge()) +
+        edges * static_cast<std::uint64_t>(workload_.instr_per_update());
+    stats.word_accesses += active * 2 + edges * 3;
+  }
+  return stats;
+}
+
+baseline_result run_baseline(graph::vertex_workload& workload,
+                             const graph::csr_graph& g,
+                             const cpu::system_config& config) {
+  cpu::system_model model(config);
+  graph_kernel kernel(workload, g);
+  baseline_result result;
+  result.run = model.run(kernel);
+  result.iterations = kernel.iterations();
+  return result;
+}
+
+}  // namespace pim::tesseract

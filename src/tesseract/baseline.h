@@ -1,0 +1,47 @@
+// Conventional-multicore baseline for the Tesseract comparison: the
+// same graph algorithms running on out-of-order host cores with a
+// cache hierarchy and off-chip DDR3 channels, simulated through
+// cpu::system_model with the workload's real memory trace.
+#ifndef PIM_TESSERACT_BASELINE_H
+#define PIM_TESSERACT_BASELINE_H
+
+#include "cpu/system.h"
+#include "graph/workloads.h"
+
+namespace pim::tesseract {
+
+/// The DDR3-OoO host of the Tesseract paper's shape: 32 four-wide cores
+/// at 3.2 GHz, 8 MiB shared LLC, 8 channels of DDR3-1600 (102.4 GB/s).
+cpu::system_config conventional_graph_system();
+
+/// Adapts a vertex workload to the cpu::kernel interface: replays
+/// sequential edge-list scans plus random neighbor-state accesses.
+class graph_kernel : public cpu::kernel {
+ public:
+  graph_kernel(graph::vertex_workload& workload, const graph::csr_graph& g);
+
+  std::string name() const override { return workload_.name(); }
+  cpu::kernel_stats run(const cpu::access_sink& sink) override;
+
+  int iterations() const { return iterations_; }
+
+ private:
+  graph::vertex_workload& workload_;
+  const graph::csr_graph& g_;
+  int iterations_ = 0;
+};
+
+struct baseline_result {
+  cpu::run_result run;
+  int iterations = 0;
+};
+
+/// Runs the workload to convergence on the conventional system.
+baseline_result run_baseline(graph::vertex_workload& workload,
+                             const graph::csr_graph& g,
+                             const cpu::system_config& config =
+                                 conventional_graph_system());
+
+}  // namespace pim::tesseract
+
+#endif  // PIM_TESSERACT_BASELINE_H

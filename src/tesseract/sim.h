@@ -1,0 +1,100 @@
+// Tesseract: a programmable PIM accelerator for graph processing
+// (ISCA'15), modelled at message granularity.
+//
+// One simple in-order core sits in the logic layer of every vault and
+// owns that vault's vertex partition. Cores scan their own vertices'
+// edge lists from local memory and send a non-blocking remote function
+// call per edge to the vault owning the destination vertex (function
+// shipping instead of data movement). Iterations are bulk-synchronous
+// with a barrier, as in the paper's programming model.
+//
+// The simulator executes the real algorithms (graph::vertex_workload)
+// and aggregates, per iteration and per vault: active vertices, edges
+// scanned, remote calls received, and inter-cube message flows. Vault
+// time is the max of compute rate, local-memory bandwidth, and (without
+// prefetchers) exposed access latency; iteration time is the slowest
+// vault plus network/barrier overhead — the same first-order mechanisms
+// the paper's cycle-level evaluation captures, including R-MAT load
+// imbalance, which this model exposes directly.
+#ifndef PIM_TESSERACT_SIM_H
+#define PIM_TESSERACT_SIM_H
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "graph/workloads.h"
+#include "stacked/hmc.h"
+
+namespace pim::tesseract {
+
+struct tesseract_config {
+  int cubes = 16;
+  int vaults_per_cube = 32;  // 512 PIM cores total
+
+  double core_freq_ghz = 2.0;  // in-order, 1 instruction/cycle
+  int core_mshrs = 8;          // outstanding misses without prefetching
+
+  double vault_bw_gbps = 16.0;        // 8.2 TB/s aggregate internal
+  picoseconds vault_latency_ps = 45'000;
+  picoseconds crossbar_latency_ps = 8'000;
+  picoseconds link_latency_ps = 25'000;
+  double cube_link_bw_gbps = 120.0;  // external links per cube
+
+  bytes message_bytes = 16;       // remote function call wire size
+  bytes vertex_state_bytes = 16;  // per-vertex algorithm state
+  bytes edge_entry_bytes = 8;     // neighbor id + weight, amortized
+
+  /// List prefetcher + message-triggered prefetcher (the paper's LP and
+  /// MTP); disabling exposes local access latency on the in-order core.
+  bool prefetch = true;
+
+  graph::partition::policy partition_policy =
+      graph::partition::policy::hash;
+
+  int vaults() const { return cubes * vaults_per_cube; }
+};
+
+struct tesseract_energy {
+  picojoules core_dynamic = 0;
+  picojoules core_static = 0;
+  picojoules dram = 0;     // vault array accesses + TSV transfer
+  picojoules network = 0;  // crossbar + SerDes message transport
+  picojoules total() const {
+    return core_dynamic + core_static + dram + network;
+  }
+};
+
+struct tesseract_result {
+  std::string workload;
+  picoseconds time = 0;
+  int iterations = 0;
+  std::uint64_t edges_scanned = 0;
+  std::uint64_t remote_calls = 0;
+  std::uint64_t cross_cube_calls = 0;
+  bytes local_bytes = 0;
+  tesseract_energy energy;
+  /// Max over vaults of busy time divided by mean (load imbalance).
+  double imbalance = 1.0;
+  /// Fraction of iteration time the slowest vault spends memory-bound.
+  double memory_bound_fraction = 0.0;
+};
+
+class tesseract_system {
+ public:
+  explicit tesseract_system(tesseract_config config = {});
+
+  /// Runs the workload to convergence on the graph.
+  tesseract_result run(graph::vertex_workload& workload,
+                       const graph::csr_graph& g) const;
+
+  const tesseract_config& config() const { return config_; }
+
+ private:
+  tesseract_config config_;
+};
+
+}  // namespace pim::tesseract
+
+#endif  // PIM_TESSERACT_SIM_H

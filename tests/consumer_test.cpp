@@ -1,0 +1,226 @@
+// Tests for the consumer-workload kernels (functional correctness) and
+// the PIM offload analysis.
+#include <gtest/gtest.h>
+
+#include "consumer/kernels.h"
+#include "consumer/workloads.h"
+
+namespace pim::consumer {
+namespace {
+
+cpu::access_sink null_sink() {
+  return [](std::uint64_t, bool) {};
+}
+
+// ---------------------------------------------------------------------------
+// texture tiling
+// ---------------------------------------------------------------------------
+
+TEST(TextureTilingTest, IsAPermutationOfTheSurface) {
+  texture_tiling_kernel k(64, 64);
+  k.run(null_sink());
+  // Every linear pixel appears exactly once in the tiled layout.
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      EXPECT_EQ(k.tiled()[k.tiled_index(x, y)],
+                k.linear()[static_cast<std::size_t>(y) * 64 + x]);
+    }
+  }
+}
+
+TEST(TextureTilingTest, TilesAreContiguous) {
+  texture_tiling_kernel k(64, 64);
+  // Pixels of one tile occupy one contiguous 32x32 region.
+  const std::size_t base = k.tiled_index(32, 0);  // tile (1, 0)
+  EXPECT_EQ(k.tiled_index(33, 0), base + 1);
+  EXPECT_EQ(k.tiled_index(32, 1), base + 32);
+}
+
+TEST(TextureTilingTest, RejectsUnalignedDims) {
+  EXPECT_THROW(texture_tiling_kernel(60, 64), std::invalid_argument);
+}
+
+TEST(TextureTilingTest, TraceMovesTwoSurfaces) {
+  texture_tiling_kernel k(256, 256);
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  k.run([&](std::uint64_t, bool w) { (w ? writes : reads) += 1; });
+  // 256 KiB per surface = 4096 lines each.
+  EXPECT_EQ(reads, 4096u);
+  EXPECT_EQ(writes, 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// color blitting
+// ---------------------------------------------------------------------------
+
+TEST(ColorBlittingTest, OpaqueSourceReplaces) {
+  const std::uint32_t src = 0xff204060;  // alpha 255
+  EXPECT_EQ(color_blitting_kernel::blend(src, 0xff997755) & 0xffffffu,
+            0x204060u);
+}
+
+TEST(ColorBlittingTest, TransparentSourceKeepsDst) {
+  const std::uint32_t src = 0x00204060;  // alpha 0
+  EXPECT_EQ(color_blitting_kernel::blend(src, 0xff997755) & 0xffffffu,
+            0x997755u);
+}
+
+TEST(ColorBlittingTest, HalfAlphaAverages) {
+  const std::uint32_t out =
+      color_blitting_kernel::blend(0x80FF0000u, 0xff000000u);
+  const std::uint32_t red = (out >> 16) & 0xff;
+  EXPECT_NEAR(red, 127, 2);
+}
+
+TEST(ColorBlittingTest, KernelAppliesBlendEverywhere) {
+  color_blitting_kernel k(64, 32, 7);
+  const auto src = k.src();
+  const auto before = k.dst();
+  k.run(null_sink());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(k.dst()[i], color_blitting_kernel::blend(src[i], before[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// quantize + pack
+// ---------------------------------------------------------------------------
+
+TEST(QuantizePackTest, RoundTripErrorBounded) {
+  quantize_pack_kernel k(64, 64);
+  k.run(null_sink());
+  for (int r = 0; r < 64; ++r) {
+    for (int c = 0; c < 64; ++c) {
+      const float original =
+          k.input()[static_cast<std::size_t>(r) * 64 + c];
+      const float restored =
+          static_cast<float>(k.packed()[k.packed_index(r, c)]) * k.scale();
+      EXPECT_NEAR(restored, original, k.scale() * 0.51f);
+    }
+  }
+}
+
+TEST(QuantizePackTest, PackedBlocksAreContiguous) {
+  quantize_pack_kernel k(64, 64);
+  const std::size_t base = k.packed_index(0, 32);  // block (0, 1)
+  EXPECT_EQ(k.packed_index(0, 33), base + 1);
+  EXPECT_EQ(k.packed_index(1, 32), base + 32);
+}
+
+TEST(QuantizePackTest, RejectsUnalignedDims) {
+  EXPECT_THROW(quantize_pack_kernel(50, 64), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// sub-pixel interpolation
+// ---------------------------------------------------------------------------
+
+TEST(SubpelInterpolationTest, IntegerPhaseCopies) {
+  subpel_interpolation_kernel k(32, 32, 3);
+  k.run(null_sink());
+  // Wherever the block phase is 0 (integer MV), output == reference.
+  // Find such a block by checking outputs; at least verify bounds and
+  // that output pixels are valid averages of neighbours.
+  const auto& ref = k.reference();
+  const auto& out = k.output();
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      const int a = ref[static_cast<std::size_t>(y) * 33 + x];
+      const int b = ref[static_cast<std::size_t>(y) * 33 + x + 1];
+      const int c = ref[static_cast<std::size_t>(y + 1) * 33 + x];
+      const int d = ref[static_cast<std::size_t>(y + 1) * 33 + x + 1];
+      const int lo = std::min({a, b, c, d});
+      const int hi = std::max({a, b, c, d});
+      const int got = out[static_cast<std::size_t>(y) * 32 + x];
+      EXPECT_GE(got, lo - 1);
+      EXPECT_LE(got, hi + 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SAD motion estimation
+// ---------------------------------------------------------------------------
+
+TEST(SadMotionEstimationTest, FindsPlantedVectorInInterior) {
+  sad_motion_estimation_kernel k(128, 128, 4, 11);
+  k.run(null_sink());
+  const auto planted = k.planted();
+  // Interior blocks (away from clamped borders) must find the planted
+  // motion exactly (SAD == 0 there).
+  const int bw = 128 / 16;
+  int matches = 0;
+  int interior = 0;
+  for (int by = 1; by < 128 / 16 - 1; ++by) {
+    for (int bx = 1; bx < bw - 1; ++bx) {
+      ++interior;
+      const auto mv = k.vectors()[static_cast<std::size_t>(by) * bw + bx];
+      if (mv.dx == planted.dx && mv.dy == planted.dy) ++matches;
+    }
+  }
+  EXPECT_EQ(matches, interior);
+}
+
+TEST(SadMotionEstimationTest, OneVectorPerBlock) {
+  sad_motion_estimation_kernel k(64, 64, 2, 5);
+  k.run(null_sink());
+  EXPECT_EQ(k.vectors().size(), 16u);  // 4x4 blocks
+}
+
+// ---------------------------------------------------------------------------
+// workloads + analysis
+// ---------------------------------------------------------------------------
+
+TEST(ConsumerSuiteTest, FourWorkloadsWithTargets) {
+  const auto suite = consumer_suite();
+  ASSERT_EQ(suite.size(), 4u);
+  for (const auto& w : suite) {
+    bool has_target = false;
+    bool has_host = false;
+    for (const auto& p : w.phases) {
+      (p.offloadable ? has_target : has_host) = true;
+    }
+    EXPECT_TRUE(has_target) << w.name;
+    EXPECT_TRUE(has_host) << w.name;
+  }
+}
+
+TEST(AnalysisTest, DataMovementDominatesHostEnergy) {
+  // Small configurations keep this test fast; the full-size result is
+  // bench_consumer's job.
+  const auto w = chrome_scrolling(1);
+  const auto r =
+      analyze_workload(w, cpu::mobile_soc(), cpu::pim_logic_core());
+  EXPECT_GT(r.data_movement_fraction(), 0.5);
+  EXPECT_LT(r.data_movement_fraction(), 0.95);
+}
+
+TEST(AnalysisTest, OffloadReducesChromeEnergyAndTime) {
+  const auto w = chrome_scrolling(1);
+  const auto r =
+      analyze_workload(w, cpu::mobile_soc(), cpu::pim_logic_core());
+  EXPECT_GT(r.core_energy_reduction(), 0.2);
+  EXPECT_GT(r.core_time_reduction(), 0.2);
+  EXPECT_GT(r.accel_energy_reduction(), 0.2);
+  EXPECT_GT(r.accel_time_reduction(), 0.2);
+}
+
+TEST(AnalysisTest, AcceleratorBeatsCoreOnCapture) {
+  const auto w = vp9_capture(1);
+  const auto r =
+      analyze_workload(w, cpu::mobile_soc(), cpu::pim_logic_core());
+  EXPECT_GT(r.accel_energy_reduction(), r.core_energy_reduction());
+  EXPECT_GT(r.accel_time_reduction(), r.core_time_reduction());
+}
+
+TEST(AreaTest, MatchesPaperFractions) {
+  const area_report a = logic_layer_area();
+  EXPECT_NEAR(a.core_fraction, 0.094, 0.01);
+  EXPECT_NEAR(a.accel_fraction, 0.354, 0.01);
+  EXPECT_LT(a.pim_core_mm2, a.budget_mm2);
+  EXPECT_LT(a.pim_accel_mm2, a.budget_mm2);
+}
+
+}  // namespace
+}  // namespace pim::consumer

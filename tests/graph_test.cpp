@@ -1,0 +1,282 @@
+// Unit tests for the graph substrate and the five Tesseract workloads.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "graph/graph.h"
+#include "graph/workloads.h"
+
+namespace pim::graph {
+namespace {
+
+csr_graph tiny_graph() {
+  // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0, 3 -> 2 (vertex 4 isolated).
+  return csr_graph::from_edges(5, {{0, 1}, {0, 2}, {1, 2}, {2, 0}, {3, 2}});
+}
+
+// ---------------------------------------------------------------------------
+// CSR + generators
+// ---------------------------------------------------------------------------
+
+TEST(CsrGraphTest, BuildsOffsetsAndNeighbors) {
+  const csr_graph g = tiny_graph();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_EQ(g.neighbor(g.edges_begin(2)), 0u);
+}
+
+TEST(CsrGraphTest, RejectsOutOfRangeVertex) {
+  EXPECT_THROW(csr_graph::from_edges(2, {{0, 5}}), std::invalid_argument);
+}
+
+TEST(CsrGraphTest, WeightsAreInRange) {
+  rng gen(1);
+  const csr_graph g = rmat(8, 4, gen, true);
+  for (std::uint64_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(g.weight(e), 1);
+  }
+  EXPECT_TRUE(g.weighted());
+}
+
+TEST(RmatTest, ProducesRequestedSize) {
+  rng gen(2);
+  const csr_graph g = rmat(10, 8, gen);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_EQ(g.num_edges(), 8192u);
+  EXPECT_NEAR(g.avg_degree(), 8.0, 0.01);
+}
+
+TEST(RmatTest, IsSkewedComparedToUniform) {
+  rng gen(3);
+  const csr_graph skewed = rmat(12, 8, gen);
+  const csr_graph uniform = uniform_random(4096, 32768, gen);
+  auto max_degree = [](const csr_graph& g) {
+    std::uint64_t best = 0;
+    for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+      best = std::max(best, g.degree(v));
+    }
+    return best;
+  };
+  EXPECT_GT(max_degree(skewed), 3 * max_degree(uniform));
+}
+
+TEST(RmatTest, RejectsBadParameters) {
+  rng gen(4);
+  EXPECT_THROW(rmat(0, 8, gen), std::invalid_argument);
+  EXPECT_THROW(rmat(8, 8, gen, false, 0.5, 0.3, 0.3), std::invalid_argument);
+}
+
+TEST(PartitionTest, RangeAndHashCoverAllParts) {
+  for (auto policy : {partition::policy::range, partition::policy::hash}) {
+    partition p(10000, 64, policy);
+    std::vector<int> counts(64, 0);
+    for (vertex_id v = 0; v < 10000; ++v) {
+      const int part = p.part_of(v);
+      ASSERT_GE(part, 0);
+      ASSERT_LT(part, 64);
+      ++counts[static_cast<std::size_t>(part)];
+    }
+    for (int c : counts) EXPECT_GT(c, 0);
+  }
+}
+
+TEST(PartitionTest, HashSpreadsBetterThanRangeForHubs) {
+  // Low ids are R-MAT hubs; range puts them all in part 0.
+  partition range(1024, 16, partition::policy::range);
+  partition hash(1024, 16, partition::policy::hash);
+  std::set<int> range_parts;
+  std::set<int> hash_parts;
+  for (vertex_id v = 0; v < 16; ++v) {
+    range_parts.insert(range.part_of(v));
+    hash_parts.insert(hash.part_of(v));
+  }
+  EXPECT_EQ(range_parts.size(), 1u);
+  EXPECT_GT(hash_parts.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// PageRank
+// ---------------------------------------------------------------------------
+
+TEST(PagerankTest, RanksSumToOne) {
+  rng gen(5);
+  const csr_graph g = rmat(10, 8, gen);
+  pagerank pr(10);
+  pr.reset(g);
+  bool done = false;
+  while (!done) done = pr.iterate(g, [](vertex_id, vertex_id) {});
+  double sum = 0.0;
+  for (double r : pr.ranks()) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PagerankTest, HubReceivesHigherRank) {
+  // Star graph: everyone points at vertex 0.
+  std::vector<std::pair<vertex_id, vertex_id>> edges;
+  for (vertex_id v = 1; v < 50; ++v) edges.emplace_back(v, 0);
+  const csr_graph g = csr_graph::from_edges(50, std::move(edges));
+  pagerank pr(20);
+  pr.reset(g);
+  bool done = false;
+  while (!done) done = pr.iterate(g, [](vertex_id, vertex_id) {});
+  for (vertex_id v = 1; v < 50; ++v) {
+    EXPECT_GT(pr.ranks()[0], 10.0 * pr.ranks()[v]);
+  }
+}
+
+TEST(PagerankTest, ReportsOneUpdatePerEdgePerIteration) {
+  const csr_graph g = tiny_graph();
+  pagerank pr(3);
+  pr.reset(g);
+  std::uint64_t updates = 0;
+  bool done = false;
+  while (!done) {
+    done = pr.iterate(g, [&](vertex_id, vertex_id) { ++updates; });
+  }
+  EXPECT_EQ(updates, 3 * g.num_edges());
+}
+
+// ---------------------------------------------------------------------------
+// Average Teenage Follower
+// ---------------------------------------------------------------------------
+
+TEST(TeenageFollowerTest, MatchesBruteForce) {
+  rng gen(6);
+  const csr_graph g = rmat(9, 6, gen);
+  average_teenage_follower at;
+  at.reset(g);
+  at.iterate(g, [](vertex_id, vertex_id) {});
+  std::vector<std::uint32_t> expected(g.num_vertices(), 0);
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    if (!at.is_teen(u)) continue;
+    for (std::uint64_t e = g.edges_begin(u); e < g.edges_end(u); ++e) {
+      ++expected[g.neighbor(e)];
+    }
+  }
+  EXPECT_EQ(at.follower_counts(), expected);
+  EXPECT_GT(at.average_followers(), 0.0);
+}
+
+TEST(TeenageFollowerTest, SinglePass) {
+  const csr_graph g = tiny_graph();
+  average_teenage_follower at;
+  at.reset(g);
+  EXPECT_TRUE(at.iterate(g, [](vertex_id, vertex_id) {}));
+  EXPECT_TRUE(at.iterate(g, [](vertex_id, vertex_id) {}));  // stays done
+}
+
+// ---------------------------------------------------------------------------
+// Conductance
+// ---------------------------------------------------------------------------
+
+TEST(ConductanceTest, MatchesBruteForce) {
+  rng gen(7);
+  const csr_graph g = rmat(9, 6, gen);
+  conductance ct;
+  ct.reset(g);
+  ct.iterate(g, [](vertex_id, vertex_id) {});
+  std::uint64_t cut = 0;
+  std::uint64_t vol_in = 0;
+  std::uint64_t vol_out = 0;
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    for (std::uint64_t e = g.edges_begin(u); e < g.edges_end(u); ++e) {
+      if (ct.in_set(u) != ct.in_set(g.neighbor(e))) ++cut;
+    }
+    (ct.in_set(u) ? vol_in : vol_out) += g.degree(u);
+  }
+  const double expected =
+      static_cast<double>(cut) /
+      static_cast<double>(std::min(vol_in, vol_out));
+  EXPECT_DOUBLE_EQ(ct.value(), expected);
+  EXPECT_GE(ct.value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// SSSP
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint32_t> dijkstra(const csr_graph& g, vertex_id src) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), sssp::unreachable);
+  using entry = std::pair<std::uint32_t, vertex_id>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> queue;
+  dist[src] = 0;
+  queue.emplace(0, src);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    for (std::uint64_t e = g.edges_begin(u); e < g.edges_end(u); ++e) {
+      const vertex_id v = g.neighbor(e);
+      const std::uint32_t nd = d + g.weight(e);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        queue.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(SsspTest, MatchesDijkstra) {
+  rng gen(8);
+  const csr_graph g = rmat(9, 6, gen, /*weighted=*/true);
+  sssp sp(0);
+  sp.reset(g);
+  bool done = false;
+  int iterations = 0;
+  while (!done) {
+    done = sp.iterate(g, [](vertex_id, vertex_id) {});
+    ++iterations;
+  }
+  EXPECT_GT(iterations, 1);
+  EXPECT_EQ(sp.distances(), dijkstra(g, 0));
+}
+
+TEST(SsspTest, UnreachableStaysInfinite) {
+  const csr_graph g = tiny_graph();
+  sssp sp(0);
+  sp.reset(g);
+  while (!sp.iterate(g, [](vertex_id, vertex_id) {})) {
+  }
+  EXPECT_EQ(sp.distances()[3], sssp::unreachable);  // nothing reaches 3
+  EXPECT_EQ(sp.distances()[4], sssp::unreachable);
+  EXPECT_EQ(sp.distances()[0], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Vertex Cover
+// ---------------------------------------------------------------------------
+
+TEST(VertexCoverTest, CoversEveryEdge) {
+  rng gen(9);
+  const csr_graph g = rmat(9, 6, gen);
+  vertex_cover vc;
+  vc.reset(g);
+  while (!vc.iterate(g, [](vertex_id, vertex_id) {})) {
+  }
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    for (std::uint64_t e = g.edges_begin(u); e < g.edges_end(u); ++e) {
+      const vertex_id v = g.neighbor(e);
+      if (u == v) continue;  // self-loops need no cover
+      EXPECT_TRUE(vc.in_cover()[u] || vc.in_cover()[v]);
+    }
+  }
+  EXPECT_GT(vc.cover_size(), 0u);
+  EXPECT_LT(vc.cover_size(), g.num_vertices());
+}
+
+TEST(TesseractSuiteTest, HasFiveWorkloadsInPaperOrder) {
+  const auto suite = tesseract_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0]->name(), "AT.teenage-follower");
+  EXPECT_EQ(suite[1]->name(), "CT.conductance");
+  EXPECT_EQ(suite[2]->name(), "PR.pagerank");
+  EXPECT_EQ(suite[3]->name(), "SP.sssp");
+  EXPECT_EQ(suite[4]->name(), "VC.vertex-cover");
+}
+
+}  // namespace
+}  // namespace pim::graph
