@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "analytic/models.h"
+#include "common/json_writer.h"
 #include "common/table.h"
 #include "dram/memory_system.h"
 
@@ -115,5 +116,33 @@ int main() {
   t5.row().cell("enforced (stock DDR3 budget)").cell(
       simulated_throughput(dram::bulk_op::and_op, false));
   t5.print(std::cout);
+
+  // Machine-readable trajectory record.
+  json_writer json;
+  json.begin_object();
+  json.key("bench").value("ambit_throughput");
+  json.key("mean_speedup_vs_cpu").value(mean_speedup(ambit, cpu));
+  json.key("mean_speedup_vs_gpu").value(mean_speedup(ambit, gpu));
+  json.key("mean_speedup_hmc").value(mean_speedup(in_hmc, logic));
+  json.key("ops").begin_array();
+  for (dram::bulk_op op : dram::all_bulk_ops()) {
+    json.begin_object();
+    json.key("op").value(to_string(op));
+    json.key("cpu_gbps").value(cpu.throughput_gbps(op));
+    json.key("gpu_gbps").value(gpu.throughput_gbps(op));
+    json.key("ambit_gbps").value(ambit.throughput_gbps(op));
+    json.key("cycle_sim_gbps").value(simulated_throughput(op, true));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("bulk_power_ablation").begin_object();
+  json.key("exempt_and_gbps")
+      .value(simulated_throughput(dram::bulk_op::and_op, true));
+  json.key("enforced_and_gbps")
+      .value(simulated_throughput(dram::bulk_op::and_op, false));
+  json.end_object();
+  json.end_object();
+  json.write_file("BENCH_ambit_throughput.json");
+  std::cout << "\nwrote BENCH_ambit_throughput.json\n";
   return 0;
 }

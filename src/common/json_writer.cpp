@@ -1,0 +1,129 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace pim {
+
+void json_writer::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value directly follows "key":
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void json_writer::append_escaped(const std::string& text) {
+  out_ += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\r': out_ += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+json_writer& json_writer::begin_object() {
+  comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+json_writer& json_writer::end_object() {
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+json_writer& json_writer::begin_array() {
+  comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+json_writer& json_writer::end_array() {
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+json_writer& json_writer::key(const std::string& name) {
+  comma();
+  append_escaped(name);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+json_writer& json_writer::value(const std::string& text) {
+  comma();
+  append_escaped(text);
+  return *this;
+}
+
+json_writer& json_writer::value(const char* text) {
+  return value(std::string(text));
+}
+
+json_writer& json_writer::value(double number) {
+  comma();
+  if (!std::isfinite(number)) {
+    out_ += "null";  // JSON has no inf/nan
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", number);
+  out_ += buf;
+  return *this;
+}
+
+json_writer& json_writer::value(std::int64_t number) {
+  comma();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+json_writer& json_writer::value(std::uint64_t number) {
+  comma();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+json_writer& json_writer::value(int number) {
+  return value(static_cast<std::int64_t>(number));
+}
+
+json_writer& json_writer::value(bool flag) {
+  comma();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+void json_writer::write_file(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("json_writer: cannot open " + path);
+  }
+  file << out_ << '\n';
+}
+
+}  // namespace pim

@@ -1,0 +1,52 @@
+// Minimal JSON emitter for machine-readable benchmark output.
+//
+// Benchmarks print human-readable tables to stdout and additionally
+// drop a BENCH_<name>.json next to the binary so the performance
+// trajectory can be tracked across commits. This writer covers exactly
+// what that needs: nested objects/arrays, strings, numbers, booleans,
+// with correct escaping and comma placement. Not a parser.
+#ifndef PIM_COMMON_JSON_WRITER_H
+#define PIM_COMMON_JSON_WRITER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pim {
+
+class json_writer {
+ public:
+  json_writer& begin_object();
+  json_writer& end_object();
+  json_writer& begin_array();
+  json_writer& end_array();
+
+  /// Emits the key of the next value; valid only inside an object.
+  json_writer& key(const std::string& name);
+
+  json_writer& value(const std::string& text);
+  json_writer& value(const char* text);
+  json_writer& value(double number);
+  json_writer& value(std::int64_t number);
+  json_writer& value(std::uint64_t number);
+  json_writer& value(int number);
+  json_writer& value(bool flag);
+
+  /// The accumulated document.
+  const std::string& str() const { return out_; }
+
+  /// Writes the document to `path` (truncating); throws on failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  void comma();
+  void append_escaped(const std::string& text);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // one level per open container
+  bool after_key_ = false;
+};
+
+}  // namespace pim
+
+#endif  // PIM_COMMON_JSON_WRITER_H

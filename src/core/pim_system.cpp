@@ -10,7 +10,18 @@ pim_system::pim_system(pim_system_config config)
            config.bulk_power_exempt),
       allocator_(config.org),
       ambit_(mem_, config.rich_decoder),
-      rowclone_(mem_) {}
+      rowclone_(mem_),
+      runtime_(mem_, ambit_, rowclone_, config.runtime) {}
+
+op_report op_report::make(picoseconds latency, picojoules energy,
+                          bytes output_bytes) {
+  op_report report;
+  report.latency = latency;
+  report.energy = energy;
+  // gigabytes_per_second guards elapsed <= 0 internally.
+  report.throughput_gbps = gigabytes_per_second(output_bytes, latency);
+  return report;
+}
 
 std::vector<dram::bulk_vector> pim_system::allocate(bits size, int count) {
   return allocator_.allocate_group(size, count);
@@ -24,48 +35,74 @@ bitvector pim_system::read(const dram::bulk_vector& v) const {
   return ambit_.read_vector(v);
 }
 
-op_report pim_system::timed(std::function<void()> enqueue,
-                            bytes output_bytes) {
+op_report pim_system::timed(std::function<void()> run, bytes output_bytes) {
   const dram::dram_energy before =
       compute_dram_energy(mem_.counters(), config_.org, 0,
                           energy::offchip_io_pj_per_bit);
   const picoseconds start = mem_.now_ps();
-  enqueue();
-  mem_.drain();
+  run();
   const picoseconds end = mem_.now_ps();
   const dram::dram_energy after =
       compute_dram_energy(mem_.counters(), config_.org, 0,
                           energy::offchip_io_pj_per_bit);
-  op_report report;
-  report.latency = end - start;
-  report.energy = after.total() - before.total();
-  report.throughput_gbps = gigabytes_per_second(output_bytes, report.latency);
-  return report;
+  return op_report::make(end - start, after.total() - before.total(),
+                         output_bytes);
 }
 
 op_report pim_system::execute(dram::bulk_op op, const dram::bulk_vector& a,
                               const dram::bulk_vector* b,
                               dram::bulk_vector& d) {
-  return timed([&] { ambit_.execute(op, a, b, d); }, d.size / 8);
+  return timed(
+      [&] {
+        runtime::pim_task task = runtime::make_bulk_task(op, a, b, d);
+        // The synchronous API always uses the in-DRAM engine; offload
+        // routing is the async path's job.
+        task.forced_backend = runtime::backend_kind::ambit;
+        runtime_.wait(runtime_.submit(std::move(task)));
+      },
+      d.size / 8);
 }
 
 op_report pim_system::copy_row(const dram::address& src,
                                const dram::address& dst, bool same_subarray) {
   return timed(
       [&] {
-        if (same_subarray) {
-          rowclone_.copy_fpm(src, dst);
-        } else {
-          rowclone_.copy_psm(src, dst);
-        }
+        runtime::pim_task task;
+        task.payload = runtime::row_copy_args{src, dst, same_subarray};
+        task.forced_backend = runtime::backend_kind::rowclone;
+        runtime_.wait(runtime_.submit(std::move(task)));
       },
       config_.org.row_bytes());
 }
 
 op_report pim_system::memset_row(const dram::address& dst, bool ones) {
-  return timed([&] { rowclone_.memset_row(dst, ones); },
-               config_.org.row_bytes());
+  return timed(
+      [&] {
+        runtime::pim_task task;
+        task.payload = runtime::row_memset_args{dst, ones};
+        task.forced_backend = runtime::backend_kind::rowclone;
+        runtime_.wait(runtime_.submit(std::move(task)));
+      },
+      config_.org.row_bytes());
 }
+
+runtime::task_future pim_system::submit(runtime::pim_task task) {
+  return runtime_.submit(std::move(task));
+}
+
+runtime::task_future pim_system::submit_bulk(dram::bulk_op op,
+                                             const dram::bulk_vector& a,
+                                             const dram::bulk_vector* b,
+                                             const dram::bulk_vector& d,
+                                             int stream) {
+  return runtime_.submit_bulk(op, a, b, d, stream);
+}
+
+void pim_system::wait(const runtime::task_future& future) {
+  runtime_.wait(future);
+}
+
+void pim_system::wait_all() { runtime_.wait_all(); }
 
 dram::dram_energy pim_system::energy() const {
   return compute_dram_energy(mem_.counters(), config_.org, mem_.now_ps(),

@@ -14,6 +14,7 @@
 #include "dram/ambit.h"
 #include "dram/memory_system.h"
 #include "dram/rowclone.h"
+#include "runtime/runtime.h"
 
 namespace pim::core {
 
@@ -22,6 +23,7 @@ struct pim_system_config {
   dram::timing_params timing = dram::ddr3_1600();
   bool rich_decoder = true;
   bool bulk_power_exempt = true;
+  runtime::runtime_config runtime;
 };
 
 /// Timing/energy outcome of one synchronous operation.
@@ -29,6 +31,11 @@ struct op_report {
   picoseconds latency = 0;
   picojoules energy = 0;
   double throughput_gbps = 0;  // output bytes per wall-clock
+
+  /// Builds a report with guarded throughput: a zero- or negative-
+  /// latency operation reports 0 GB/s instead of dividing by zero.
+  static op_report make(picoseconds latency, picojoules energy,
+                        bytes output_bytes);
 };
 
 class pim_system {
@@ -43,7 +50,8 @@ class pim_system {
   bitvector read(const dram::bulk_vector& v) const;
 
   /// Synchronous bulk Boolean op: d = op(a[, b]). Returns timing and
-  /// the energy spent by the command sequence.
+  /// the energy spent by the command sequence. A thin wrapper over the
+  /// asynchronous runtime: submit one task, wait for it.
   op_report execute(dram::bulk_op op, const dram::bulk_vector& a,
                     const dram::bulk_vector* b, dram::bulk_vector& d);
 
@@ -52,6 +60,22 @@ class pim_system {
                      bool same_subarray);
   op_report memset_row(const dram::address& dst, bool ones);
 
+  // --- asynchronous path -------------------------------------------------
+  // Submit many tasks, then wait; independent tasks overlap across
+  // banks and channels instead of draining one at a time. See
+  // runtime::pim_runtime for task shapes and reports.
+
+  runtime::task_future submit(runtime::pim_task task);
+  runtime::task_future submit_bulk(dram::bulk_op op,
+                                   const dram::bulk_vector& a,
+                                   const dram::bulk_vector* b,
+                                   const dram::bulk_vector& d,
+                                   int stream = 0);
+  void wait(const runtime::task_future& future);
+  void wait_all();
+
+  runtime::pim_runtime& runtime() { return runtime_; }
+
   /// Cumulative DRAM energy since construction.
   dram::dram_energy energy() const;
 
@@ -59,13 +83,14 @@ class pim_system {
   const dram::organization& org() const { return config_.org; }
 
  private:
-  op_report timed(std::function<void()> enqueue, bytes output_bytes);
+  op_report timed(std::function<void()> run, bytes output_bytes);
 
   pim_system_config config_;
   dram::memory_system mem_;
   dram::ambit_allocator allocator_;
   dram::ambit_engine ambit_;
   dram::rowclone_engine rowclone_;
+  runtime::pim_runtime runtime_;  // must follow the engines it drives
 };
 
 }  // namespace pim::core

@@ -259,13 +259,19 @@ bitvector ambit_engine::apply(bulk_op op, const bitvector& a,
   throw std::logic_error("unknown bulk op");
 }
 
-void ambit_engine::execute(bulk_op op, const bulk_vector& a,
-                           const bulk_vector* b, bulk_vector& d,
-                           std::function<void()> done) {
+void ambit_engine::validate(bulk_op op, const bulk_vector& a,
+                            const bulk_vector* b,
+                            const bulk_vector& d) const {
   if (is_unary(op) != (b == nullptr)) {
     throw std::invalid_argument("ambit execute: operand arity mismatch");
   }
   check_group(a, b, d);
+}
+
+void ambit_engine::execute(bulk_op op, const bulk_vector& a,
+                           const bulk_vector* b, bulk_vector& d,
+                           std::function<void()> done) {
+  validate(op, a, b, d);
 
   auto remaining = std::make_shared<std::size_t>(a.rows.size());
   for (std::size_t i = 0; i < a.rows.size(); ++i) {

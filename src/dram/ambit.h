@@ -99,12 +99,21 @@ class ambit_engine {
   void execute(bulk_op op, const bulk_vector& a, const bulk_vector* b,
                bulk_vector& d, std::function<void()> done = {});
 
+  /// The argument checks execute() performs (operand arity, sizes, row
+  /// co-location), without side effects — lets a scheduler reject a
+  /// bad request before committing any state. Throws
+  /// std::invalid_argument on violation.
+  void validate(bulk_op op, const bulk_vector& a, const bulk_vector* b,
+                const bulk_vector& d) const;
+
   const ambit_compiler& compiler() const { return compiler_; }
+
+  /// Functional semantics of an op (what a host fallback computes).
+  static bitvector apply(bulk_op op, const bitvector& a, const bitvector& b);
 
  private:
   void check_group(const bulk_vector& a, const bulk_vector* b,
                    const bulk_vector& d) const;
-  static bitvector apply(bulk_op op, const bitvector& a, const bitvector& b);
 
   memory_system& mem_;
   subarray_layout layout_;

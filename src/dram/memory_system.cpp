@@ -76,6 +76,18 @@ counter_set memory_system::counters() const {
   return merged;
 }
 
+std::size_t memory_system::busy_banks() const {
+  std::size_t busy = 0;
+  for (const auto& ch : channels_) busy += ch->busy_banks();
+  return busy;
+}
+
+std::size_t memory_system::pending_bulk() const {
+  std::size_t pending = 0;
+  for (const auto& ch : channels_) pending += ch->pending_bulk();
+  return pending;
+}
+
 std::uint64_t memory_system::row_key(const address& a) const {
   std::uint64_t key = static_cast<std::uint64_t>(a.channel);
   key = key * static_cast<std::uint64_t>(org_.ranks) +

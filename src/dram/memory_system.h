@@ -54,6 +54,14 @@ class memory_system {
   /// Aggregated counters across channels.
   counter_set counters() const;
 
+  /// Banks currently locked by in-flight bulk sequences, across all
+  /// channels — the instantaneous bank-level parallelism a scheduler
+  /// is extracting.
+  std::size_t busy_banks() const;
+
+  /// Bulk sequences accepted but not yet completed, across channels.
+  std::size_t pending_bulk() const;
+
   // --- functional row store -------------------------------------------
   // Rows are materialized lazily, zero-filled (DRAM after initialization
   // scrub). The in-DRAM engines and tests read and write whole rows.
@@ -62,9 +70,11 @@ class memory_system {
   const bitvector& row_or_zero(const address& a) const;
   bool row_materialized(const address& a) const;
 
- private:
+  /// Flat identity of a (channel, rank, bank, row) — the key the row
+  /// store indexes by; also what a scheduler tracks hazards against.
   std::uint64_t row_key(const address& a) const;
 
+ private:
   organization org_;
   timing_params timing_;
   address_mapper mapper_;

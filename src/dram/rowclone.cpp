@@ -7,18 +7,39 @@ namespace pim::dram {
 rowclone_engine::rowclone_engine(memory_system& mem)
     : mem_(mem), layout_(mem.org()) {}
 
+void rowclone_engine::validate_copy(const address& src, const address& dst,
+                                    bool same_subarray) const {
+  if (same_subarray) {
+    if (src.channel != dst.channel || src.rank != dst.rank ||
+        src.bank != dst.bank) {
+      throw std::invalid_argument("RowClone FPM: rows must share a bank");
+    }
+    if (layout_.subarray_of(src.row) != layout_.subarray_of(dst.row)) {
+      throw std::invalid_argument("RowClone FPM: rows must share a subarray");
+    }
+    if (src.row == dst.row) {
+      throw std::invalid_argument("RowClone FPM: src == dst");
+    }
+  } else {
+    if (src.channel != dst.channel) {
+      throw std::invalid_argument("RowClone PSM: rows must share a channel");
+    }
+    if (src.rank == dst.rank && src.bank == dst.bank) {
+      throw std::invalid_argument(
+          "RowClone PSM: rows must be in different banks (use FPM)");
+    }
+  }
+}
+
+void rowclone_engine::validate_memset(const address& dst) const {
+  if (layout_.is_reserved(dst.row)) {
+    throw std::invalid_argument("RowClone memset: reserved destination row");
+  }
+}
+
 void rowclone_engine::copy_fpm(const address& src, const address& dst,
                                std::function<void(picoseconds)> done) {
-  if (src.channel != dst.channel || src.rank != dst.rank ||
-      src.bank != dst.bank) {
-    throw std::invalid_argument("RowClone FPM: rows must share a bank");
-  }
-  if (layout_.subarray_of(src.row) != layout_.subarray_of(dst.row)) {
-    throw std::invalid_argument("RowClone FPM: rows must share a subarray");
-  }
-  if (src.row == dst.row) {
-    throw std::invalid_argument("RowClone FPM: src == dst");
-  }
+  validate_copy(src, dst, /*same_subarray=*/true);
 
   bulk_sequence seq;
   command act{command_kind::activate, src, /*bulk=*/true};
@@ -36,13 +57,7 @@ void rowclone_engine::copy_fpm(const address& src, const address& dst,
 
 void rowclone_engine::copy_psm(const address& src, const address& dst,
                                std::function<void(picoseconds)> done) {
-  if (src.channel != dst.channel) {
-    throw std::invalid_argument("RowClone PSM: rows must share a channel");
-  }
-  if (src.rank == dst.rank && src.bank == dst.bank) {
-    throw std::invalid_argument(
-        "RowClone PSM: rows must be in different banks (use FPM)");
-  }
+  validate_copy(src, dst, /*same_subarray=*/false);
 
   bulk_sequence seq;
   seq.commands.push_back({command_kind::activate, src, /*bulk=*/true});
@@ -70,9 +85,7 @@ void rowclone_engine::copy_psm(const address& src, const address& dst,
 
 void rowclone_engine::memset_row(const address& dst, bool ones,
                                  std::function<void(picoseconds)> done) {
-  if (layout_.is_reserved(dst.row)) {
-    throw std::invalid_argument("RowClone memset: reserved destination row");
-  }
+  validate_memset(dst);
   const int subarray = layout_.subarray_of(dst.row);
   address constant = dst;
   constant.row = ones ? layout_.c1(subarray) : layout_.c0(subarray);

@@ -36,6 +36,13 @@ class rowclone_engine {
   void memset_row(const address& dst, bool ones,
                   std::function<void(picoseconds)> done = {});
 
+  /// The argument checks the copy/memset entry points perform, without
+  /// side effects — lets a scheduler reject a bad request before
+  /// committing any state. Throw std::invalid_argument on violation.
+  void validate_copy(const address& src, const address& dst,
+                     bool same_subarray) const;
+  void validate_memset(const address& dst) const;
+
   /// Number of copies issued, for tests.
   std::uint64_t copies_issued() const { return copies_; }
 

@@ -1,0 +1,58 @@
+#include "runtime/runtime.h"
+
+namespace pim::runtime {
+
+pim_runtime::pim_runtime(dram::memory_system& mem, dram::ambit_engine& ambit,
+                         dram::rowclone_engine& rowclone,
+                         runtime_config config)
+    : dispatcher_(mem.org(), config.policy),
+      sched_(mem, ambit, rowclone, config.sched) {
+  sched_.set_completion_hook(
+      [this](const task_report& report) { dispatcher_.account(report); });
+}
+
+task_future pim_runtime::submit(pim_task task) {
+  const dispatcher::routing_result routing = dispatcher_.route(task);
+  return sched_.submit(std::move(task), routing.where, routing.decision);
+}
+
+task_future pim_runtime::submit_bulk(dram::bulk_op op,
+                                     const dram::bulk_vector& a,
+                                     const dram::bulk_vector* b,
+                                     const dram::bulk_vector& d, int stream) {
+  return submit(make_bulk_task(op, a, b, d, stream));
+}
+
+task_future pim_runtime::submit_copy(const dram::address& src,
+                                     const dram::address& dst,
+                                     bool same_subarray, int stream) {
+  pim_task task;
+  task.payload = row_copy_args{src, dst, same_subarray};
+  task.stream = stream;
+  return submit(std::move(task));
+}
+
+task_future pim_runtime::submit_memset(const dram::address& dst, bool ones,
+                                       int stream) {
+  pim_task task;
+  task.payload = row_memset_args{dst, ones};
+  task.stream = stream;
+  return submit(std::move(task));
+}
+
+task_future pim_runtime::submit_kernel(const core::kernel_profile& profile,
+                                       int stream) {
+  pim_task task;
+  task.payload = host_kernel_args{profile};
+  task.stream = stream;
+  return submit(std::move(task));
+}
+
+runtime_stats pim_runtime::stats() const {
+  runtime_stats s;
+  s.sched = sched_.stats();
+  s.backends = dispatcher_.utilization();
+  return s;
+}
+
+}  // namespace pim::runtime

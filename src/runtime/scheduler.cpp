@@ -1,0 +1,353 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace pim::runtime {
+
+scheduler::scheduler(dram::memory_system& mem, dram::ambit_engine& ambit,
+                     dram::rowclone_engine& rowclone, scheduler_config config)
+    : mem_(mem), ambit_(ambit), rowclone_(rowclone), config_(config) {
+  host_pool_.slots = std::max(1, config_.host_slots);
+  ndp_pool_.slots = std::max(1, config_.ndp_slots);
+}
+
+void scheduler::collect_rows(const pim_task& task,
+                             std::vector<std::uint64_t>& reads,
+                             std::vector<std::uint64_t>& writes) const {
+  switch (task.kind()) {
+    case task_kind::bulk_bool: {
+      const auto& args = std::get<bulk_bool_args>(task.payload);
+      for (const dram::address& a : args.a.rows) {
+        reads.push_back(mem_.row_key(a));
+      }
+      if (args.b) {
+        for (const dram::address& a : args.b->rows) {
+          reads.push_back(mem_.row_key(a));
+        }
+      }
+      for (const dram::address& a : args.d.rows) {
+        writes.push_back(mem_.row_key(a));
+      }
+      break;
+    }
+    case task_kind::row_copy: {
+      const auto& args = std::get<row_copy_args>(task.payload);
+      reads.push_back(mem_.row_key(args.src));
+      writes.push_back(mem_.row_key(args.dst));
+      break;
+    }
+    case task_kind::row_memset: {
+      const auto& args = std::get<row_memset_args>(task.payload);
+      writes.push_back(mem_.row_key(args.dst));
+      break;
+    }
+    case task_kind::host_kernel:
+      break;  // opaque kernel: no rows in the simulated DRAM
+  }
+}
+
+task_future scheduler::submit(pim_task task, backend_kind where,
+                              core::offload_decision decision) {
+  validate(task, where);
+  const task_id id = next_id_++;
+  node n;
+  n.where = where;
+  n.future = std::make_shared<task_future::shared_state>();
+  collect_rows(task, n.reads, n.writes);
+
+  task_report& report = n.future->report;
+  report.id = id;
+  report.stream = task.stream;
+  report.kind = task.kind();
+  report.where = where;
+  report.decision = decision;
+  report.submit_ps = mem_.now_ps();
+  switch (task.kind()) {
+    case task_kind::bulk_bool:
+      report.output_bytes = std::get<bulk_bool_args>(task.payload).d.size / 8;
+      break;
+    case task_kind::row_copy:
+    case task_kind::row_memset:
+      report.output_bytes = mem_.org().row_bytes();
+      break;
+    case task_kind::host_kernel:
+      report.output_bytes =
+          std::get<host_kernel_args>(task.payload).profile.memory_traffic;
+      break;
+  }
+
+  // Row-granular hazards against still-active earlier tasks:
+  // RAW (read a pending write), WAW (write a pending write),
+  // WAR (write a pending read).
+  std::set<task_id> deps;
+  auto writer_of = [&](std::uint64_t key) {
+    auto it = last_writer_.find(key);
+    if (it != last_writer_.end() && active_.count(it->second)) {
+      deps.insert(it->second);
+    }
+  };
+  for (std::uint64_t key : n.reads) writer_of(key);
+  for (std::uint64_t key : n.writes) {
+    writer_of(key);
+    auto it = readers_.find(key);
+    if (it != readers_.end()) {
+      for (task_id reader : it->second) {
+        if (active_.count(reader)) deps.insert(reader);
+      }
+    }
+  }
+  for (task_id dep : deps) {
+    active_[dep].dependents.push_back(id);
+  }
+  n.unmet_deps = static_cast<int>(deps.size());
+  for (std::uint64_t key : n.writes) {
+    last_writer_[key] = id;
+    readers_[key].clear();
+  }
+  for (std::uint64_t key : n.reads) {
+    // Prune completed readers so hot read-only rows (a bitmap column
+    // scanned by every query) keep their hazard lists short.
+    std::vector<task_id>& list = readers_[key];
+    std::erase_if(list,
+                  [this](task_id t) { return active_.count(t) == 0; });
+    list.push_back(id);
+  }
+
+  n.task = std::move(task);
+  task_future future(n.future);
+  active_.emplace(id, std::move(n));
+  ++outstanding_;
+  ++stats_.submitted;
+  if (deps.empty()) {
+    release(id);
+  } else {
+    ++stats_.hazard_deferred;
+  }
+  return future;
+}
+
+void scheduler::validate(const pim_task& task, backend_kind where) const {
+  // Reject invalid tasks before any scheduler state exists for them: a
+  // throw from release() — possibly ticks later, for a hazard-deferred
+  // task — would strand the entry in the hazard tables and wedge every
+  // dependent behind it.
+  if (task.kind() == task_kind::bulk_bool) {
+    // An empty vector would produce no command sequences and therefore
+    // no completion callback — the future would never resolve.
+    const auto& args = std::get<bulk_bool_args>(task.payload);
+    if (args.d.size == 0 || args.d.rows.empty()) {
+      throw std::invalid_argument("scheduler: empty bulk vector");
+    }
+  }
+  switch (where) {
+    case backend_kind::ambit: {
+      if (task.kind() != task_kind::bulk_bool) {
+        throw std::invalid_argument(
+            "scheduler: only bulk_bool tasks run on the Ambit backend");
+      }
+      const auto& args = std::get<bulk_bool_args>(task.payload);
+      ambit_.validate(args.op, args.a, args.b ? &*args.b : nullptr, args.d);
+      break;
+    }
+    case backend_kind::rowclone:
+      if (task.kind() == task_kind::row_copy) {
+        const auto& args = std::get<row_copy_args>(task.payload);
+        rowclone_.validate_copy(args.src, args.dst, args.same_subarray);
+      } else if (task.kind() == task_kind::row_memset) {
+        rowclone_.validate_memset(
+            std::get<row_memset_args>(task.payload).dst);
+      } else {
+        throw std::invalid_argument(
+            "scheduler: only row copy/memset tasks run on RowClone");
+      }
+      break;
+    case backend_kind::ndp_logic:
+    case backend_kind::host:
+      // The host fallback computes bulk ops functionally; it still
+      // needs coherent operand shapes.
+      if (task.kind() == task_kind::bulk_bool) {
+        const auto& args = std::get<bulk_bool_args>(task.payload);
+        if (dram::is_unary(args.op) != !args.b.has_value()) {
+          throw std::invalid_argument("scheduler: operand arity mismatch");
+        }
+        if (args.a.size != args.d.size ||
+            (args.b && args.b->size != args.a.size)) {
+          throw std::invalid_argument("scheduler: vector size mismatch");
+        }
+      }
+      break;
+  }
+}
+
+void scheduler::release(task_id id) {
+  node& n = active_.at(id);
+  n.released = true;
+  n.future->report.start_ps = mem_.now_ps();
+  ++in_flight_;
+  stats_.peak_in_flight =
+      std::max(stats_.peak_in_flight, static_cast<int>(in_flight_));
+
+  switch (n.where) {
+    case backend_kind::ambit: {
+      if (n.task.kind() != task_kind::bulk_bool) {
+        throw std::invalid_argument(
+            "scheduler: only bulk_bool tasks run on the Ambit backend");
+      }
+      auto& args = std::get<bulk_bool_args>(n.task.payload);
+      ambit_.execute(args.op, args.a, args.b ? &*args.b : nullptr, args.d,
+                     [this, id] { completed_fifo_.push_back(id); });
+      break;
+    }
+    case backend_kind::rowclone: {
+      auto done = [this, id](picoseconds) { completed_fifo_.push_back(id); };
+      if (n.task.kind() == task_kind::row_copy) {
+        const auto& args = std::get<row_copy_args>(n.task.payload);
+        if (args.same_subarray) {
+          rowclone_.copy_fpm(args.src, args.dst, done);
+        } else {
+          rowclone_.copy_psm(args.src, args.dst, done);
+        }
+      } else if (n.task.kind() == task_kind::row_memset) {
+        const auto& args = std::get<row_memset_args>(n.task.payload);
+        rowclone_.memset_row(args.dst, args.ones, done);
+      } else {
+        throw std::invalid_argument(
+            "scheduler: only row copy/memset tasks run on RowClone");
+      }
+      break;
+    }
+    case backend_kind::ndp_logic:
+      start_on_executor(ndp_pool_, id);
+      break;
+    case backend_kind::host:
+      start_on_executor(host_pool_, id);
+      break;
+  }
+}
+
+void scheduler::start_on_executor(executor_pool& pool, task_id id) {
+  if (static_cast<int>(pool.running.size()) < pool.slots) {
+    node& n = active_.at(id);
+    const core::offload_decision& d = n.future->report.decision;
+    const picoseconds service = std::max<picoseconds>(
+        n.where == backend_kind::ndp_logic ? d.pim_time : d.host_time, 0);
+    n.future->report.start_ps = mem_.now_ps();
+    pool.running.emplace_back(id, mem_.now_ps() + service);
+  } else {
+    pool.queue.push_back(id);
+  }
+}
+
+void scheduler::apply_host_result(const node& n) {
+  switch (n.task.kind()) {
+    case task_kind::bulk_bool: {
+      const auto& args = std::get<bulk_bool_args>(n.task.payload);
+      const bitvector va = ambit_.read_vector(args.a);
+      const bitvector vb = args.b ? ambit_.read_vector(*args.b) : va;
+      ambit_.write_vector(args.d, dram::ambit_engine::apply(args.op, va, vb));
+      break;
+    }
+    case task_kind::row_copy: {
+      const auto& args = std::get<row_copy_args>(n.task.payload);
+      mem_.row(args.dst) = mem_.row_or_zero(args.src);
+      break;
+    }
+    case task_kind::row_memset: {
+      const auto& args = std::get<row_memset_args>(n.task.payload);
+      mem_.row(args.dst) = bitvector(mem_.org().row_bits(), args.ones);
+      break;
+    }
+    case task_kind::host_kernel:
+      break;  // modeled analytically; no simulated-DRAM side effects
+  }
+}
+
+void scheduler::complete(task_id id) {
+  node& n = active_.at(id);
+  n.future->report.complete_ps = mem_.now_ps();
+  n.future->done = true;
+  if (completion_hook_) completion_hook_(n.future->report);
+
+  const std::vector<task_id> dependents = std::move(n.dependents);
+  active_.erase(id);
+  --outstanding_;
+  --in_flight_;
+  ++stats_.completed;
+  for (task_id dep : dependents) {
+    auto it = active_.find(dep);
+    if (it == active_.end()) continue;
+    if (--it->second.unmet_deps == 0 && !it->second.released) {
+      release(dep);
+    }
+  }
+}
+
+void scheduler::process_completions() {
+  while (!completed_fifo_.empty()) {
+    std::vector<task_id> batch = std::move(completed_fifo_);
+    completed_fifo_.clear();
+    for (task_id id : batch) complete(id);
+  }
+}
+
+void scheduler::tick() {
+  mem_.tick();
+  ++stats_.ticks;
+  const int busy = static_cast<int>(mem_.busy_banks());
+  stats_.busy_bank_ticks += static_cast<std::uint64_t>(busy);
+  stats_.peak_busy_banks = std::max(stats_.peak_busy_banks, busy);
+
+  // Executor pools: finish expired runs, then pull queued work into
+  // the freed slots.
+  const picoseconds now = mem_.now_ps();
+  for (executor_pool* pool : {&host_pool_, &ndp_pool_}) {
+    for (std::size_t i = 0; i < pool->running.size();) {
+      if (pool->running[i].second <= now) {
+        const task_id id = pool->running[i].first;
+        pool->running.erase(pool->running.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        apply_host_result(active_.at(id));
+        completed_fifo_.push_back(id);
+      } else {
+        ++i;
+      }
+    }
+    while (!pool->queue.empty() &&
+           static_cast<int>(pool->running.size()) < pool->slots) {
+      const task_id id = pool->queue.front();
+      pool->queue.pop_front();
+      start_on_executor(*pool, id);
+    }
+  }
+
+  process_completions();
+}
+
+bool scheduler::idle() const { return outstanding_ == 0 && mem_.idle(); }
+
+void scheduler::wait(const task_future& future) {
+  if (!future.valid()) {
+    throw std::invalid_argument("scheduler::wait: empty future");
+  }
+  cycles waited = 0;
+  while (!future.ready()) {
+    if (++waited > config_.max_wait_cycles) {
+      throw std::runtime_error("scheduler::wait: watchdog expired");
+    }
+    tick();
+  }
+}
+
+void scheduler::wait_all() {
+  cycles waited = 0;
+  while (!idle()) {
+    if (++waited > config_.max_wait_cycles) {
+      throw std::runtime_error("scheduler::wait_all: watchdog expired");
+    }
+    tick();
+  }
+}
+
+}  // namespace pim::runtime

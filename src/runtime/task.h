@@ -1,0 +1,146 @@
+// pim_task: the unit of work accepted by the asynchronous PIM runtime.
+//
+// A task is one bulk Boolean op, one RowClone copy/initialization, or a
+// host-kernel fallback described by its kernel_profile. Tasks carry a
+// stream id (the tenant that issued them) and an optional forced
+// backend; the dispatcher otherwise routes them with the offload model.
+// Submission returns a task_future; completion produces a task_report
+// with submit/start/complete timestamps on the simulated clock and the
+// dispatch decision that was taken.
+#ifndef PIM_RUNTIME_TASK_H
+#define PIM_RUNTIME_TASK_H
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+#include "common/types.h"
+#include "core/offload.h"
+#include "dram/ambit.h"
+
+namespace pim::runtime {
+
+using task_id = std::uint64_t;
+
+/// What a task asks for. Order matches the payload variant below.
+enum class task_kind { bulk_bool, row_copy, row_memset, host_kernel };
+
+/// Where a task can execute. `ambit`/`rowclone` are the in-DRAM
+/// engines, `ndp_logic` models cores in the logic layer of a stack,
+/// `host` is the CPU fallback.
+enum class backend_kind { ambit, rowclone, ndp_logic, host };
+
+std::string to_string(task_kind kind);
+std::string to_string(backend_kind backend);
+
+/// d = op(a[, b]); b is meaningful only for binary ops.
+struct bulk_bool_args {
+  dram::bulk_op op = dram::bulk_op::not_op;
+  dram::bulk_vector a;
+  std::optional<dram::bulk_vector> b;
+  dram::bulk_vector d;
+};
+
+struct row_copy_args {
+  dram::address src;
+  dram::address dst;
+  bool same_subarray = true;  // FPM when true, PSM otherwise
+};
+
+struct row_memset_args {
+  dram::address dst;
+  bool ones = false;
+};
+
+/// A kernel the runtime cannot lower to in-DRAM ops; it runs on the
+/// host or on the stack's logic-layer cores per the offload decision.
+struct host_kernel_args {
+  core::kernel_profile profile;
+};
+
+using task_payload = std::variant<bulk_bool_args, row_copy_args,
+                                  row_memset_args, host_kernel_args>;
+
+struct pim_task {
+  task_payload payload;
+  /// Bypass the dispatcher's offload decision when set.
+  std::optional<backend_kind> forced_backend;
+  /// Tenant stream this task belongs to (workload driver bookkeeping).
+  int stream = 0;
+
+  task_kind kind() const { return static_cast<task_kind>(payload.index()); }
+};
+
+/// Builds a bulk Boolean op task: d = op(a[, b]); b is null for unary
+/// ops. The one construction path shared by the runtime's submit_bulk,
+/// the synchronous pim_system wrapper, and the workload driver.
+pim_task make_bulk_task(dram::bulk_op op, const dram::bulk_vector& a,
+                        const dram::bulk_vector* b,
+                        const dram::bulk_vector& d, int stream = 0);
+
+/// Completion record for one task.
+struct task_report {
+  task_id id = 0;
+  int stream = 0;
+  task_kind kind = task_kind::bulk_bool;
+  backend_kind where = backend_kind::ambit;
+  core::offload_decision decision;  // what the dispatcher computed
+
+  picoseconds submit_ps = 0;    // runtime accepted the task
+  picoseconds start_ps = 0;     // hazards cleared, work began
+  picoseconds complete_ps = 0;  // results visible
+  bytes output_bytes = 0;
+
+  picoseconds latency() const { return complete_ps - submit_ps; }
+  picoseconds service_time() const { return complete_ps - start_ps; }
+
+  /// Output bytes per wall-clock. Guarded: a zero-latency task (e.g. an
+  /// empty host kernel completing in the submission tick) reports 0
+  /// rather than dividing by zero.
+  double throughput_gbps() const {
+    return gigabytes_per_second(output_bytes, latency());
+  }
+};
+
+/// Handle to a submitted task. Poll with ready(); block with
+/// scheduler::wait / pim_runtime::wait (which advance simulated time).
+class task_future {
+ public:
+  task_future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ != nullptr && state_->done; }
+  task_id id() const {
+    require_valid();
+    return state_->report.id;
+  }
+
+  /// The completion report; throws if the task has not completed.
+  const task_report& report() const {
+    require_valid();
+    if (!state_->done) {
+      throw std::logic_error("task_future: task has not completed");
+    }
+    return state_->report;
+  }
+
+ private:
+  friend class scheduler;
+  struct shared_state {
+    bool done = false;
+    task_report report;
+  };
+  explicit task_future(std::shared_ptr<shared_state> state)
+      : state_(std::move(state)) {}
+  void require_valid() const {
+    if (state_ == nullptr) throw std::logic_error("task_future: empty");
+  }
+
+  std::shared_ptr<shared_state> state_;
+};
+
+}  // namespace pim::runtime
+
+#endif  // PIM_RUNTIME_TASK_H

@@ -1,0 +1,227 @@
+#include "runtime/workload.h"
+
+#include <algorithm>
+
+namespace pim::runtime {
+namespace {
+
+struct stream_state {
+  stream_config config;
+  int index = 0;
+  std::vector<dram::bulk_vector> vectors;
+  std::vector<pim_task> tasks;
+};
+
+// Database tenant: bitmap-scan chains over three column bitmaps into
+// two result bitmaps — RAW chains with periodic WAR reuse of results,
+// the hazard pattern a query pipeline produces.
+void build_db_stream(stream_state& s) {
+  const auto& v = s.vectors;  // col0 col1 col2 res0 res1
+  for (int i = 0; i < s.config.tasks; ++i) {
+    switch (i % 4) {
+      case 0:
+        s.tasks.push_back(
+            make_bulk_task(dram::bulk_op::and_op, v[0], &v[1], v[3], s.index));
+        break;
+      case 1:
+        s.tasks.push_back(
+            make_bulk_task(dram::bulk_op::or_op, v[3], &v[2], v[4], s.index));
+        break;
+      case 2:
+        s.tasks.push_back(
+            make_bulk_task(dram::bulk_op::xor_op, v[1], &v[2], v[3], s.index));
+        break;
+      case 3:
+        s.tasks.push_back(
+            make_bulk_task(dram::bulk_op::not_op, v[3], nullptr, v[4], s.index));
+        break;
+    }
+  }
+}
+
+// Graph tenant: frontier expansion over frontier/visited/neighbors
+// bitmaps, including an in-place visited update.
+void build_graph_stream(stream_state& s) {
+  const auto& v = s.vectors;  // frontier visited neighbors next scratch
+  for (int i = 0; i < s.config.tasks; ++i) {
+    switch (i % 4) {
+      case 0:
+        s.tasks.push_back(
+            make_bulk_task(dram::bulk_op::or_op, v[0], &v[2], v[3], s.index));
+        break;
+      case 1:
+        s.tasks.push_back(
+            make_bulk_task(dram::bulk_op::or_op, v[1], &v[3], v[1], s.index));
+        break;
+      case 2:
+        s.tasks.push_back(
+            make_bulk_task(dram::bulk_op::xor_op, v[3], &v[1], v[0], s.index));
+        break;
+      case 3:
+        s.tasks.push_back(
+            make_bulk_task(dram::bulk_op::nand_op, v[0], &v[1], v[4], s.index));
+        break;
+    }
+  }
+}
+
+// Consumer-device tenant: bulk initialization and copies plus kernels
+// the dispatcher must place — one memory-bound (offloads to the logic
+// layer), one compute-bound with cache reuse (stays on the host).
+void build_consumer_stream(stream_state& s) {
+  const auto& v = s.vectors;  // buf0 buf1
+  const auto rows = static_cast<int>(v[0].rows.size());
+  for (int i = 0; i < s.config.tasks; ++i) {
+    switch (i % 4) {
+      case 0: {
+        pim_task t;
+        t.payload = row_memset_args{v[0].rows[static_cast<std::size_t>(
+                                        (i / 4) % rows)],
+                                    (i / 4) % 2 == 0};
+        t.stream = s.index;
+        s.tasks.push_back(std::move(t));
+        break;
+      }
+      case 1: {
+        const auto r = static_cast<std::size_t>((i / 4) % rows);
+        pim_task t;
+        t.payload = row_copy_args{v[0].rows[r], v[1].rows[r], true};
+        t.stream = s.index;
+        s.tasks.push_back(std::move(t));
+        break;
+      }
+      case 2: {
+        core::kernel_profile p;
+        p.name = "texture_decode";  // streaming, memory-bound
+        p.instructions = 1'000'000;
+        p.memory_traffic = 2 * mib;
+        p.host_cache_hit = 0.0;
+        pim_task t;
+        t.payload = host_kernel_args{p};
+        t.stream = s.index;
+        s.tasks.push_back(std::move(t));
+        break;
+      }
+      case 3: {
+        core::kernel_profile p;
+        p.name = "color_blit";  // compute-bound, cache-friendly
+        p.instructions = 1'000'000;
+        p.memory_traffic = 256 * kib;
+        p.host_cache_hit = 0.8;
+        pim_task t;
+        t.payload = host_kernel_args{p};
+        t.stream = s.index;
+        s.tasks.push_back(std::move(t));
+        break;
+      }
+    }
+  }
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (word >> (byte * 8)) & 0xff;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::string to_string(stream_kind kind) {
+  switch (kind) {
+    case stream_kind::db_bitmap_scan: return "db_bitmap_scan";
+    case stream_kind::graph_frontier: return "graph_frontier";
+    case stream_kind::consumer_bulk: return "consumer_bulk";
+  }
+  throw std::logic_error("unknown stream kind");
+}
+
+drive_result workload_driver::run(const std::vector<stream_config>& streams,
+                                  bool synchronous) {
+  // Setup: allocate and populate each tenant's vectors deterministically
+  // from its seed, then synthesize the task list.
+  std::vector<stream_state> states;
+  states.reserve(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    stream_state s;
+    s.config = streams[i];
+    s.index = static_cast<int>(i);
+    const bits size = sys_.org().row_bits() *
+                      static_cast<bits>(std::max(1, s.config.rows_per_vector));
+    const int vector_count =
+        s.config.kind == stream_kind::consumer_bulk ? 2 : 5;
+    s.vectors = sys_.allocate(size, vector_count);
+    rng gen(s.config.seed);
+    for (const dram::bulk_vector& v : s.vectors) {
+      sys_.write(v, bitvector::random(v.size, gen));
+    }
+    switch (s.config.kind) {
+      case stream_kind::db_bitmap_scan: build_db_stream(s); break;
+      case stream_kind::graph_frontier: build_graph_stream(s); break;
+      case stream_kind::consumer_bulk: build_consumer_stream(s); break;
+    }
+    states.push_back(std::move(s));
+  }
+
+  // Replay: round-robin across tenants, the arrival order concurrent
+  // clients produce. Synchronous mode drains each task before the next
+  // submission; batched mode lets the scheduler overlap everything.
+  std::vector<std::vector<task_future>> futures(states.size());
+  bool remaining = true;
+  std::vector<std::size_t> cursor(states.size(), 0);
+  while (remaining) {
+    remaining = false;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (cursor[i] >= states[i].tasks.size()) continue;
+      task_future f = sys_.submit(states[i].tasks[cursor[i]++]);
+      if (synchronous) sys_.wait(f);
+      futures[i].push_back(std::move(f));
+      remaining = true;
+    }
+  }
+  sys_.wait_all();
+
+  drive_result result;
+  result.stats = sys_.runtime().stats();
+  picoseconds first_submit = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    stream_result sr;
+    sr.stream = states[i].index;
+    sr.kind = states[i].config.kind;
+    sr.tasks = static_cast<int>(futures[i].size());
+    bool first = true;
+    for (const task_future& f : futures[i]) {
+      const task_report& r = f.report();
+      if (first || r.submit_ps < sr.first_submit_ps) {
+        sr.first_submit_ps = r.submit_ps;
+        first = false;
+      }
+      sr.last_complete_ps = std::max(sr.last_complete_ps, r.complete_ps);
+      sr.output_bytes += r.output_bytes;
+    }
+    if (sr.tasks > 0 && (!any || sr.first_submit_ps < first_submit)) {
+      first_submit = sr.first_submit_ps;
+      any = true;
+    }
+    result.makespan_ps = std::max(result.makespan_ps, sr.last_complete_ps);
+    result.output_bytes += sr.output_bytes;
+    result.streams.push_back(sr);
+  }
+  result.makespan_ps -= first_submit;
+
+  std::uint64_t digest = 0xcbf29ce484222325ull;
+  for (const stream_state& s : states) {
+    for (const dram::bulk_vector& v : s.vectors) {
+      const bitvector data = sys_.read(v);
+      for (std::size_t w = 0; w < data.word_count(); ++w) {
+        digest = fnv1a(digest, data.get_word(w));
+      }
+    }
+  }
+  result.digest = digest;
+  return result;
+}
+
+}  // namespace pim::runtime

@@ -1,0 +1,77 @@
+// Multi-tenant workload driver: replays concurrent query streams
+// through the asynchronous runtime.
+//
+// Each stream models one tenant — a database issuing bitmap-scan op
+// chains, a graph engine updating frontiers, or a consumer-device app
+// mixing bulk memset/copy with offloadable kernels. The driver
+// interleaves submission round-robin across streams (tasks arrive the
+// way concurrent clients would issue them) and either batches them
+// through the scheduler or, for the baseline, waits out each task
+// before submitting the next. Results carry a digest of every
+// stream's vector contents so batched and synchronous execution can be
+// compared bit-for-bit.
+#ifndef PIM_RUNTIME_WORKLOAD_H
+#define PIM_RUNTIME_WORKLOAD_H
+
+#include <vector>
+
+#include "core/pim_system.h"
+
+namespace pim::runtime {
+
+enum class stream_kind { db_bitmap_scan, graph_frontier, consumer_bulk };
+
+std::string to_string(stream_kind kind);
+
+struct stream_config {
+  stream_kind kind = stream_kind::db_bitmap_scan;
+  int tasks = 16;
+  int rows_per_vector = 1;  // vector size = rows_per_vector DRAM rows
+  std::uint64_t seed = 1;
+};
+
+struct stream_result {
+  int stream = 0;
+  stream_kind kind = stream_kind::db_bitmap_scan;
+  int tasks = 0;
+  picoseconds first_submit_ps = 0;
+  picoseconds last_complete_ps = 0;
+  bytes output_bytes = 0;
+
+  picoseconds span_ps() const { return last_complete_ps - first_submit_ps; }
+  double throughput_gbps() const {
+    return gigabytes_per_second(output_bytes, span_ps());
+  }
+};
+
+struct drive_result {
+  picoseconds makespan_ps = 0;  // first submit to last completion overall
+  bytes output_bytes = 0;
+  std::vector<stream_result> streams;
+  runtime_stats stats;
+  /// Hash of every stream's vector contents after the run; equal
+  /// digests mean bit-for-bit identical results.
+  std::uint64_t digest = 0;
+
+  double aggregate_gbps() const {
+    return gigabytes_per_second(output_bytes, makespan_ps);
+  }
+};
+
+class workload_driver {
+ public:
+  explicit workload_driver(core::pim_system& sys) : sys_(sys) {}
+
+  /// Runs all streams concurrently. `synchronous` waits out every task
+  /// before submitting the next (the drain-per-op baseline); otherwise
+  /// all tasks batch through the scheduler and overlap across banks.
+  drive_result run(const std::vector<stream_config>& streams,
+                   bool synchronous = false);
+
+ private:
+  core::pim_system& sys_;
+};
+
+}  // namespace pim::runtime
+
+#endif  // PIM_RUNTIME_WORKLOAD_H

@@ -80,6 +80,32 @@ TEST(PimSystemTest, EnergyAccumulates) {
   EXPECT_GT(sys.energy().total(), before);
 }
 
+TEST(PimSystemTest, AsyncSubmitMatchesSyncExecute) {
+  pim_system sys(small_config());
+  auto vecs = sys.allocate(10'000, 4);
+  rng gen(4);
+  const bitvector a = bitvector::random(10'000, gen);
+  const bitvector b = bitvector::random(10'000, gen);
+  sys.write(vecs[0], a);
+  sys.write(vecs[1], b);
+  sys.execute(dram::bulk_op::or_op, vecs[0], &vecs[1], vecs[2]);
+  auto f = sys.submit_bulk(dram::bulk_op::or_op, vecs[0], &vecs[1], vecs[3]);
+  sys.wait(f);
+  EXPECT_EQ(sys.read(vecs[3]), sys.read(vecs[2]));
+  EXPECT_EQ(sys.read(vecs[3]), a | b);
+}
+
+TEST(OpReportTest, ZeroLatencyThroughputIsGuarded) {
+  const op_report zero = op_report::make(0, 0.0, 8192);
+  EXPECT_EQ(zero.throughput_gbps, 0.0);  // no division by zero
+  const op_report negative = op_report::make(-10, 0.0, 8192);
+  EXPECT_EQ(negative.throughput_gbps, 0.0);
+  // 16 bytes every 1000 ps = 16 GB/s.
+  const op_report ok = op_report::make(1000, 5.0, 16);
+  EXPECT_DOUBLE_EQ(ok.throughput_gbps, 16.0);
+  EXPECT_DOUBLE_EQ(ok.energy, 5.0);
+}
+
 // ---------------------------------------------------------------------------
 // coherence
 // ---------------------------------------------------------------------------

@@ -430,6 +430,39 @@ TEST(MemorySystemTest, DrainThrowsIfStuck) {
   EXPECT_THROW(mem.drain(3), std::runtime_error);
 }
 
+TEST(MemorySystemTest, BusyBankIntrospectionTracksBulkSequences) {
+  organization org = small_org();
+  memory_system mem(org, ddr3_1600());
+  EXPECT_EQ(mem.busy_banks(), 0u);
+  EXPECT_EQ(mem.pending_bulk(), 0u);
+  EXPECT_FALSE(mem.channel(0).bank_busy(0, 1));
+
+  // A long bulk sequence on (rank 0, bank 1) of channel 0.
+  bulk_sequence seq;
+  address a;
+  a.bank = 1;
+  for (int i = 0; i < 4; ++i) {
+    a.row = 2 * i;
+    seq.commands.push_back({command_kind::activate, a, /*bulk=*/true});
+    seq.commands.push_back({command_kind::precharge, a, /*bulk=*/true});
+  }
+  bool done = false;
+  seq.on_complete = [&](picoseconds) { done = true; };
+  mem.enqueue_bulk(0, std::move(seq));
+  EXPECT_EQ(mem.pending_bulk(), 1u);
+
+  // Once the sequence starts, exactly its one bank is held.
+  while (mem.busy_banks() == 0 && !mem.idle()) mem.tick();
+  EXPECT_EQ(mem.busy_banks(), 1u);
+  EXPECT_TRUE(mem.channel(0).bank_busy(0, 1));
+  EXPECT_FALSE(mem.channel(0).bank_busy(0, 0));
+
+  mem.drain();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(mem.busy_banks(), 0u);
+  EXPECT_EQ(mem.pending_bulk(), 0u);
+}
+
 TEST(MemorySystemTest, RowStoreLazilyZero) {
   organization org = small_org();
   memory_system mem(org, ddr3_1600());

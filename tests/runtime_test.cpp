@@ -1,0 +1,450 @@
+// Tests for the asynchronous batched PIM runtime: task futures and
+// reports, hazard-ordered scheduling, equivalence of batched and
+// synchronous execution, offload-aware dispatch, and the multi-tenant
+// workload driver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pim_system.h"
+#include "runtime/workload.h"
+
+namespace pim::runtime {
+namespace {
+
+core::pim_system_config small_config() {
+  core::pim_system_config cfg;
+  cfg.org.channels = 1;
+  cfg.org.ranks = 1;
+  cfg.org.banks = 4;
+  cfg.org.subarrays = 4;
+  cfg.org.rows = 256;
+  cfg.org.columns = 8;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Futures and reports
+// ---------------------------------------------------------------------------
+
+TEST(TaskFutureTest, EmptyFutureThrows) {
+  task_future f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_FALSE(f.ready());
+  EXPECT_THROW(f.report(), std::logic_error);
+}
+
+TEST(TaskFutureTest, ReportBeforeCompletionThrows) {
+  core::pim_system sys(small_config());
+  auto vecs = sys.allocate(1'000, 3);
+  task_future f =
+      sys.submit_bulk(dram::bulk_op::and_op, vecs[0], &vecs[1], vecs[2]);
+  ASSERT_TRUE(f.valid());
+  EXPECT_FALSE(f.ready());
+  EXPECT_THROW(f.report(), std::logic_error);
+  sys.wait(f);
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.report().where, backend_kind::ambit);
+}
+
+TEST(TaskReportTest, ThroughputGuardsZeroLatency) {
+  task_report r;
+  r.output_bytes = 4096;
+  r.submit_ps = 1000;
+  r.complete_ps = 1000;  // zero-latency completion
+  EXPECT_EQ(r.latency(), 0);
+  EXPECT_EQ(r.throughput_gbps(), 0.0);
+
+  r.complete_ps = 2000;
+  EXPECT_GT(r.throughput_gbps(), 0.0);
+}
+
+TEST(TaskReportTest, TimestampsAreOrdered) {
+  core::pim_system sys(small_config());
+  auto vecs = sys.allocate(1'000, 3);
+  task_future f =
+      sys.submit_bulk(dram::bulk_op::or_op, vecs[0], &vecs[1], vecs[2]);
+  sys.wait(f);
+  const task_report& r = f.report();
+  EXPECT_LE(r.submit_ps, r.start_ps);
+  EXPECT_LT(r.start_ps, r.complete_ps);
+  EXPECT_GT(r.throughput_gbps(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Batched execution: correctness and hazard ordering
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, BatchedMatchesSynchronousBitForBit) {
+  const bits size = 5'000;
+  rng gen(42);
+  const bitvector a = bitvector::random(size, gen);
+  const bitvector b = bitvector::random(size, gen);
+  const bitvector c = bitvector::random(size, gen);
+
+  // Synchronous reference.
+  core::pim_system sync_sys(small_config());
+  auto sv = sync_sys.allocate(size, 5);
+  sync_sys.write(sv[0], a);
+  sync_sys.write(sv[1], b);
+  sync_sys.write(sv[2], c);
+  sync_sys.execute(dram::bulk_op::and_op, sv[0], &sv[1], sv[3]);
+  sync_sys.execute(dram::bulk_op::xor_op, sv[3], &sv[2], sv[4]);
+  sync_sys.execute(dram::bulk_op::nor_op, sv[4], &sv[0], sv[3]);
+
+  // Same chain, submitted all at once.
+  core::pim_system batched_sys(small_config());
+  auto bv = batched_sys.allocate(size, 5);
+  batched_sys.write(bv[0], a);
+  batched_sys.write(bv[1], b);
+  batched_sys.write(bv[2], c);
+  batched_sys.submit_bulk(dram::bulk_op::and_op, bv[0], &bv[1], bv[3]);
+  batched_sys.submit_bulk(dram::bulk_op::xor_op, bv[3], &bv[2], bv[4]);
+  batched_sys.submit_bulk(dram::bulk_op::nor_op, bv[4], &bv[0], bv[3]);
+  batched_sys.wait_all();
+
+  EXPECT_EQ(batched_sys.read(bv[3]), sync_sys.read(sv[3]));
+  EXPECT_EQ(batched_sys.read(bv[4]), sync_sys.read(sv[4]));
+  // And against the functional model directly.
+  EXPECT_EQ(batched_sys.read(bv[4]), (a & b) ^ c);
+}
+
+TEST(SchedulerTest, DependentTasksCompleteInOrder) {
+  core::pim_system sys(small_config());
+  const bits size = 2'000;
+  auto vecs = sys.allocate(size, 4);
+  rng gen(3);
+  sys.write(vecs[0], bitvector::random(size, gen));
+  sys.write(vecs[1], bitvector::random(size, gen));
+
+  // t1 writes d; t2 reads d (RAW); t3 overwrites d's source (WAR).
+  task_future t1 =
+      sys.submit_bulk(dram::bulk_op::and_op, vecs[0], &vecs[1], vecs[2]);
+  task_future t2 =
+      sys.submit_bulk(dram::bulk_op::or_op, vecs[2], &vecs[1], vecs[3]);
+  task_future t3 =
+      sys.submit_bulk(dram::bulk_op::not_op, vecs[1], nullptr, vecs[2]);
+  sys.wait_all();
+
+  EXPECT_LE(t1.report().complete_ps, t2.report().start_ps);
+  EXPECT_LE(t2.report().complete_ps, t3.report().start_ps);
+  EXPECT_GE(sys.runtime().stats().sched.hazard_deferred, 2u);
+}
+
+TEST(SchedulerTest, HazardChainProducesCorrectResults) {
+  core::pim_system sys(small_config());
+  const bits size = 3'000;
+  auto vecs = sys.allocate(size, 4);
+  rng gen(9);
+  const bitvector a = bitvector::random(size, gen);
+  const bitvector b = bitvector::random(size, gen);
+  sys.write(vecs[0], a);
+  sys.write(vecs[1], b);
+
+  sys.submit_bulk(dram::bulk_op::and_op, vecs[0], &vecs[1], vecs[2]);
+  sys.submit_bulk(dram::bulk_op::or_op, vecs[2], &vecs[0], vecs[3]);
+  // WAR: overwrite vecs[2] after the read above.
+  sys.submit_bulk(dram::bulk_op::xor_op, vecs[0], &vecs[1], vecs[2]);
+  // In-place: vecs[3] |= vecs[2].
+  sys.submit_bulk(dram::bulk_op::or_op, vecs[3], &vecs[2], vecs[3]);
+  sys.wait_all();
+
+  EXPECT_EQ(sys.read(vecs[2]), a ^ b);
+  EXPECT_EQ(sys.read(vecs[3]), ((a & b) | a) | (a ^ b));
+}
+
+TEST(SchedulerTest, IndependentOpsOverlapAcrossBanks) {
+  // Eight independent ops on different banks: batched wall-clock must
+  // beat drain-per-op, and the bank-parallelism stats must see it.
+  const int ops = 8;
+  core::pim_system_config cfg = small_config();
+  cfg.org.banks = 8;
+
+  core::pim_system sync_sys(cfg);
+  const bits size = cfg.org.row_bits();
+  picoseconds sync_ps = 0;
+  for (int i = 0; i < ops; ++i) {
+    auto g = sync_sys.allocate(size, 3);
+    sync_ps += sync_sys.execute(dram::bulk_op::xor_op, g[0], &g[1], g[2])
+                   .latency;
+  }
+
+  core::pim_system batched_sys(cfg);
+  std::vector<std::vector<dram::bulk_vector>> groups;
+  for (int i = 0; i < ops; ++i) groups.push_back(batched_sys.allocate(size, 3));
+  const picoseconds start = batched_sys.memory().now_ps();
+  for (const auto& g : groups) {
+    batched_sys.submit_bulk(dram::bulk_op::xor_op, g[0], &g[1], g[2]);
+  }
+  batched_sys.wait_all();
+  const picoseconds batched_ps = batched_sys.memory().now_ps() - start;
+
+  EXPECT_LT(batched_ps, sync_ps / 2);  // at least 2x from overlap
+  EXPECT_GT(batched_sys.runtime().stats().sched.peak_busy_banks, 1);
+}
+
+TEST(SchedulerTest, RowCloneAndMemsetTasks) {
+  core::pim_system sys(small_config());
+  const bits size = sys.org().row_bits();
+  auto vecs = sys.allocate(size, 2);
+  rng gen(5);
+  const bitvector data = bitvector::random(size, gen);
+  sys.write(vecs[0], data);
+
+  pim_task copy;
+  copy.payload = row_copy_args{vecs[0].rows[0], vecs[1].rows[0], true};
+  task_future f1 = sys.submit(std::move(copy));
+
+  pim_task set;
+  set.payload = row_memset_args{vecs[0].rows[0], true};
+  task_future f2 = sys.submit(std::move(set));  // WAR on the copy source
+  sys.wait_all();
+
+  EXPECT_EQ(sys.read(vecs[1]), data);
+  EXPECT_TRUE(sys.read(vecs[0]).all());
+  EXPECT_EQ(f1.report().where, backend_kind::rowclone);
+  EXPECT_LE(f1.report().complete_ps, f2.report().start_ps);
+}
+
+TEST(SchedulerTest, WaitOnEmptyFutureThrows) {
+  core::pim_system sys(small_config());
+  task_future empty;
+  EXPECT_THROW(sys.wait(empty), std::invalid_argument);
+}
+
+TEST(SchedulerTest, InvalidTaskRejectedWithoutCorruptingState) {
+  core::pim_system sys(small_config());
+  const bits size = 1'000;
+  auto vecs = sys.allocate(size, 3);
+
+  // A row_copy task forced onto the Ambit backend is rejected at
+  // submit time...
+  pim_task bad;
+  bad.payload = row_copy_args{vecs[0].rows[0], vecs[1].rows[0], true};
+  bad.forced_backend = backend_kind::ambit;
+  EXPECT_THROW(sys.submit(std::move(bad)), std::invalid_argument);
+  // ...as is an FPM copy whose rows live in different banks...
+  dram::address other = vecs[0].rows[0];
+  other.bank = (other.bank + 1) % sys.org().banks;
+  pim_task cross;
+  cross.payload = row_copy_args{vecs[0].rows[0], other, true};
+  EXPECT_THROW(sys.submit(std::move(cross)), std::invalid_argument);
+
+  // ...as is an empty bulk vector, whose zero command sequences would
+  // otherwise never resolve the future...
+  dram::bulk_vector empty;
+  pim_task hollow;
+  hollow.payload = bulk_bool_args{dram::bulk_op::not_op, empty, {}, empty};
+  EXPECT_THROW(sys.submit(std::move(hollow)), std::invalid_argument);
+
+  // ...and none of them leaves state behind: the rejected tasks' rows are
+  // not registered as hazards, so later tasks run normally.
+  EXPECT_EQ(sys.runtime().stats().sched.submitted, 0u);
+  rng gen(21);
+  const bitvector a = bitvector::random(size, gen);
+  sys.write(vecs[0], a);
+  task_future ok =
+      sys.submit_bulk(dram::bulk_op::not_op, vecs[0], nullptr, vecs[2]);
+  sys.wait(ok);
+  EXPECT_EQ(sys.read(vecs[2]), ~a);
+  EXPECT_TRUE(sys.runtime().idle());
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher routing
+// ---------------------------------------------------------------------------
+
+TEST(DispatcherTest, MemoryBoundKernelOffloads) {
+  dispatcher d(small_config().org);
+  pim_task t;
+  core::kernel_profile p;
+  p.name = "streaming_scan";
+  p.instructions = 1'000'000;
+  p.memory_traffic = 64 * mib;  // memory-bound: host BW is the wall
+  p.host_cache_hit = 0.0;
+  t.payload = host_kernel_args{p};
+
+  const dispatcher::routing_result r = d.route(t);
+  EXPECT_TRUE(r.decision.offload);
+  EXPECT_EQ(r.where, backend_kind::ndp_logic);
+}
+
+TEST(DispatcherTest, ComputeBoundKernelStaysOnHost) {
+  dispatcher d(small_config().org);
+  pim_task t;
+  core::kernel_profile p;
+  p.name = "crypto";
+  p.instructions = 500'000'000;  // compute-bound, cache-resident
+  p.memory_traffic = 64 * kib;
+  p.host_cache_hit = 0.9;
+  t.payload = host_kernel_args{p};
+
+  const dispatcher::routing_result r = d.route(t);
+  EXPECT_FALSE(r.decision.offload);
+  EXPECT_EQ(r.where, backend_kind::host);
+}
+
+TEST(DispatcherTest, BulkOpsAreMemoryBoundAndRouteToAmbit) {
+  dispatcher d(small_config().org);
+  core::pim_system sys(small_config());
+  auto vecs = sys.allocate(100'000, 3);
+  pim_task t;
+  bulk_bool_args args;
+  args.op = dram::bulk_op::xor_op;
+  args.a = vecs[0];
+  args.b = vecs[1];
+  args.d = vecs[2];
+  t.payload = std::move(args);
+
+  const dispatcher::routing_result r = d.route(t);
+  EXPECT_TRUE(r.decision.offload);
+  EXPECT_EQ(r.where, backend_kind::ambit);
+  // The derived profile models the host loop: 3 bytes of traffic per
+  // output byte for a binary op, streaming (no cache reuse).
+  EXPECT_EQ(r.profile.memory_traffic, 3u * (100'000 / 8));
+  EXPECT_EQ(r.profile.host_cache_hit, 0.0);
+}
+
+TEST(DispatcherTest, PolicyModesOverrideDecision) {
+  pim_task t;
+  core::kernel_profile p;
+  p.instructions = 500'000'000;
+  p.memory_traffic = 64 * kib;
+  p.host_cache_hit = 0.9;  // would stay on host under adaptive
+  t.payload = host_kernel_args{p};
+
+  dispatch_policy force_pim;
+  force_pim.routing = dispatch_policy::mode::force_pim;
+  EXPECT_EQ(dispatcher(small_config().org, force_pim).route(t).where,
+            backend_kind::ndp_logic);
+
+  dispatch_policy force_host;
+  force_host.routing = dispatch_policy::mode::force_host;
+  t.payload = host_kernel_args{p};
+  EXPECT_EQ(dispatcher(small_config().org, force_host).route(t).where,
+            backend_kind::host);
+
+  // A per-task forced backend beats every policy.
+  t.forced_backend = backend_kind::ndp_logic;
+  EXPECT_EQ(dispatcher(small_config().org, force_host).route(t).where,
+            backend_kind::ndp_logic);
+}
+
+TEST(DispatcherTest, UtilizationAccountsCompletedTasks) {
+  core::pim_system sys(small_config());
+  auto vecs = sys.allocate(1'000, 3);
+  sys.submit_bulk(dram::bulk_op::and_op, vecs[0], &vecs[1], vecs[2]);
+  core::kernel_profile p;
+  p.name = "scan";
+  p.instructions = 1'000;
+  p.memory_traffic = 1 * mib;
+  sys.runtime().submit_kernel(p);
+  sys.wait_all();
+
+  const auto util = sys.runtime().stats().backends;
+  ASSERT_TRUE(util.count(backend_kind::ambit));
+  EXPECT_EQ(util.at(backend_kind::ambit).tasks, 1u);
+  EXPECT_EQ(util.at(backend_kind::ambit).output_bytes, 1'000u / 8);
+  ASSERT_TRUE(util.count(backend_kind::ndp_logic));
+  EXPECT_EQ(util.at(backend_kind::ndp_logic).tasks, 1u);
+}
+
+TEST(DispatcherTest, HostFallbackComputesCorrectResult) {
+  core::pim_system sys(small_config());
+  const bits size = 2'000;
+  auto vecs = sys.allocate(size, 3);
+  rng gen(11);
+  const bitvector a = bitvector::random(size, gen);
+  const bitvector b = bitvector::random(size, gen);
+  sys.write(vecs[0], a);
+  sys.write(vecs[1], b);
+
+  pim_task t;
+  bulk_bool_args args;
+  args.op = dram::bulk_op::nand_op;
+  args.a = vecs[0];
+  args.b = vecs[1];
+  args.d = vecs[2];
+  t.payload = std::move(args);
+  t.forced_backend = backend_kind::host;  // bypass Ambit entirely
+  task_future f = sys.submit(std::move(t));
+  sys.wait(f);
+
+  EXPECT_EQ(sys.read(vecs[2]), ~(a & b));
+  EXPECT_EQ(f.report().where, backend_kind::host);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant workload driver
+// ---------------------------------------------------------------------------
+
+std::vector<stream_config> test_streams(int tasks) {
+  std::vector<stream_config> streams(3);
+  streams[0].kind = stream_kind::db_bitmap_scan;
+  streams[1].kind = stream_kind::graph_frontier;
+  streams[2].kind = stream_kind::consumer_bulk;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    streams[i].tasks = tasks;
+    streams[i].seed = 50 + i;
+  }
+  return streams;
+}
+
+TEST(WorkloadDriverTest, BatchedMatchesSynchronousDigest) {
+  core::pim_system sync_sys(small_config());
+  workload_driver sync_driver(sync_sys);
+  const drive_result sync_r = sync_driver.run(test_streams(8), true);
+
+  core::pim_system batched_sys(small_config());
+  workload_driver batched_driver(batched_sys);
+  const drive_result batched_r = batched_driver.run(test_streams(8), false);
+
+  EXPECT_EQ(sync_r.digest, batched_r.digest);
+  EXPECT_EQ(sync_r.output_bytes, batched_r.output_bytes);
+  EXPECT_LE(batched_r.makespan_ps, sync_r.makespan_ps);
+}
+
+TEST(WorkloadDriverTest, AllTasksCompletePerStream) {
+  core::pim_system sys(small_config());
+  workload_driver driver(sys);
+  const drive_result r = driver.run(test_streams(12), false);
+
+  ASSERT_EQ(r.streams.size(), 3u);
+  for (const stream_result& s : r.streams) {
+    EXPECT_EQ(s.tasks, 12);
+    EXPECT_GT(s.last_complete_ps, s.first_submit_ps);
+    EXPECT_GT(s.output_bytes, 0u);
+  }
+  EXPECT_EQ(r.stats.sched.submitted, 36u);
+  EXPECT_EQ(r.stats.sched.completed, 36u);
+  EXPECT_TRUE(sys.runtime().idle());
+}
+
+TEST(WorkloadDriverTest, StressManyConcurrentStreams) {
+  core::pim_system_config cfg = small_config();
+  cfg.org.banks = 8;
+  cfg.org.rows = 512;
+  core::pim_system sys(cfg);
+  workload_driver driver(sys);
+
+  std::vector<stream_config> streams;
+  for (int i = 0; i < 12; ++i) {
+    stream_config s;
+    s.kind = static_cast<stream_kind>(i % 3);
+    s.tasks = 20;
+    s.seed = static_cast<std::uint64_t>(i + 1);
+    streams.push_back(s);
+  }
+  const drive_result r = driver.run(streams, false);
+
+  EXPECT_EQ(r.stats.sched.submitted, 240u);
+  EXPECT_EQ(r.stats.sched.completed, 240u);
+  EXPECT_GT(r.stats.sched.peak_busy_banks, 1);
+  EXPECT_TRUE(sys.runtime().idle());
+  // Re-running on the same system must also drain cleanly.
+  const drive_result r2 = driver.run(test_streams(4), false);
+  EXPECT_EQ(r2.stats.sched.completed, 252u);  // cumulative counters
+}
+
+}  // namespace
+}  // namespace pim::runtime
