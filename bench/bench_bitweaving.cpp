@@ -1,7 +1,10 @@
 // E4: database query latency, CPU scan vs. Ambit-accelerated scan over
 // BitWeaving-V storage (paper: 2x-12x, growing with data-set size).
+// Results are also written to BENCH_bitweaving.json for cross-commit
+// tracking.
 #include <iostream>
 
+#include "common/json_writer.h"
 #include "common/table.h"
 #include "db/bitmap_index.h"
 #include "db/query.h"
@@ -10,10 +13,15 @@ int main() {
   using namespace pim;
   using namespace pim::db;
 
+  json_writer json;
+  json.begin_object();
+  json.key("bench").value("bitweaving");
+
   std::cout << "=== E4: 'SELECT COUNT(*) WHERE v < c' on a 12-bit column "
                "(BitWeaving-V) ===\n\n";
   rng gen(2026);
   table t({"rows", "ops", "CPU (us)", "Ambit (us)", "speedup"});
+  json.key("scaling").begin_array();
   for (int shift = 20; shift <= 25; ++shift) {
     const std::size_t rows = std::size_t{1} << shift;
     const column col = random_column(rows, 12, gen);
@@ -25,7 +33,15 @@ int main() {
         .cell(static_cast<double>(cmp.cpu_ps) / 1e6)
         .cell(static_cast<double>(cmp.ambit_ps) / 1e6)
         .cell(cmp.speedup(), 1);
+    json.begin_object();
+    json.key("rows").value(std::uint64_t{rows});
+    json.key("ops").value(std::uint64_t{cmp.op_count});
+    json.key("cpu_us").value(static_cast<double>(cmp.cpu_ps) / 1e6);
+    json.key("ambit_us").value(static_cast<double>(cmp.ambit_ps) / 1e6);
+    json.key("speedup").value(cmp.speedup());
+    json.end_object();
   }
+  json.end_array();
   t.print(std::cout);
   std::cout << "(paper: 2x at small sizes growing to ~12x at large "
                "sizes)\n\n";
@@ -41,6 +57,7 @@ int main() {
       {"v >= c", {cmp_op::ge, 1800, 0}},
       {"c1 <= v <= c2", {cmp_op::between, 1000, 2800}},
   };
+  json.key("predicates").begin_array();
   for (const auto& [name, pred] : predicates) {
     const auto cmp = compare_scan(storage, pred);
     t2.row()
@@ -49,7 +66,15 @@ int main() {
         .cell(static_cast<double>(cmp.cpu_ps) / 1e6)
         .cell(static_cast<double>(cmp.ambit_ps) / 1e6)
         .cell(cmp.speedup(), 1);
+    json.begin_object();
+    json.key("predicate").value(name);
+    json.key("ops").value(std::uint64_t{cmp.op_count});
+    json.key("cpu_us").value(static_cast<double>(cmp.cpu_ps) / 1e6);
+    json.key("ambit_us").value(static_cast<double>(cmp.ambit_ps) / 1e6);
+    json.key("speedup").value(cmp.speedup());
+    json.end_object();
   }
+  json.end_array();
   t2.print(std::cout);
 
   std::cout << "=== Bitmap-index query: COUNT WHERE v IN {3 of 16} at 16M "
@@ -65,5 +90,14 @@ int main() {
   t3.row().cell("Ambit").cell(static_cast<double>(ambit_ps) / 1e6).cell(
       std::uint64_t{q.selection.popcount()});
   t3.print(std::cout);
+  json.key("bitmap_index").begin_object();
+  json.key("cpu_us").value(static_cast<double>(cpu_ps) / 1e6);
+  json.key("ambit_us").value(static_cast<double>(ambit_ps) / 1e6);
+  json.key("matches").value(std::uint64_t{q.selection.popcount()});
+  json.end_object();
+
+  json.end_object();
+  json.write_file("BENCH_bitweaving.json");
+  std::cout << "\nwrote BENCH_bitweaving.json\n";
   return 0;
 }

@@ -1,9 +1,11 @@
 // E6 + E7 + E8: Google consumer workloads — data-movement energy share
 // (paper: 62.7%), PIM logic-layer area (9.4% core / 35.4% accelerator),
 // and the energy/time reductions from offloading the target functions
-// (paper: 55.4% energy, 54.2% time on average).
+// (paper: 55.4% energy, 54.2% time on average). Results are also
+// written to BENCH_consumer.json for cross-commit tracking.
 #include <iostream>
 
+#include "common/json_writer.h"
 #include "common/table.h"
 #include "consumer/workloads.h"
 
@@ -85,5 +87,37 @@ int main() {
   std::cout << "best-per-workload: -E " << format_double(be / n * 100, 1)
             << "% / -T " << format_double(bt / n * 100, 1)
             << "%   (paper: 55.4% energy, 54.2% time)\n";
+
+  json_writer json;
+  json.begin_object();
+  json.key("bench").value("consumer");
+  json.key("avg_data_movement_share").value(dm_sum / n);
+  json.key("area").begin_object();
+  json.key("pim_core_mm2").value(a.pim_core_mm2);
+  json.key("core_fraction").value(a.core_fraction);
+  json.key("pim_accel_mm2").value(a.pim_accel_mm2);
+  json.key("accel_fraction").value(a.accel_fraction);
+  json.end_object();
+  json.key("workloads").begin_array();
+  for (const auto& r : reports) {
+    json.begin_object();
+    json.key("workload").value(r.workload);
+    json.key("data_movement_fraction").value(r.data_movement_fraction());
+    json.key("core_energy_reduction").value(r.core_energy_reduction());
+    json.key("core_time_reduction").value(r.core_time_reduction());
+    json.key("accel_energy_reduction").value(r.accel_energy_reduction());
+    json.key("accel_time_reduction").value(r.accel_time_reduction());
+    json.end_object();
+  }
+  json.end_array();
+  json.key("avg_core_energy_reduction").value(ce / n);
+  json.key("avg_core_time_reduction").value(ct / n);
+  json.key("avg_accel_energy_reduction").value(ae / n);
+  json.key("avg_accel_time_reduction").value(at / n);
+  json.key("best_energy_reduction").value(be / n);
+  json.key("best_time_reduction").value(bt / n);
+  json.end_object();
+  json.write_file("BENCH_consumer.json");
+  std::cout << "\nwrote BENCH_consumer.json\n";
   return 0;
 }

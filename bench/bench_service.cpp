@@ -1,0 +1,180 @@
+// Service benchmark: shard-count scaling of the PIM service front-end.
+//
+// A fixed population of synthetic clients (independent tenants, each
+// issuing a deterministic bulk-op chain from its own thread) runs
+// against the service at increasing shard counts. Each shard is a full
+// PIM stack with its own worker thread and simulated clock, so the
+// service-level makespan is the slowest shard's clock: with balanced
+// range routing, doubling the shards should roughly halve the
+// makespan. The per-client digests must be identical at every shard
+// count — sharding must not change a single result bit. Results land
+// in BENCH_service.json for cross-commit tracking.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "common/config.h"
+#include "common/json_writer.h"
+#include "common/table.h"
+#include "service/synthetic.h"
+
+namespace {
+
+using namespace pim;
+
+core::pim_system_config shard_system_config() {
+  core::pim_system_config cfg;
+  cfg.org.channels = 2;
+  cfg.org.ranks = 1;
+  cfg.org.banks = 8;
+  cfg.org.subarrays = 8;
+  cfg.org.rows = 1024;
+  cfg.org.columns = 128;  // 8 KiB rows
+  cfg.runtime.sched.host_slots = 2;
+  return cfg;
+}
+
+std::vector<service::synthetic_config> client_population(int clients,
+                                                         int ops) {
+  std::vector<service::synthetic_config> population;
+  for (int i = 0; i < clients; ++i) {
+    service::synthetic_config c;
+    c.ops = ops;
+    c.groups = 4;  // 4 bank-striped groups: short per-client critical path
+    c.vector_bits = 4 * 8192;
+    c.seed = static_cast<std::uint64_t>(1000 + i);
+    c.dependent_fraction = 0.1;
+    population.push_back(c);
+  }
+  return population;
+}
+
+struct scale_point {
+  int shards = 0;
+  double makespan_us = 0;
+  double aggregate_gbps = 0;
+  double wall_ms = 0;
+  double avg_busy_banks = 0;
+  std::uint64_t tasks = 0;
+  std::vector<std::uint64_t> digests;  // per client, in client order
+  service::service_stats stats;
+};
+
+scale_point run_at(int shards,
+                   const std::vector<service::synthetic_config>& population) {
+  service::service_config cfg;
+  cfg.shards = shards;
+  cfg.system = shard_system_config();
+  cfg.routing = service::shard_routing::range;
+  cfg.sessions_per_shard = (population.size() +
+                            static_cast<std::size_t>(shards) - 1) /
+                           static_cast<std::size_t>(shards);
+  std::size_t max_ops = 1;
+  for (const service::synthetic_config& c : population) {
+    max_ops = std::max(max_ops, static_cast<std::size_t>(c.ops));
+  }
+  cfg.shard.session_queue_capacity = max_ops;  // one full storm, exactly
+  service::pim_service svc(cfg);
+  svc.start();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::vector<service::client_outcome> outcomes =
+      service::run_synthetic_fleet(svc, population, /*burst=*/true);
+  const auto wall_end = std::chrono::steady_clock::now();
+  svc.stop();
+
+  scale_point point;
+  point.shards = shards;
+  point.stats = svc.stats();
+  point.makespan_us = static_cast<double>(point.stats.makespan_ps) / 1e6;
+  point.aggregate_gbps = point.stats.aggregate_gbps();
+  point.wall_ms = std::chrono::duration<double, std::milli>(wall_end -
+                                                            wall_start)
+                      .count();
+  point.avg_busy_banks = point.stats.avg_busy_banks();
+  point.tasks = point.stats.tasks_submitted;
+  for (const service::client_outcome& o : outcomes) {
+    point.digests.push_back(o.digest);
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const config cfg = config::from_args({argv + 1, argv + argc});
+  const int clients = static_cast<int>(cfg.get_int("clients", 32));
+  const int ops = static_cast<int>(cfg.get_int("ops", 24));
+  const int max_shards = static_cast<int>(cfg.get_int("max_shards", 4));
+
+  std::cout << "=== Sharded PIM service: throughput scaling ===\n\n";
+  std::cout << clients << " concurrent clients x " << ops
+            << " bulk ops each; range routing; per-shard stack = 2 ch x 8 "
+               "banks\n\n";
+
+  const auto population = client_population(clients, ops);
+  std::vector<scale_point> points;
+  for (int shards = 1; shards <= max_shards; shards *= 2) {
+    points.push_back(run_at(shards, population));
+  }
+
+  bool digests_match = true;
+  for (const scale_point& p : points) {
+    if (p.digests != points.front().digests) digests_match = false;
+  }
+
+  table t({"shards", "makespan (us)", "aggregate GB/s", "speedup",
+           "avg busy banks", "wall (ms)", "digests"});
+  for (const scale_point& p : points) {
+    const double speedup =
+        p.makespan_us > 0 ? points.front().makespan_us / p.makespan_us : 0.0;
+    t.row()
+        .cell(p.shards)
+        .cell(p.makespan_us)
+        .cell(p.aggregate_gbps)
+        .cell(speedup)
+        .cell(p.avg_busy_banks)
+        .cell(p.wall_ms)
+        .cell(p.digests == points.front().digests ? "match" : "DIFFER");
+  }
+  t.print(std::cout);
+
+  const scale_point& last = points.back();
+  const double final_speedup =
+      last.makespan_us > 0 ? points.front().makespan_us / last.makespan_us
+                           : 0.0;
+  std::cout << "\n" << last.shards << "-shard speedup over 1 shard: "
+            << format_double(final_speedup, 2) << "x, digests "
+            << (digests_match ? "identical" : "DIFFER") << "\n";
+
+  // Machine-readable trajectory record: the scaling curve plus the full
+  // per-shard telemetry of the widest configuration.
+  json_writer json;
+  json.begin_object();
+  json.key("bench").value("service");
+  json.key("clients").value(clients);
+  json.key("ops_per_client").value(ops);
+  json.key("digests_match").value(digests_match);
+  json.key("scaling").begin_array();
+  for (const scale_point& p : points) {
+    json.begin_object();
+    json.key("shards").value(p.shards);
+    json.key("makespan_us").value(p.makespan_us);
+    json.key("aggregate_gbps").value(p.aggregate_gbps);
+    json.key("speedup").value(
+        p.makespan_us > 0 ? points.front().makespan_us / p.makespan_us : 0.0);
+    json.key("avg_busy_banks").value(p.avg_busy_banks);
+    json.key("wall_ms").value(p.wall_ms);
+    json.key("tasks").value(p.tasks);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("service").begin_object();
+  last.stats.to_json(json);
+  json.end_object();
+  json.end_object();
+  json.write_file("BENCH_service.json");
+  std::cout << "wrote BENCH_service.json\n";
+
+  return (digests_match && final_speedup >= 2.0) ? 0 : 1;
+}

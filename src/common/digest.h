@@ -1,0 +1,40 @@
+// FNV-1a digests over bit vectors.
+//
+// The runtime and the service both prove optimizations safe by
+// comparing digests of every vector's final contents against a
+// reference execution ("bit-for-bit identical"). The hash must
+// therefore be computed the same way everywhere: these helpers are the
+// one definition the workload driver, the service clients, and the
+// benches share. Digests chain: feed the previous digest in as `hash`
+// to accumulate multiple vectors in a defined order.
+#ifndef PIM_COMMON_DIGEST_H
+#define PIM_COMMON_DIGEST_H
+
+#include <cstdint>
+
+#include "common/bitvector.h"
+
+namespace pim {
+
+inline constexpr std::uint64_t fnv1a_basis = 0xcbf29ce484222325ull;
+
+/// Folds one 64-bit word into the digest, byte by byte.
+inline std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (word >> (byte * 8)) & 0xff;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Folds a whole bit vector into the digest, word by word.
+inline std::uint64_t fnv1a(std::uint64_t hash, const bitvector& data) {
+  for (std::size_t w = 0; w < data.word_count(); ++w) {
+    hash = fnv1a(hash, data.get_word(w));
+  }
+  return hash;
+}
+
+}  // namespace pim
+
+#endif  // PIM_COMMON_DIGEST_H

@@ -1,5 +1,6 @@
 #include "core/pim_system.h"
 
+#include "common/digest.h"
 #include "common/energy_constants.h"
 
 namespace pim::core {
@@ -33,6 +34,11 @@ void pim_system::write(const dram::bulk_vector& v, const bitvector& data) {
 
 bitvector pim_system::read(const dram::bulk_vector& v) const {
   return ambit_.read_vector(v);
+}
+
+std::uint64_t pim_system::digest(std::uint64_t seed,
+                                 const dram::bulk_vector& v) const {
+  return fnv1a(seed, read(v));
 }
 
 op_report pim_system::timed(std::function<void()> run, bytes output_bytes) {

@@ -49,6 +49,12 @@ class pim_system {
   void write(const dram::bulk_vector& v, const bitvector& data);
   bitvector read(const dram::bulk_vector& v) const;
 
+  /// Chains a vector's contents into an FNV-1a digest (seed in, digest
+  /// out; start from fnv1a_basis). The equivalence checks that guard
+  /// every scheduling optimization — batched vs synchronous, sharded
+  /// vs single-shard — compare digests built this way.
+  std::uint64_t digest(std::uint64_t seed, const dram::bulk_vector& v) const;
+
   /// Synchronous bulk Boolean op: d = op(a[, b]). Returns timing and
   /// the energy spent by the command sequence. A thin wrapper over the
   /// asynchronous runtime: submit one task, wait for it.

@@ -49,6 +49,16 @@ class pim_runtime {
   void wait_all() { sched_.wait_all(); }
   bool idle() const { return sched_.idle(); }
 
+  /// Fair-share lever for the host/NDP executor queues: see
+  /// scheduler::set_stream_weight (Ambit/RowClone tasks issue straight
+  /// to the engines and are not gated by it). The service layer maps
+  /// each client session to a stream and mirrors the session weight
+  /// here; fairness for bulk in-DRAM ops comes from the shard's
+  /// weighted admission popping.
+  void set_stream_weight(int stream, double weight) {
+    sched_.set_stream_weight(stream, weight);
+  }
+
   runtime_stats stats() const;
 
   dispatcher& dispatch() { return dispatcher_; }

@@ -81,6 +81,18 @@ class scheduler {
     completion_hook_ = std::move(hook);
   }
 
+  /// Gives `stream` a fair-share weight (> 0). While any weight is set,
+  /// ready tasks waiting for an executor slot (host / ndp_logic
+  /// backends) are popped by stride scheduling — each stream's share of
+  /// pops is proportional to its weight, and every stream makes
+  /// progress (no starvation) — instead of globally FIFO. Streams
+  /// without an explicit weight default to 1.0. With no weights set the
+  /// original FIFO order is preserved exactly. Ambit/RowClone tasks
+  /// issue straight to the in-DRAM engines when their hazards clear and
+  /// are not gated here; fairness for bulk ops is the service shard's
+  /// admission-popping job.
+  void set_stream_weight(int stream, double weight);
+
   const scheduler_stats& stats() const { return stats_; }
 
  private:
@@ -104,6 +116,7 @@ class scheduler {
   void validate(const pim_task& task, backend_kind where) const;
   void collect_rows(const pim_task& task, std::vector<std::uint64_t>& reads,
                     std::vector<std::uint64_t>& writes) const;
+  task_id pop_ready(executor_pool& pool);
   void release(task_id id);
   void start_on_executor(executor_pool& pool, task_id id);
   void complete(task_id id);
@@ -124,6 +137,15 @@ class scheduler {
   // lookups filter through `active_`.
   std::unordered_map<std::uint64_t, task_id> last_writer_;
   std::unordered_map<std::uint64_t, std::vector<task_id>> readers_;
+
+  // Fair-share state: explicit weights plus each stream's stride pass.
+  // Empty weight map = pure FIFO popping (the historical behavior).
+  // virtual_pass_ is the scheduler's service position (the pass of the
+  // last pop); streams joining or re-entering after an idle spell are
+  // floored to it so they cannot replay the share they did not use.
+  std::unordered_map<int, double> stream_weight_;
+  std::unordered_map<int, double> stream_pass_;
+  double virtual_pass_ = 0.0;
 
   executor_pool host_pool_;
   executor_pool ndp_pool_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/digest.h"
+
 namespace pim::runtime {
 namespace {
 
@@ -118,14 +120,6 @@ void build_consumer_stream(stream_state& s) {
   }
 }
 
-std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t word) {
-  for (int byte = 0; byte < 8; ++byte) {
-    hash ^= (word >> (byte * 8)) & 0xff;
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
-}
-
 }  // namespace
 
 std::string to_string(stream_kind kind) {
@@ -211,13 +205,10 @@ drive_result workload_driver::run(const std::vector<stream_config>& streams,
   }
   result.makespan_ps -= first_submit;
 
-  std::uint64_t digest = 0xcbf29ce484222325ull;
+  std::uint64_t digest = fnv1a_basis;
   for (const stream_state& s : states) {
     for (const dram::bulk_vector& v : s.vectors) {
-      const bitvector data = sys_.read(v);
-      for (std::size_t w = 0; w < data.word_count(); ++w) {
-        digest = fnv1a(digest, data.get_word(w));
-      }
+      digest = sys_.digest(digest, v);
     }
   }
   result.digest = digest;

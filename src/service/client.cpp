@@ -1,0 +1,92 @@
+#include "service/client.h"
+
+#include "common/digest.h"
+
+namespace pim::service {
+
+service_client::service_client(pim_service& svc, double weight) {
+  session_ = svc.open_session(weight);
+  shard_ = &svc.shard_of(session_.id);
+}
+
+request service_client::make_request(request_payload payload) const {
+  request r;
+  r.session = session_.id;
+  r.payload = std::move(payload);
+  return r;
+}
+
+std::vector<dram::bulk_vector> service_client::allocate(bits size, int count) {
+  allocate_args args;
+  args.size = size;
+  args.count = count;
+  request_future f = shard_->enqueue(make_request(args));
+  std::vector<dram::bulk_vector> vectors = f.get().vectors;
+  owned_.insert(owned_.end(), vectors.begin(), vectors.end());
+  return vectors;
+}
+
+void service_client::write(const dram::bulk_vector& v, const bitvector& data) {
+  write_args args;
+  args.v = v;
+  args.data = data;
+  shard_->enqueue(make_request(std::move(args))).get();
+}
+
+bitvector service_client::read(const dram::bulk_vector& v) {
+  read_args args;
+  args.v = v;
+  return shard_->enqueue(make_request(std::move(args))).get().data;
+}
+
+request_future service_client::submit(runtime::pim_task task) {
+  run_task_args args;
+  args.task = std::move(task);
+  request_future f = shard_->enqueue(make_request(std::move(args)));
+  pending_.push_back(f);
+  return f;
+}
+
+request_future service_client::submit_bulk(dram::bulk_op op,
+                                           const dram::bulk_vector& a,
+                                           const dram::bulk_vector* b,
+                                           const dram::bulk_vector& d) {
+  return submit(runtime::make_bulk_task(op, a, b, d));
+}
+
+std::optional<request_future> service_client::try_submit(
+    runtime::pim_task task) {
+  run_task_args args;
+  args.task = std::move(task);
+  std::optional<request_future> f =
+      shard_->try_enqueue(make_request(std::move(args)));
+  if (f) pending_.push_back(*f);
+  return f;
+}
+
+void service_client::wait_all() {
+  // Wait everything out before surfacing the first failure, so a
+  // throw cannot leave silently-unwaited futures behind.
+  std::vector<request_future> waiting = std::move(pending_);
+  pending_.clear();
+  std::exception_ptr first_error;
+  for (const request_future& f : waiting) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::uint64_t service_client::digest() {
+  wait_all();
+  std::uint64_t hash = fnv1a_basis;
+  for (const dram::bulk_vector& v : owned_) {
+    hash = fnv1a(hash, read(v));
+  }
+  return hash;
+}
+
+}  // namespace pim::service

@@ -1,0 +1,72 @@
+// service_client: the session handle application code holds.
+//
+// Open a client against a running pim_service and use it like a remote
+// pim_system: allocate bulk vectors, move data, submit bulk ops, wait
+// on futures. Every call is marshalled to the owning shard's worker
+// thread; allocate/write/read block (they are barriers on the shard),
+// submit_* returns a request_future that completes as the shard's
+// simulated clock advances. One client = one session = one runtime
+// stream; its fair-share weight is fixed at open.
+//
+// A service_client instance is meant to be driven by a single thread.
+// Many clients on many threads against one service is the supported —
+// and tested — concurrency model.
+#ifndef PIM_SERVICE_CLIENT_H
+#define PIM_SERVICE_CLIENT_H
+
+#include "service/service.h"
+
+namespace pim::service {
+
+class service_client {
+ public:
+  /// Opens a session on `svc` (which must outlive the client).
+  explicit service_client(pim_service& svc, double weight = 1.0);
+
+  session_id id() const { return session_.id; }
+  int shard_index() const { return session_.shard; }
+
+  /// Allocates `count` co-located bulk vectors of `size` bits in the
+  /// session's shard. Blocks. The client remembers every vector it
+  /// allocated, in order, for digest().
+  std::vector<dram::bulk_vector> allocate(bits size, int count);
+
+  /// Host data movement through the service (blocking).
+  void write(const dram::bulk_vector& v, const bitvector& data);
+  bitvector read(const dram::bulk_vector& v);
+
+  /// Submits one task; blocks only while the session's admission queue
+  /// is full (backpressure).
+  request_future submit(runtime::pim_task task);
+  request_future submit_bulk(dram::bulk_op op, const dram::bulk_vector& a,
+                             const dram::bulk_vector* b,
+                             const dram::bulk_vector& d);
+
+  /// Non-blocking variant: nullopt when the queue is full right now.
+  std::optional<request_future> try_submit(runtime::pim_task task);
+
+  /// Blocks until every future this client received has completed.
+  /// Rethrows the first failure.
+  void wait_all();
+
+  /// Digest of every vector this client allocated (in allocation
+  /// order), after waiting out pending work. Two runs of the same
+  /// client logic produce equal digests regardless of sharding or
+  /// scheduling — the service's bit-for-bit equivalence check.
+  std::uint64_t digest();
+
+  /// Futures handed out so far (cleared by wait_all).
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  request make_request(request_payload payload) const;
+
+  shard* shard_ = nullptr;  // cached owning shard (avoids a lookup per call)
+  session_info session_;
+  std::vector<request_future> pending_;
+  std::vector<dram::bulk_vector> owned_;
+};
+
+}  // namespace pim::service
+
+#endif  // PIM_SERVICE_CLIENT_H

@@ -1,0 +1,133 @@
+// Request/response envelope of the PIM service front-end.
+//
+// Clients never touch a shard's pim_system directly: the simulator is
+// single-threaded per shard, so every operation — vector allocation,
+// host data movement, bulk-op execution — travels as a `request`
+// through the shard's admission queue and is executed by the shard's
+// worker thread. Completion comes back through a request_future, a
+// real cross-thread future (mutex + condvar), unlike
+// runtime::task_future whose simulated clock only advances on the
+// owning thread.
+#ifndef PIM_SERVICE_REQUEST_H
+#define PIM_SERVICE_REQUEST_H
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "runtime/task.h"
+
+namespace pim::service {
+
+/// Identifies one client session; doubles as the runtime stream id, so
+/// per-stream scheduler weights line up with service sessions.
+using session_id = std::uint64_t;
+
+struct allocate_args {
+  bits size = 0;
+  int count = 0;
+};
+
+struct write_args {
+  dram::bulk_vector v;
+  bitvector data;
+};
+
+struct read_args {
+  dram::bulk_vector v;
+};
+
+struct run_task_args {
+  runtime::pim_task task;
+};
+
+using request_payload =
+    std::variant<allocate_args, write_args, read_args, run_task_args>;
+
+/// What a completed request hands back; which field is meaningful
+/// depends on the request kind.
+struct request_result {
+  std::vector<dram::bulk_vector> vectors;  // allocate
+  bitvector data;                          // read
+  runtime::task_report report;             // run_task
+};
+
+/// Cross-thread completion state shared by the submitting client and
+/// the shard worker.
+struct request_state {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::string error;  // non-empty = request failed
+  request_result result;
+};
+
+inline void complete(request_state& state, request_result result) {
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.result = std::move(result);
+    state.done = true;
+  }
+  state.cv.notify_all();
+}
+
+inline void fail(request_state& state, std::string error) {
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.error = std::move(error);
+    state.done = true;
+  }
+  state.cv.notify_all();
+}
+
+/// Client-side handle to a submitted request.
+class request_future {
+ public:
+  request_future() = default;
+  explicit request_future(std::shared_ptr<request_state> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool ready() const {
+    require_valid();
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+  /// Blocks until the shard worker completes the request; rethrows the
+  /// shard-side failure as std::runtime_error.
+  const request_result& get() const {
+    require_valid();
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    if (!state_->error.empty()) {
+      throw std::runtime_error("service request failed: " + state_->error);
+    }
+    return state_->result;
+  }
+
+ private:
+  void require_valid() const {
+    if (state_ == nullptr) {
+      throw std::logic_error("request_future: empty");
+    }
+  }
+
+  std::shared_ptr<request_state> state_;
+};
+
+/// One queued unit of client work.
+struct request {
+  session_id session = 0;
+  request_payload payload;
+  std::shared_ptr<request_state> completion;
+};
+
+}  // namespace pim::service
+
+#endif  // PIM_SERVICE_REQUEST_H

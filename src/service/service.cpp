@@ -1,0 +1,150 @@
+#include "service/service.h"
+
+#include <algorithm>
+
+namespace pim::service {
+
+double service_stats::avg_busy_banks() const {
+  std::uint64_t busy = 0;
+  std::uint64_t ticks = 0;
+  for (const shard_stats& s : shards) {
+    busy += s.runtime.sched.busy_bank_ticks;
+    ticks += s.runtime.sched.ticks;
+  }
+  return ticks == 0
+             ? 0.0
+             : static_cast<double>(busy) / static_cast<double>(ticks);
+}
+
+void service_stats::to_json(json_writer& json) const {
+  json.key("shard_count").value(static_cast<int>(shards.size()));
+  json.key("sessions").value(sessions);
+  json.key("requests_enqueued").value(requests_enqueued);
+  json.key("requests_completed").value(requests_completed);
+  json.key("requests_failed").value(requests_failed);
+  json.key("requests_rejected").value(requests_rejected);
+  json.key("enqueue_waits").value(enqueue_waits);
+  json.key("tasks_submitted").value(tasks_submitted);
+  json.key("output_bytes").value(output_bytes);
+  json.key("makespan_us").value(static_cast<double>(makespan_ps) / 1e6);
+  json.key("aggregate_gbps").value(aggregate_gbps());
+  json.key("avg_busy_banks").value(avg_busy_banks());
+  json.key("sched_submitted").value(sched_submitted);
+  json.key("sched_completed").value(sched_completed);
+  json.key("hazard_deferred").value(hazard_deferred);
+  json.key("shards").begin_array();
+  for (const shard_stats& s : shards) {
+    json.begin_object();
+    json.key("shard").value(s.shard);
+    json.key("sessions").value(s.sessions);
+    json.key("requests_enqueued").value(s.requests_enqueued);
+    json.key("requests_completed").value(s.requests_completed);
+    json.key("requests_failed").value(s.requests_failed);
+    json.key("requests_rejected").value(s.requests_rejected);
+    json.key("enqueue_waits").value(s.enqueue_waits);
+    json.key("peak_queue_depth")
+        .value(static_cast<std::uint64_t>(s.peak_queue_depth));
+    json.key("tasks_submitted").value(s.tasks_submitted);
+    json.key("output_bytes").value(s.output_bytes);
+    json.key("now_us").value(static_cast<double>(s.now_ps) / 1e6);
+    json.key("sched_submitted").value(s.runtime.sched.submitted);
+    json.key("sched_completed").value(s.runtime.sched.completed);
+    json.key("hazard_deferred").value(s.runtime.sched.hazard_deferred);
+    json.key("avg_busy_banks").value(s.runtime.sched.avg_busy_banks());
+    json.key("peak_busy_banks").value(s.runtime.sched.peak_busy_banks);
+    json.key("backends").begin_object();
+    for (const auto& [backend, b] : s.runtime.backends) {
+      json.key(runtime::to_string(backend)).begin_object();
+      json.key("tasks").value(b.tasks);
+      json.key("output_bytes").value(b.output_bytes);
+      json.key("busy_ps").value(static_cast<std::int64_t>(b.busy_ps));
+      json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+}
+
+pim_service::pim_service(service_config config)
+    : config_(config),
+      router_(config.shards, config.routing,
+              config.sessions_per_shard == 0 ? 1 : config.sessions_per_shard) {
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int i = 0; i < config_.shards; ++i) {
+    shards_.push_back(
+        std::make_unique<shard>(i, config_.system, config_.shard));
+  }
+}
+
+pim_service::~pim_service() { stop(); }
+
+void pim_service::start() {
+  for (auto& s : shards_) s->start();
+}
+
+void pim_service::stop() {
+  for (auto& s : shards_) s->stop();
+}
+
+void pim_service::pause() {
+  for (auto& s : shards_) s->pause();
+}
+
+void pim_service::resume() {
+  for (auto& s : shards_) s->resume();
+}
+
+session_info pim_service::open_session(double weight) {
+  const session_id id = next_session_.fetch_add(1);
+  const int shard_index = router_.route(id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session_shard_.emplace(id, shard_index);
+  }
+  shards_[static_cast<std::size_t>(shard_index)]->register_session(id, weight);
+  return {id, shard_index};
+}
+
+shard& pim_service::shard_of(session_id id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = session_shard_.find(id);
+  if (it == session_shard_.end()) {
+    throw std::invalid_argument("pim_service: unknown session");
+  }
+  return *shards_[static_cast<std::size_t>(it->second)];
+}
+
+service_stats pim_service::stats() const {
+  service_stats total;
+  total.shards.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    total.shards.push_back(s->stats());
+    const shard_stats& snap = total.shards.back();
+    total.requests_enqueued += snap.requests_enqueued;
+    total.requests_completed += snap.requests_completed;
+    total.requests_failed += snap.requests_failed;
+    total.requests_rejected += snap.requests_rejected;
+    total.enqueue_waits += snap.enqueue_waits;
+    total.tasks_submitted += snap.tasks_submitted;
+    total.sessions += snap.sessions;
+    total.output_bytes += snap.output_bytes;
+    total.makespan_ps = std::max(total.makespan_ps, snap.now_ps);
+    total.sched_submitted += snap.runtime.sched.submitted;
+    total.sched_completed += snap.runtime.sched.completed;
+    total.hazard_deferred += snap.runtime.sched.hazard_deferred;
+  }
+  return total;
+}
+
+void pim_service::write_json(const std::string& path) const {
+  json_writer json;
+  json.begin_object();
+  json.key("service").begin_object();
+  stats().to_json(json);
+  json.end_object();
+  json.end_object();
+  json.write_file(path);
+}
+
+}  // namespace pim::service

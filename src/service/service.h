@@ -1,0 +1,118 @@
+// pim_service: the sharded, multi-threaded front-end of the PIM stack.
+//
+// The paper's deployment story is many data-intensive clients —
+// databases, graph engines, consumer apps — pushing bulk operations at
+// memory concurrently. One simulated memory system ticks on one
+// thread, so scale-out comes from sharding: the service owns N shards,
+// each a complete PIM stack (memory_system + Ambit + RowClone +
+// pim_runtime) with its own worker thread and tick loop, and a router
+// that pins every client session (and therefore all of its vectors) to
+// one shard. Aggregate throughput scales with shard count while
+// results stay bit-for-bit identical to single-shard execution,
+// because each session's work is functionally self-contained.
+//
+// Layering: service_client → pim_service/shard queues → pim_runtime
+// (dispatcher + scheduler) → memory_system (DRAM controllers + Ambit/
+// RowClone engines).
+#ifndef PIM_SERVICE_SERVICE_H
+#define PIM_SERVICE_SERVICE_H
+
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+
+#include "common/json_writer.h"
+#include "service/router.h"
+#include "service/shard.h"
+
+namespace pim::service {
+
+struct service_config {
+  int shards = 4;
+  core::pim_system_config system;  // per-shard simulated stack
+  shard_config shard;
+  shard_routing routing = shard_routing::hash;
+  /// Range routing: sessions per shard block (ignored for hash).
+  std::uint64_t sessions_per_shard = 64;
+};
+
+/// Service-wide telemetry: per-shard snapshots plus aggregates.
+struct service_stats {
+  std::vector<shard_stats> shards;
+
+  std::uint64_t requests_enqueued = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_failed = 0;
+  std::uint64_t requests_rejected = 0;
+  std::uint64_t enqueue_waits = 0;
+  std::uint64_t tasks_submitted = 0;
+  int sessions = 0;
+  bytes output_bytes = 0;
+  /// Slowest shard's simulated clock — the service-level makespan when
+  /// every shard starts from t=0.
+  picoseconds makespan_ps = 0;
+  std::uint64_t sched_submitted = 0;
+  std::uint64_t sched_completed = 0;
+  std::uint64_t hazard_deferred = 0;
+
+  /// Aggregate output bandwidth at the service interface.
+  double aggregate_gbps() const {
+    return gigabytes_per_second(output_bytes, makespan_ps);
+  }
+
+  /// Mean busy banks across all shards' tick loops.
+  double avg_busy_banks() const;
+
+  /// Emits the full telemetry tree (aggregates + per-shard) into an
+  /// open JSON object.
+  void to_json(json_writer& json) const;
+};
+
+struct session_info {
+  session_id id = 0;
+  int shard = 0;
+};
+
+class pim_service {
+ public:
+  explicit pim_service(service_config config = {});
+  ~pim_service();
+
+  pim_service(const pim_service&) = delete;
+  pim_service& operator=(const pim_service&) = delete;
+
+  void start();
+  void stop();
+  void pause();
+  void resume();
+
+  /// Opens a session: assigns an id, routes it to a shard, registers
+  /// its fair-share weight. Thread-safe.
+  session_info open_session(double weight = 1.0);
+
+  /// The shard that owns `id`'s vectors; throws for unknown sessions.
+  shard& shard_of(session_id id);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  shard& shard_at(int index) { return *shards_[static_cast<std::size_t>(index)]; }
+  const service_config& config() const { return config_; }
+
+  service_stats stats() const;
+
+  /// Writes `stats()` as a standalone JSON document (BENCH_service.json
+  /// style).
+  void write_json(const std::string& path) const;
+
+ private:
+  service_config config_;
+  shard_router router_;
+  std::vector<std::unique_ptr<shard>> shards_;
+  std::atomic<session_id> next_session_{0};
+
+  mutable std::mutex mu_;  // guards session_shard_
+  std::unordered_map<session_id, int> session_shard_;
+};
+
+}  // namespace pim::service
+
+#endif  // PIM_SERVICE_SERVICE_H

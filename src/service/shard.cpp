@@ -1,0 +1,313 @@
+#include "service/shard.h"
+
+#include <algorithm>
+
+namespace pim::service {
+
+shard::shard(int index, const core::pim_system_config& system_config,
+             shard_config config)
+    : index_(index), config_(config), sys_(system_config) {
+  config_.session_queue_capacity =
+      std::max<std::size_t>(1, config_.session_queue_capacity);
+  config_.max_inflight = std::max(1, config_.max_inflight);
+  config_.ticks_per_slice = std::max(1, config_.ticks_per_slice);
+  stats_.shard = index;
+}
+
+shard::~shard() { stop(); }
+
+void shard::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) throw std::runtime_error("shard: cannot restart a stopped shard");
+  if (running_) return;
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void shard::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_worker_.notify_all();
+  cv_space_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // If the worker never ran (stop before start), queued requests are
+  // failed here; otherwise the worker already did this on its way out.
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_all_queued_locked();
+  publish_stats_locked();
+}
+
+void shard::pause() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+  }
+  cv_worker_.notify_all();
+}
+
+void shard::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_worker_.notify_all();
+}
+
+void shard::register_session(session_id id, double weight) {
+  if (weight <= 0.0) {
+    throw std::invalid_argument("shard: session weight must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) throw std::runtime_error("shard: stopped");
+  auto [it, inserted] = sessions_.try_emplace(id);
+  session_state& s = it->second;
+  s.weight = weight;
+  s.weight_applied = false;
+  if (inserted) {
+    // A session joining mid-run starts at the current service position
+    // so it competes fairly from now on instead of claiming back-share.
+    s.pass = virtual_pass_;
+  }
+  weights_dirty_ = true;
+  cv_worker_.notify_one();
+}
+
+request_future shard::enqueue(request r) {
+  auto state = std::make_shared<request_state>();
+  r.completion = state;
+  request_future future(state);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = sessions_.find(r.session);
+    if (it == sessions_.end()) {
+      throw std::invalid_argument("shard: unknown session");
+    }
+    session_state& s = it->second;
+    if (!stop_ && s.queue.size() >= config_.session_queue_capacity) {
+      ++stats_.enqueue_waits;
+      cv_space_.wait(lock, [&] {
+        return stop_ || s.queue.size() < config_.session_queue_capacity;
+      });
+    }
+    if (stop_) {
+      ++stats_.requests_failed;
+      lock.unlock();
+      fail(*state, "shard stopped");
+      return future;
+    }
+    if (s.queue.empty()) {
+      // Stride re-entry rule: a session resuming after an idle spell
+      // is floored to the current service position — it must not
+      // replay the share it did not use.
+      s.pass = std::max(s.pass, virtual_pass_);
+    }
+    s.queue.push_back(std::move(r));
+    ++total_queued_;
+    ++stats_.requests_enqueued;
+    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, total_queued_);
+  }
+  cv_worker_.notify_one();
+  return future;
+}
+
+std::optional<request_future> shard::try_enqueue(request r) {
+  auto state = std::make_shared<request_state>();
+  r.completion = state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(r.session);
+    if (it == sessions_.end()) {
+      throw std::invalid_argument("shard: unknown session");
+    }
+    session_state& s = it->second;
+    if (stop_ || s.queue.size() >= config_.session_queue_capacity) {
+      ++stats_.requests_rejected;
+      return std::nullopt;
+    }
+    if (s.queue.empty()) {
+      // Stride re-entry rule; see enqueue().
+      s.pass = std::max(s.pass, virtual_pass_);
+    }
+    s.queue.push_back(std::move(r));
+    ++total_queued_;
+    ++stats_.requests_enqueued;
+    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, total_queued_);
+  }
+  cv_worker_.notify_one();
+  return request_future(state);
+}
+
+shard_stats shard::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool shard::pop_next_locked(request& out) {
+  // Stride scheduling across sessions: serve the lowest pass; map
+  // iteration order (ascending session id) breaks ties
+  // deterministically. FIFO within a session preserves program order.
+  session_state* best = nullptr;
+  for (auto& [id, s] : sessions_) {
+    (void)id;
+    if (s.queue.empty()) continue;
+    if (best == nullptr || s.pass < best->pass) best = &s;
+  }
+  if (best == nullptr) return false;
+  out = std::move(best->queue.front());
+  best->queue.pop_front();
+  --total_queued_;
+  virtual_pass_ = best->pass;
+  best->pass += 1.0 / best->weight;
+  return true;
+}
+
+void shard::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (paused_) {
+      publish_stats_locked();
+      cv_worker_.wait(lock, [&] { return stop_ || !paused_; });
+      continue;
+    }
+    if (weights_dirty_) apply_weights_locked();
+    request req;
+    bool have = false;
+    if (static_cast<int>(inflight_.size()) < config_.max_inflight) {
+      have = pop_next_locked(req);
+    }
+    if (have) {
+      lock.unlock();
+      cv_space_.notify_all();  // admission space freed
+      execute(std::move(req));
+      lock.lock();
+    } else if (!inflight_.empty()) {
+      // Queue drained (or admission-capped): advance simulated time so
+      // in-flight tasks make progress toward completion.
+      lock.unlock();
+      advance(config_.ticks_per_slice);
+      lock.lock();
+    } else {
+      publish_stats_locked();
+      cv_worker_.wait(lock, [&] {
+        return stop_ || paused_ || total_queued_ > 0 || weights_dirty_;
+      });
+    }
+  }
+  // Shutdown: finish what the runtime already accepted, then fail
+  // whatever is still queued so blocked clients wake with an error.
+  lock.unlock();
+  drain();
+  lock.lock();
+  fail_all_queued_locked();
+  publish_stats_locked();
+}
+
+void shard::execute(request req) {
+  try {
+    if (auto* alloc = std::get_if<allocate_args>(&req.payload)) {
+      drain();
+      request_result res;
+      res.vectors = sys_.allocate(alloc->size, alloc->count);
+      complete(*req.completion, std::move(res));
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests_completed;
+    } else if (auto* wr = std::get_if<write_args>(&req.payload)) {
+      drain();
+      sys_.write(wr->v, wr->data);
+      complete(*req.completion, request_result{});
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests_completed;
+    } else if (auto* rd = std::get_if<read_args>(&req.payload)) {
+      drain();
+      request_result res;
+      res.data = sys_.read(rd->v);
+      complete(*req.completion, std::move(res));
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests_completed;
+    } else {
+      auto& rt = std::get<run_task_args>(req.payload);
+      rt.task.stream = static_cast<int>(req.session);
+      runtime::task_future f = sys_.submit(std::move(rt.task));
+      inflight_.push_back({std::move(f), std::move(req.completion)});
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.tasks_submitted;
+    }
+  } catch (const std::exception& e) {
+    fail(*req.completion, e.what());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests_failed;
+  }
+}
+
+void shard::drain() {
+  sys_.wait_all();
+  harvest();
+}
+
+void shard::advance(int ticks) {
+  runtime::scheduler& sched = sys_.runtime().sched();
+  for (int i = 0; i < ticks && !sys_.runtime().idle(); ++i) {
+    sched.tick();
+  }
+  harvest();
+}
+
+void shard::harvest() {
+  std::uint64_t completed = 0;
+  bytes out = 0;
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->future.ready()) {
+      request_result res;
+      res.report = it->future.report();
+      out += res.report.output_bytes;
+      complete(*it->completion, std::move(res));
+      ++completed;
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (completed > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.requests_completed += completed;
+    stats_.output_bytes += out;
+  }
+}
+
+void shard::apply_weights_locked() {
+  // Mirror session weights into the runtime scheduler (worker thread
+  // only — the scheduler is not thread-safe). This governs the
+  // host/NDP executor queues; bulk in-DRAM ops are kept fair by this
+  // shard's own weighted admission popping.
+  for (auto& [id, s] : sessions_) {
+    if (!s.weight_applied) {
+      sys_.runtime().set_stream_weight(static_cast<int>(id), s.weight);
+      s.weight_applied = true;
+    }
+  }
+  weights_dirty_ = false;
+}
+
+void shard::publish_stats_locked() {
+  stats_.sessions = static_cast<int>(sessions_.size());
+  stats_.now_ps = sys_.memory().now_ps();
+  stats_.runtime = sys_.runtime().stats();
+}
+
+void shard::fail_all_queued_locked() {
+  for (auto& [id, s] : sessions_) {
+    (void)id;
+    while (!s.queue.empty()) {
+      request r = std::move(s.queue.front());
+      s.queue.pop_front();
+      --total_queued_;
+      fail(*r.completion, "shard stopped");
+      ++stats_.requests_failed;
+    }
+  }
+  cv_space_.notify_all();
+}
+
+}  // namespace pim::service

@@ -1,0 +1,145 @@
+// One shard of the PIM service: a full simulated PIM stack
+// (memory_system + Ambit + RowClone + pim_runtime inside a
+// core::pim_system) owned exclusively by a dedicated worker thread
+// that runs its tick loop.
+//
+// Clients submit through bounded per-session queues (admission
+// control: a full queue blocks or rejects instead of growing without
+// bound) and the worker pops across sessions by stride scheduling —
+// each session's share of pops is proportional to its weight, so one
+// heavy tenant cannot starve the others. Popped run_task requests are
+// submitted to the shard's asynchronous runtime and overlap across
+// banks; functional requests (allocate / write / read) act as
+// barriers: the worker drains the runtime before touching the row
+// store, which keeps them trivially ordered against in-flight ops.
+//
+// Thread-safety contract: the worker thread is the only code that
+// touches sys_ after start(); everything clients reach — queues,
+// counters, the published stats snapshot — lives behind mu_.
+#ifndef PIM_SERVICE_SHARD_H
+#define PIM_SERVICE_SHARD_H
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/pim_system.h"
+#include "service/request.h"
+
+namespace pim::service {
+
+struct shard_config {
+  std::size_t session_queue_capacity = 64;  // per-session admission bound
+  int max_inflight = 64;  // runtime tasks released at once
+  int ticks_per_slice = 128;  // DRAM clocks advanced per worker iteration
+};
+
+/// Telemetry one shard publishes; aggregated service-wide by
+/// pim_service::stats().
+struct shard_stats {
+  int shard = 0;
+  int sessions = 0;
+  std::uint64_t requests_enqueued = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_failed = 0;
+  std::uint64_t requests_rejected = 0;  // try_enqueue refused (queue full)
+  std::uint64_t enqueue_waits = 0;      // blocking submits that had to wait
+  std::size_t peak_queue_depth = 0;     // max requests queued at once
+  std::uint64_t tasks_submitted = 0;    // runtime tasks entered the scheduler
+  bytes output_bytes = 0;               // sum of completed task outputs
+  picoseconds now_ps = 0;               // shard's simulated clock
+  runtime::runtime_stats runtime;
+};
+
+class shard {
+ public:
+  shard(int index, const core::pim_system_config& system_config,
+        shard_config config = {});
+  ~shard();
+
+  shard(const shard&) = delete;
+  shard& operator=(const shard&) = delete;
+
+  void start();
+  /// Drains in-flight runtime tasks, fails everything still queued
+  /// ("shard stopped"), and joins the worker.
+  void stop();
+
+  /// Freezes the worker (queued requests accumulate; used by tests to
+  /// exercise admission control deterministically).
+  void pause();
+  void resume();
+
+  /// Declares a session before its first request. Weight drives the
+  /// shard's stride admission popping — the fairness lever for bulk
+  /// in-DRAM ops — and is also pushed into the runtime scheduler's
+  /// per-stream hook (which governs the host/NDP executor queues).
+  void register_session(session_id id, double weight);
+
+  /// Blocking admission: waits while the session's queue is full.
+  request_future enqueue(request r);
+
+  /// Non-blocking admission: nullopt when the session's queue is full
+  /// (or the shard is stopped) — the backpressure signal.
+  std::optional<request_future> try_enqueue(request r);
+
+  /// Latest published snapshot. Exact whenever the shard is quiescent
+  /// (idle, paused-after-drain, or stopped); during a burst it may lag
+  /// by one worker slice.
+  shard_stats stats() const;
+
+  int index() const { return index_; }
+
+ private:
+  struct session_state {
+    double weight = 1.0;
+    double pass = 0.0;  // stride scheduling position
+    bool weight_applied = false;  // pushed into the runtime scheduler yet?
+    std::deque<request> queue;
+  };
+
+  struct inflight {
+    runtime::task_future future;
+    std::shared_ptr<request_state> completion;
+  };
+
+  void run();  // worker thread body
+  bool pop_next_locked(request& out);
+  void execute(request req);
+  void drain();  // worker: tick until the runtime is idle, harvest all
+  void advance(int ticks);  // worker: tick a slice, then harvest
+  void harvest();  // worker: complete every ready in-flight future
+  void apply_weights_locked();
+  void publish_stats_locked();
+  void fail_all_queued_locked();
+
+  const int index_;
+  shard_config config_;
+  core::pim_system sys_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_worker_;  // work arrived / state changed
+  std::condition_variable cv_space_;   // queue space freed
+  bool running_ = false;
+  bool stop_ = false;
+  bool paused_ = false;
+  bool weights_dirty_ = false;
+  std::map<session_id, session_state> sessions_;
+  std::size_t total_queued_ = 0;
+  /// Service position of the stride pop (pass of the last pop);
+  /// sessions joining or re-entering after an idle spell are floored
+  /// to it so they cannot replay the share they did not use.
+  double virtual_pass_ = 0.0;
+  shard_stats stats_;
+
+  // Worker-thread-only state (no lock needed).
+  std::vector<inflight> inflight_;
+  std::thread thread_;
+};
+
+}  // namespace pim::service
+
+#endif  // PIM_SERVICE_SHARD_H

@@ -1,0 +1,180 @@
+#include "service/synthetic.h"
+
+#include <thread>
+
+#include "common/digest.h"
+
+namespace pim::service {
+namespace {
+
+const dram::bulk_op kOps[] = {dram::bulk_op::and_op, dram::bulk_op::or_op,
+                              dram::bulk_op::xor_op, dram::bulk_op::nand_op,
+                              dram::bulk_op::nor_op, dram::bulk_op::not_op};
+
+std::vector<dram::bulk_vector> setup_vectors(service_client& client,
+                                             const synthetic_config& config) {
+  // One allocation per group: consecutive groups stripe across banks,
+  // which is what lets a single client's ops overlap.
+  std::vector<dram::bulk_vector> v;
+  for (int g = 0; g < config.groups; ++g) {
+    const std::vector<dram::bulk_vector> group =
+        client.allocate(config.vector_bits, synthetic_group_vectors);
+    v.insert(v.end(), group.begin(), group.end());
+  }
+  rng data(config.seed ^ 0xa5a5a5a5a5a5a5a5ull);
+  for (const dram::bulk_vector& vec : v) {
+    client.write(vec, bitvector::random(vec.size, data));
+  }
+  return v;
+}
+
+void storm(service_client& client, const std::vector<dram::bulk_vector>& v,
+           const synthetic_config& config, client_outcome& outcome) {
+  for (const synthetic_op& op : make_synthetic_ops(config)) {
+    const dram::bulk_vector* b =
+        op.b < 0 ? nullptr : &v[static_cast<std::size_t>(op.b)];
+    client.submit_bulk(op.op, v[static_cast<std::size_t>(op.a)], b,
+                       v[static_cast<std::size_t>(op.d)]);
+    ++outcome.tasks;
+    outcome.output_bytes += config.vector_bits / 8;
+  }
+}
+
+}  // namespace
+
+std::vector<synthetic_op> make_synthetic_ops(const synthetic_config& config) {
+  if (config.groups < 1) {
+    throw std::invalid_argument("synthetic: need at least one group");
+  }
+  rng gen(config.seed);
+  std::vector<synthetic_op> ops;
+  ops.reserve(static_cast<std::size_t>(config.ops));
+  // Tracks whether group g's destination holds a result yet (a RAW on
+  // an unwritten destination would read setup noise, which is legal but
+  // uninteresting).
+  std::vector<bool> group_written(static_cast<std::size_t>(config.groups));
+  for (int i = 0; i < config.ops; ++i) {
+    const int g = i % config.groups;
+    const int s0 = g * synthetic_group_vectors;
+    const int s1 = s0 + 1;
+    const int dest = s0 + 2;
+    synthetic_op op;
+    op.op = kOps[gen.next_below(std::size(kOps))];
+    const bool dependent = group_written[static_cast<std::size_t>(g)] &&
+                           gen.next_bool(config.dependent_fraction);
+    op.a = dependent ? dest : (gen.next_bool(0.5) ? s0 : s1);
+    if (dram::is_unary(op.op)) {
+      op.b = -1;
+    } else {
+      // Distinct operands: a TRA reads two different rows.
+      op.b = op.a == s0 ? s1 : s0;
+    }
+    op.d = dest;
+    group_written[static_cast<std::size_t>(g)] = true;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+client_outcome run_synthetic_client(pim_service& svc,
+                                    const synthetic_config& config,
+                                    start_gate* gate) {
+  service_client client(svc, config.weight);
+  const std::vector<dram::bulk_vector> v = setup_vectors(client, config);
+  if (gate != nullptr) gate->arrive_and_wait();
+
+  client_outcome outcome;
+  outcome.session = client.id();
+  outcome.shard = client.shard_index();
+  storm(client, v, config, outcome);
+  outcome.digest = client.digest();  // waits out the chain
+  return outcome;
+}
+
+std::vector<client_outcome> run_synthetic_fleet(
+    pim_service& svc, const std::vector<synthetic_config>& population,
+    bool burst) {
+  if (burst) {
+    const std::size_t capacity = svc.config().shard.session_queue_capacity;
+    for (const synthetic_config& c : population) {
+      if (static_cast<std::size_t>(c.ops) > capacity) {
+        throw std::invalid_argument(
+            "synthetic fleet: burst storm exceeds session_queue_capacity");
+      }
+    }
+  }
+
+  const int parties = static_cast<int>(population.size());
+  std::vector<client_outcome> outcomes(population.size());
+  // Burst choreography (clients + the orchestrator each hold a slot):
+  //   setup_done: every client finished allocate/write, workers idle.
+  //   Orchestrator pauses the service, then releases storm_go.
+  //   admitted: every storm is fully queued; orchestrator resumes.
+  start_gate setup_done(parties + 1);
+  start_gate storm_go(parties + 1);
+  start_gate admitted(parties + 1);
+
+  std::vector<std::thread> threads;
+  threads.reserve(population.size());
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    threads.emplace_back([&svc, &population, &outcomes, &setup_done,
+                          &storm_go, &admitted, burst, i] {
+      const synthetic_config& config = population[i];
+      service_client client(svc, config.weight);
+      const std::vector<dram::bulk_vector> v = setup_vectors(client, config);
+      if (burst) {
+        setup_done.arrive_and_wait();
+        storm_go.arrive_and_wait();
+      }
+      client_outcome& outcome = outcomes[i];
+      outcome.session = client.id();
+      outcome.shard = client.shard_index();
+      storm(client, v, config, outcome);
+      if (burst) admitted.arrive_and_wait();
+      outcome.digest = client.digest();
+    });
+  }
+
+  if (burst) {
+    setup_done.arrive_and_wait();
+    svc.pause();
+    storm_go.arrive_and_wait();
+    admitted.arrive_and_wait();
+    svc.resume();
+  }
+  for (std::thread& t : threads) t.join();
+  return outcomes;
+}
+
+client_outcome run_synthetic_reference(core::pim_system& sys,
+                                       const synthetic_config& config) {
+  std::vector<dram::bulk_vector> v;
+  for (int g = 0; g < config.groups; ++g) {
+    const std::vector<dram::bulk_vector> group =
+        sys.allocate(config.vector_bits, synthetic_group_vectors);
+    v.insert(v.end(), group.begin(), group.end());
+  }
+
+  rng data(config.seed ^ 0xa5a5a5a5a5a5a5a5ull);
+  for (const dram::bulk_vector& vec : v) {
+    sys.write(vec, bitvector::random(vec.size, data));
+  }
+
+  client_outcome outcome;
+  for (const synthetic_op& op : make_synthetic_ops(config)) {
+    dram::bulk_vector d = v[static_cast<std::size_t>(op.d)];
+    const dram::bulk_vector* b =
+        op.b < 0 ? nullptr : &v[static_cast<std::size_t>(op.b)];
+    sys.execute(op.op, v[static_cast<std::size_t>(op.a)], b, d);
+    ++outcome.tasks;
+    outcome.output_bytes += config.vector_bits / 8;
+  }
+  std::uint64_t hash = fnv1a_basis;
+  for (const dram::bulk_vector& vec : v) {
+    hash = sys.digest(hash, vec);
+  }
+  outcome.digest = hash;
+  return outcome;
+}
+
+}  // namespace pim::service

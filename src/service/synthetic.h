@@ -1,0 +1,113 @@
+// Synthetic service clients: deterministic per-seed bulk-op chains
+// used by bench_service and the concurrency tests.
+//
+// A synthetic client allocates a group of co-located vectors, fills
+// them from its seed, and issues a pseudo-random chain of bulk Boolean
+// ops over them — a stand-in for a tenant's query stream. Because the
+// chain is a pure function of the config, the same client produces the
+// same final vector contents (same digest) whether it runs through a
+// 1-shard service, an N-shard service under thread contention, or
+// straight on a pim_system — which is exactly the equivalence the
+// sharded front-end must prove.
+#ifndef PIM_SERVICE_SYNTHETIC_H
+#define PIM_SERVICE_SYNTHETIC_H
+
+#include "service/client.h"
+
+namespace pim::service {
+
+struct synthetic_config {
+  int ops = 32;    // bulk ops in the chain
+  /// Independent vector groups, each allocated separately (the Ambit
+  /// allocator stripes consecutive groups across banks) and holding two
+  /// read-only sources plus one destination. Ops rotate across groups,
+  /// so up to `groups` of one client's ops run bank-parallel; within a
+  /// group, destination reuse (WAW) serializes. More groups = shorter
+  /// per-client critical path = a more throughput-bound tenant.
+  int groups = 4;
+  bits vector_bits = 8192;
+  std::uint64_t seed = 1;
+  double weight = 1.0;  // session fair-share weight
+  /// Fraction of ops that read their group's previous result (RAW)
+  /// instead of the sources only. Raise toward 1.0 for latency-bound
+  /// chain tenants.
+  double dependent_fraction = 0.25;
+};
+
+struct client_outcome {
+  session_id session = 0;
+  int shard = 0;
+  int tasks = 0;
+  bytes output_bytes = 0;
+  std::uint64_t digest = 0;
+};
+
+/// One step of the chain, with flat vector indices (group g owns
+/// vectors [3g, 3g+2]: two sources then its destination); b < 0 means
+/// unary.
+struct synthetic_op {
+  dram::bulk_op op = dram::bulk_op::not_op;
+  int a = 0;
+  int b = -1;
+  int d = 0;
+};
+
+/// Vectors per group: two sources + one destination.
+inline constexpr int synthetic_group_vectors = 3;
+
+/// The deterministic op chain for a config (pure function of the seed).
+std::vector<synthetic_op> make_synthetic_ops(const synthetic_config& config);
+
+/// Single-use rendezvous: every party blocks in arrive_and_wait until
+/// all `parties` have arrived. The benchmark uses one to align every
+/// client's submission storm, so measured overlap reflects concurrent
+/// load rather than thread-start skew.
+class start_gate {
+ public:
+  explicit start_gate(int parties) : remaining_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--remaining_ <= 0) {
+      lock.unlock();
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return remaining_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_;
+};
+
+/// Runs one synthetic client against a running service, blocking until
+/// its whole chain has completed. Safe to call from many threads with
+/// distinct configs. When `gate` is non-null the client rendezvouses
+/// there after setup (allocate + data load) and before its op storm.
+client_outcome run_synthetic_client(pim_service& svc,
+                                    const synthetic_config& config,
+                                    start_gate* gate = nullptr);
+
+/// Drives the whole population concurrently, one thread per client,
+/// and returns outcomes in population order (so digest lists compare
+/// across shard counts). With `burst` (the benchmark mode) the service
+/// is paused while every client enqueues its full op storm and resumed
+/// once all are admitted: measured overlap then reflects the queued
+/// concurrent load, deterministically, instead of thread wake-up skew
+/// against the free-running simulated clock. Burst mode requires
+/// ops <= session_queue_capacity (the storm must fit the bounded
+/// admission queue while the workers are frozen).
+std::vector<client_outcome> run_synthetic_fleet(
+    pim_service& svc, const std::vector<synthetic_config>& population,
+    bool burst = true);
+
+/// The same workload straight on a pim_system (no service, no
+/// threads): the reference execution the sharded digests must match.
+client_outcome run_synthetic_reference(core::pim_system& sys,
+                                       const synthetic_config& config);
+
+}  // namespace pim::service
+
+#endif  // PIM_SERVICE_SYNTHETIC_H

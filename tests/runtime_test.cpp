@@ -251,6 +251,110 @@ TEST(SchedulerTest, InvalidTaskRejectedWithoutCorruptingState) {
 }
 
 // ---------------------------------------------------------------------------
+// Stream weights (fair share)
+// ---------------------------------------------------------------------------
+
+// Submits `count` host kernels on `stream`; they all queue on the
+// single-slot host pool, so pop order is directly observable through
+// completion times.
+std::vector<task_future> submit_host_kernels(core::pim_system& sys,
+                                             int stream, int count) {
+  std::vector<task_future> futures;
+  for (int i = 0; i < count; ++i) {
+    core::kernel_profile p;
+    p.name = "stress";
+    p.instructions = 1'000'000;
+    p.memory_traffic = 1 * mib;
+    p.host_cache_hit = 0.5;
+    pim_task t;
+    t.payload = host_kernel_args{p};
+    t.stream = stream;
+    t.forced_backend = backend_kind::host;
+    futures.push_back(sys.submit(std::move(t)));
+  }
+  return futures;
+}
+
+TEST(StreamWeightTest, DefaultRemainsFifo) {
+  core::pim_system sys(small_config());
+  // Stream 0 queues its whole batch first; without weights the pops
+  // are strictly FIFO, so all of stream 0 completes before any of
+  // stream 1.
+  auto first = submit_host_kernels(sys, 0, 6);
+  auto second = submit_host_kernels(sys, 1, 6);
+  sys.wait_all();
+  EXPECT_LE(first.back().report().complete_ps,
+            second.front().report().complete_ps);
+}
+
+TEST(StreamWeightTest, WeightedStreamsInterleaveInsteadOfStarving) {
+  core::pim_system sys(small_config());
+  sys.runtime().set_stream_weight(0, 1.0);
+  sys.runtime().set_stream_weight(1, 1.0);
+  // Same submission order as the FIFO test: stream 0's backlog first.
+  auto first = submit_host_kernels(sys, 0, 6);
+  auto second = submit_host_kernels(sys, 1, 6);
+  sys.wait_all();
+  // Equal weights alternate pops, so stream 1's first task completes
+  // well before stream 0's backlog drains — no starvation behind the
+  // earlier-arriving queue.
+  EXPECT_LT(second.front().report().complete_ps,
+            first.back().report().complete_ps);
+  // And proportionality: stream 1 finishes its 6 within the window in
+  // which stream 0 also finishes about 6 (not all 6 after stream 0's
+  // entire backlog, as FIFO would).
+  const picoseconds second_last = second.back().report().complete_ps;
+  int first_done_before = 0;
+  for (const task_future& f : first) {
+    if (f.report().complete_ps <= second_last) ++first_done_before;
+  }
+  EXPECT_LE(first_done_before, 6);
+}
+
+TEST(StreamWeightTest, HeavierWeightGetsProportionallyMoreService) {
+  core::pim_system sys(small_config());
+  sys.runtime().set_stream_weight(0, 1.0);
+  sys.runtime().set_stream_weight(1, 4.0);
+  auto light = submit_host_kernels(sys, 0, 8);
+  auto heavy = submit_host_kernels(sys, 1, 8);
+  sys.wait_all();
+  // Weight 4 vs 1: the heavy stream drains roughly 4x as fast, so its
+  // last completion precedes the light stream's.
+  EXPECT_LT(heavy.back().report().complete_ps,
+            light.back().report().complete_ps);
+  // Starvation avoidance: the light stream still progresses while the
+  // heavy backlog exists (its first task is not deferred to the end).
+  EXPECT_LT(light.front().report().complete_ps,
+            heavy.back().report().complete_ps);
+}
+
+TEST(StreamWeightTest, LateJoinerEntersAtServicePositionNotZero) {
+  core::pim_system sys(small_config());
+  sys.runtime().set_stream_weight(0, 1.0);
+  // Stream 0 runs a warm-up batch, advancing its stride pass well past
+  // zero.
+  submit_host_kernels(sys, 0, 6);
+  sys.wait_all();
+  // Both streams now queue a batch; stream 1 was never weighted. If a
+  // late joiner entered at pass 0 it would monopolize the pool until it
+  // "caught up" with stream 0's history; the re-entry floor makes them
+  // alternate instead.
+  auto first = submit_host_kernels(sys, 0, 6);
+  auto second = submit_host_kernels(sys, 1, 6);
+  sys.wait_all();
+  EXPECT_LT(first[1].report().complete_ps,
+            second.back().report().complete_ps);
+}
+
+TEST(StreamWeightTest, RejectsNonPositiveWeight) {
+  core::pim_system sys(small_config());
+  EXPECT_THROW(sys.runtime().set_stream_weight(0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(sys.runtime().set_stream_weight(0, -1.0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
 // Dispatcher routing
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,120 @@
+// Concurrency stress for the sharded PIM service: many client threads
+// hammer a multi-shard service and every result must be bit-for-bit
+// identical to a single-threaded reference execution. This binary is
+// the ThreadSanitizer target in CI — it exercises the full
+// client-thread / shard-worker handshake (admission, backpressure,
+// cross-thread futures, pause/resume, stop) under real parallelism.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "service/synthetic.h"
+
+namespace pim::service {
+namespace {
+
+core::pim_system_config stress_system() {
+  core::pim_system_config cfg;
+  cfg.org.channels = 2;
+  cfg.org.ranks = 1;
+  cfg.org.banks = 8;
+  cfg.org.subarrays = 8;
+  cfg.org.rows = 512;
+  cfg.org.columns = 16;
+  return cfg;
+}
+
+std::vector<synthetic_config> stress_population(int clients, int ops) {
+  std::vector<synthetic_config> population;
+  for (int i = 0; i < clients; ++i) {
+    synthetic_config c;
+    c.ops = ops;
+    c.groups = 2;
+    c.vector_bits = 3'000;
+    c.seed = static_cast<std::uint64_t>(900 + i);
+    c.dependent_fraction = 0.3;
+    population.push_back(c);
+  }
+  return population;
+}
+
+std::vector<std::uint64_t> reference_digests(
+    const std::vector<synthetic_config>& population) {
+  std::vector<std::uint64_t> digests;
+  for (const synthetic_config& c : population) {
+    core::pim_system sys(stress_system());
+    digests.push_back(run_synthetic_reference(sys, c).digest);
+  }
+  return digests;
+}
+
+std::vector<std::uint64_t> outcome_digests(
+    const std::vector<client_outcome>& outcomes) {
+  std::vector<std::uint64_t> digests;
+  for (const client_outcome& o : outcomes) digests.push_back(o.digest);
+  return digests;
+}
+
+TEST(ServiceStressTest, ManyThreadedClientsMatchReferenceDigests) {
+  const auto population = stress_population(16, 24);
+  const auto expected = reference_digests(population);
+
+  service_config cfg;
+  cfg.shards = 4;
+  cfg.system = stress_system();
+  cfg.shard.session_queue_capacity = 24;
+  pim_service svc(cfg);
+  svc.start();
+  const auto outcomes =
+      run_synthetic_fleet(svc, population, /*burst=*/true);
+  svc.stop();
+
+  EXPECT_EQ(outcome_digests(outcomes), expected);
+  const service_stats stats = svc.stats();
+  EXPECT_EQ(stats.requests_failed, 0u);
+  EXPECT_EQ(stats.tasks_submitted, 16u * 24u);
+  EXPECT_EQ(stats.sched_completed, stats.sched_submitted);
+  EXPECT_EQ(stats.requests_completed, stats.requests_enqueued);
+}
+
+TEST(ServiceStressTest, FreeRunningClientsAlsoMatch) {
+  // No burst choreography: clients race the workers' free-running tick
+  // loops, the nastiest interleaving for the queue handshake.
+  const auto population = stress_population(12, 16);
+  const auto expected = reference_digests(population);
+
+  service_config cfg;
+  cfg.shards = 3;
+  cfg.system = stress_system();
+  cfg.shard.session_queue_capacity = 4;  // small: force blocking admission
+  pim_service svc(cfg);
+  svc.start();
+  const auto outcomes =
+      run_synthetic_fleet(svc, population, /*burst=*/false);
+  svc.stop();
+
+  EXPECT_EQ(outcome_digests(outcomes), expected);
+  EXPECT_EQ(svc.stats().requests_failed, 0u);
+}
+
+TEST(ServiceStressTest, RepeatedStartStopCyclesAreClean) {
+  const auto population = stress_population(6, 8);
+  const auto expected = reference_digests(population);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    service_config cfg;
+    cfg.shards = 2;
+    cfg.system = stress_system();
+    pim_service svc(cfg);
+    svc.start();
+    const auto outcomes =
+        run_synthetic_fleet(svc, population, /*burst=*/false);
+    EXPECT_EQ(outcome_digests(outcomes), expected) << "cycle " << cycle;
+    svc.stop();
+    // stop() is idempotent and stats survive it.
+    svc.stop();
+    EXPECT_EQ(svc.stats().requests_failed, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pim::service

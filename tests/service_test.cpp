@@ -1,0 +1,363 @@
+// Tests for the sharded PIM service front-end: session routing, the
+// client request API, admission control (bounded queues +
+// backpressure), fair-share popping, shutdown semantics, and
+// bit-for-bit equivalence across shard counts.
+#include <gtest/gtest.h>
+
+#include "common/digest.h"
+#include "service/synthetic.h"
+
+namespace pim::service {
+namespace {
+
+core::pim_system_config small_system() {
+  core::pim_system_config cfg;
+  cfg.org.channels = 1;
+  cfg.org.ranks = 1;
+  cfg.org.banks = 4;
+  cfg.org.subarrays = 4;
+  cfg.org.rows = 256;
+  cfg.org.columns = 8;
+  return cfg;
+}
+
+service_config small_service(int shards) {
+  service_config cfg;
+  cfg.shards = shards;
+  cfg.system = small_system();
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+TEST(ShardRouterTest, RangeRoutingMakesContiguousBlocks) {
+  shard_router router(4, shard_routing::range, /*keys_per_shard=*/2);
+  EXPECT_EQ(router.route(0), 0);
+  EXPECT_EQ(router.route(1), 0);
+  EXPECT_EQ(router.route(2), 1);
+  EXPECT_EQ(router.route(5), 2);
+  EXPECT_EQ(router.route(7), 3);
+  // Keys past the last block clamp to the last shard.
+  EXPECT_EQ(router.route(1000), 3);
+}
+
+TEST(ShardRouterTest, HashRoutingCoversAllShards) {
+  shard_router router(4, shard_routing::hash);
+  std::vector<int> hits(4, 0);
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    const int s = router.route(key);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    ++hits[static_cast<std::size_t>(s)];
+  }
+  for (int h : hits) EXPECT_GT(h, 0);  // no empty shard over 64 keys
+}
+
+TEST(ShardRouterTest, RejectsInvalidConfig) {
+  EXPECT_THROW(shard_router(0), std::invalid_argument);
+  EXPECT_THROW(shard_router(2, shard_routing::range, 0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Client API basics
+// ---------------------------------------------------------------------------
+
+TEST(ServiceClientTest, ExecutesBulkOpsCorrectly) {
+  pim_service svc(small_service(1));
+  svc.start();
+  service_client client(svc);
+
+  const bits size = 2'000;
+  auto v = client.allocate(size, 3);
+  ASSERT_EQ(v.size(), 3u);
+  rng gen(7);
+  const bitvector a = bitvector::random(size, gen);
+  const bitvector b = bitvector::random(size, gen);
+  client.write(v[0], a);
+  client.write(v[1], b);
+
+  request_future f = client.submit_bulk(dram::bulk_op::xor_op, v[0], &v[1],
+                                        v[2]);
+  const request_result& r = f.get();
+  EXPECT_EQ(r.report.kind, runtime::task_kind::bulk_bool);
+  EXPECT_GT(r.report.complete_ps, r.report.submit_ps);
+  EXPECT_EQ(client.read(v[2]), a ^ b);
+
+  svc.stop();
+}
+
+TEST(ServiceClientTest, ChainedOpsPreserveProgramOrder) {
+  pim_service svc(small_service(1));
+  svc.start();
+  service_client client(svc);
+
+  const bits size = 1'500;
+  auto v = client.allocate(size, 4);
+  rng gen(11);
+  const bitvector a = bitvector::random(size, gen);
+  const bitvector b = bitvector::random(size, gen);
+  client.write(v[0], a);
+  client.write(v[1], b);
+
+  client.submit_bulk(dram::bulk_op::and_op, v[0], &v[1], v[2]);
+  client.submit_bulk(dram::bulk_op::or_op, v[2], &v[0], v[3]);
+  client.submit_bulk(dram::bulk_op::xor_op, v[0], &v[1], v[2]);  // WAR
+  client.wait_all();
+
+  EXPECT_EQ(client.read(v[2]), a ^ b);
+  EXPECT_EQ(client.read(v[3]), (a & b) | a);
+  svc.stop();
+}
+
+TEST(ServiceClientTest, InvalidTaskFailsItsFutureOnly) {
+  pim_service svc(small_service(1));
+  svc.start();
+  service_client client(svc);
+
+  const bits size = 1'000;
+  auto v = client.allocate(size, 3);
+  // Forced misroute: a row copy on the Ambit backend is invalid and
+  // must fail the request's future, not wedge the shard.
+  runtime::pim_task bad;
+  bad.payload = runtime::row_copy_args{v[0].rows[0], v[1].rows[0], true};
+  bad.forced_backend = runtime::backend_kind::ambit;
+  request_future f = client.submit(std::move(bad));
+  EXPECT_THROW(f.get(), std::runtime_error);
+  EXPECT_THROW(client.wait_all(), std::runtime_error);
+
+  // The shard is still serviceable afterwards.
+  rng gen(3);
+  const bitvector a = bitvector::random(size, gen);
+  client.write(v[0], a);
+  client.submit_bulk(dram::bulk_op::not_op, v[0], nullptr, v[2]);
+  client.wait_all();
+  EXPECT_EQ(client.read(v[2]), ~a);
+  svc.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and backpressure
+// ---------------------------------------------------------------------------
+
+TEST(ServiceAdmissionTest, TrySubmitRejectsWhenQueueFull) {
+  service_config cfg = small_service(1);
+  cfg.shard.session_queue_capacity = 2;
+  pim_service svc(cfg);
+  svc.start();
+  service_client client(svc);
+  const bits size = 1'000;
+  auto v = client.allocate(size, 3);
+
+  svc.pause();  // freeze the worker so the queue cannot drain
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto f = client.try_submit(
+        runtime::make_bulk_task(dram::bulk_op::and_op, v[0], &v[1], v[2]));
+    f ? ++accepted : ++rejected;
+  }
+  EXPECT_EQ(accepted, 2);  // exactly the queue capacity
+  EXPECT_EQ(rejected, 4);
+  EXPECT_EQ(svc.stats().requests_rejected, 4u);
+
+  svc.resume();
+  client.wait_all();  // the admitted requests still complete
+  const service_stats stats = svc.stats();
+  EXPECT_EQ(stats.tasks_submitted, 2u);
+  svc.stop();
+}
+
+TEST(ServiceAdmissionTest, QueuesAreBoundedPerSession) {
+  service_config cfg = small_service(1);
+  cfg.shard.session_queue_capacity = 4;
+  pim_service svc(cfg);
+  svc.start();
+  service_client heavy(svc);
+  service_client light(svc);
+  const bits size = 1'000;
+  auto hv = heavy.allocate(size, 3);
+  auto lv = light.allocate(size, 3);
+
+  svc.pause();
+  // The heavy tenant fills its own queue; the light tenant's separate
+  // bound means it is not locked out.
+  for (int i = 0; i < 8; ++i) {
+    heavy.try_submit(
+        runtime::make_bulk_task(dram::bulk_op::or_op, hv[0], &hv[1], hv[2]));
+  }
+  auto admitted = light.try_submit(
+      runtime::make_bulk_task(dram::bulk_op::or_op, lv[0], &lv[1], lv[2]));
+  EXPECT_TRUE(admitted.has_value());
+  svc.resume();
+  heavy.wait_all();
+  light.wait_all();
+  svc.stop();
+}
+
+TEST(ServiceAdmissionTest, StopFailsQueuedRequests) {
+  service_config cfg = small_service(1);
+  cfg.shard.session_queue_capacity = 8;
+  pim_service svc(cfg);
+  svc.start();
+  service_client client(svc);
+  const bits size = 1'000;
+  auto v = client.allocate(size, 3);
+
+  svc.pause();
+  request_future f = client.submit(
+      runtime::make_bulk_task(dram::bulk_op::and_op, v[0], &v[1], v[2]));
+  svc.stop();  // never resumed: the queued request must fail, not hang
+  EXPECT_THROW(f.get(), std::runtime_error);
+  EXPECT_GE(svc.stats().requests_failed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fair share
+// ---------------------------------------------------------------------------
+
+TEST(ServiceFairShareTest, LightTenantIsNotStarvedByHeavyBacklog) {
+  service_config cfg = small_service(1);
+  cfg.shard.session_queue_capacity = 64;
+  pim_service svc(cfg);
+  svc.start();
+  service_client heavy(svc, /*weight=*/1.0);
+  service_client light(svc, /*weight=*/1.0);
+  const bits size = 1'000;
+  auto hv = heavy.allocate(size, 3);
+  auto lv = light.allocate(size, 3);
+  rng gen(5);
+  heavy.write(hv[0], bitvector::random(size, gen));
+  heavy.write(hv[1], bitvector::random(size, gen));
+  light.write(lv[0], bitvector::random(size, gen));
+  light.write(lv[1], bitvector::random(size, gen));
+
+  // Heavy queues 32 tasks first; light queues 4 afterwards. Strict
+  // FIFO would finish all 32 before light's first; stride scheduling
+  // must interleave them.
+  svc.pause();
+  std::vector<request_future> heavy_f;
+  for (int i = 0; i < 32; ++i) {
+    heavy_f.push_back(heavy.submit(
+        runtime::make_bulk_task(dram::bulk_op::xor_op, hv[0], &hv[1], hv[2])));
+  }
+  std::vector<request_future> light_f;
+  for (int i = 0; i < 4; ++i) {
+    light_f.push_back(light.submit(
+        runtime::make_bulk_task(dram::bulk_op::xor_op, lv[0], &lv[1], lv[2])));
+  }
+  svc.resume();
+  heavy.wait_all();
+  light.wait_all();
+
+  const picoseconds light_last = light_f.back().get().report.complete_ps;
+  int heavy_done_before_light = 0;
+  for (const request_future& f : heavy_f) {
+    if (f.get().report.complete_ps <= light_last) ++heavy_done_before_light;
+  }
+  // Equal weights => light's 4 tasks finish within roughly the first 8
+  // completions; far fewer than half of heavy's backlog may precede
+  // them.
+  EXPECT_LE(heavy_done_before_light, 16);
+  svc.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded equivalence and telemetry
+// ---------------------------------------------------------------------------
+
+std::vector<synthetic_config> small_population(int clients) {
+  std::vector<synthetic_config> population;
+  for (int i = 0; i < clients; ++i) {
+    synthetic_config c;
+    c.ops = 12;
+    c.groups = 2;
+    c.vector_bits = 1'000;
+    c.seed = static_cast<std::uint64_t>(40 + i);
+    population.push_back(c);
+  }
+  return population;
+}
+
+TEST(ServiceEquivalenceTest, DigestsMatchAcrossShardCountsAndReference) {
+  const auto population = small_population(6);
+
+  // Reference: each client straight on its own pim_system, synchronous.
+  std::vector<std::uint64_t> expected;
+  for (const synthetic_config& c : population) {
+    core::pim_system sys(small_system());
+    expected.push_back(run_synthetic_reference(sys, c).digest);
+  }
+
+  for (int shards : {1, 3}) {
+    service_config cfg = small_service(shards);
+    cfg.routing = shard_routing::range;
+    cfg.sessions_per_shard = 2;
+    pim_service svc(cfg);
+    svc.start();
+    // Sequential clients: shard assignment is then deterministic.
+    std::vector<std::uint64_t> digests;
+    for (const synthetic_config& c : population) {
+      digests.push_back(run_synthetic_client(svc, c).digest);
+    }
+    svc.stop();
+    EXPECT_EQ(digests, expected) << "shards=" << shards;
+  }
+}
+
+TEST(ServiceStatsTest, AggregatesAcrossShards) {
+  service_config cfg = small_service(2);
+  cfg.routing = shard_routing::range;
+  cfg.sessions_per_shard = 1;
+  pim_service svc(cfg);
+  svc.start();
+  const auto population = small_population(2);
+  for (const synthetic_config& c : population) {
+    run_synthetic_client(svc, c);
+  }
+  svc.stop();
+
+  const service_stats stats = svc.stats();
+  ASSERT_EQ(stats.shards.size(), 2u);
+  EXPECT_EQ(stats.sessions, 2);
+  // One client per shard: both shards saw work.
+  EXPECT_GT(stats.shards[0].tasks_submitted, 0u);
+  EXPECT_GT(stats.shards[1].tasks_submitted, 0u);
+  EXPECT_EQ(stats.tasks_submitted, 24u);  // 2 clients x 12 ops
+  EXPECT_EQ(stats.sched_submitted, 24u);
+  EXPECT_EQ(stats.sched_completed, 24u);
+  EXPECT_EQ(stats.requests_failed, 0u);
+  EXPECT_GT(stats.output_bytes, 0u);
+  EXPECT_GT(stats.makespan_ps, 0);
+  EXPECT_GT(stats.aggregate_gbps(), 0.0);
+
+  // The JSON emission covers the whole tree without throwing.
+  json_writer json;
+  json.begin_object();
+  stats.to_json(json);
+  json.end_object();
+  EXPECT_NE(json.str().find("\"shards\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"aggregate_gbps\""), std::string::npos);
+}
+
+TEST(ServiceSessionTest, SessionsSpreadAndClientsSeeTheirShard) {
+  service_config cfg = small_service(4);
+  cfg.routing = shard_routing::range;
+  cfg.sessions_per_shard = 2;
+  pim_service svc(cfg);
+  svc.start();
+  std::vector<service_client> clients;
+  clients.reserve(8);
+  std::vector<int> per_shard(4, 0);
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back(svc);
+    ++per_shard[static_cast<std::size_t>(clients.back().shard_index())];
+  }
+  for (int count : per_shard) EXPECT_EQ(count, 2);
+  svc.stop();
+}
+
+}  // namespace
+}  // namespace pim::service
