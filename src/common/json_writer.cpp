@@ -90,8 +90,12 @@ json_writer& json_writer::value(double number) {
     out_ += "null";  // JSON has no inf/nan
     return *this;
   }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", number);
+  // Round-trip precision: %.17g guarantees strtod(output) == number,
+  // so large cycle/byte counters in BENCH_*.json survive a write/parse
+  // cycle exactly and run-over-run diffs compare true values (%.6g
+  // silently rounded them).
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", number);
   out_ += buf;
   return *this;
 }

@@ -86,6 +86,7 @@ class pim_system {
   dram::dram_energy energy() const;
 
   dram::memory_system& memory() { return mem_; }
+  const dram::memory_system& memory() const { return mem_; }
   const dram::organization& org() const { return config_.org; }
 
  private:

@@ -334,6 +334,10 @@ void scheduler::complete(task_id id) {
   n.future->report.complete_ps = mem_.now_ps();
   n.future->done = true;
   if (completion_hook_) completion_hook_(n.future->report);
+  // The per-task callback must run before dependents release: a
+  // dependent ordered behind this task by a row hazard may read rows
+  // the callback is about to finalize (staged transfer payloads).
+  if (n.task.on_complete) n.task.on_complete(n.future->report);
 
   const std::vector<task_id> dependents = std::move(n.dependents);
   active_.erase(id);

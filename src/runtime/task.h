@@ -10,6 +10,7 @@
 #ifndef PIM_RUNTIME_TASK_H
 #define PIM_RUNTIME_TASK_H
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -63,12 +64,22 @@ struct host_kernel_args {
 using task_payload = std::variant<bulk_bool_args, row_copy_args,
                                   row_memset_args, host_kernel_args>;
 
+struct task_report;
+
 struct pim_task {
   task_payload payload;
   /// Bypass the dispatcher's offload decision when set.
   std::optional<backend_kind> forced_backend;
   /// Tenant stream this task belongs to (workload driver bookkeeping).
   int stream = 0;
+  /// Invoked exactly once, on the submitting thread, at the simulated
+  /// instant the task completes — after its functional result has been
+  /// applied to the row store and before any hazard-dependent task is
+  /// released. The service layer hangs transfer payloads here: a
+  /// RowClone-priced staging copy deposits the real bits of its row in
+  /// this callback, so later tasks ordered behind it by the row-hazard
+  /// graph always observe the staged contents.
+  std::function<void(const task_report&)> on_complete;
 
   task_kind kind() const { return static_cast<task_kind>(payload.index()); }
 };

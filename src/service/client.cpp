@@ -4,9 +4,8 @@
 
 namespace pim::service {
 
-service_client::service_client(pim_service& svc, double weight) {
+service_client::service_client(pim_service& svc, double weight) : svc_(&svc) {
   session_ = svc.open_session(weight);
-  shard_ = &svc.shard_of(session_.id);
 }
 
 request service_client::make_request(request_payload payload) const {
@@ -17,11 +16,8 @@ request service_client::make_request(request_payload payload) const {
 }
 
 std::vector<dram::bulk_vector> service_client::allocate(bits size, int count) {
-  allocate_args args;
-  args.size = size;
-  args.count = count;
-  request_future f = shard_->enqueue(make_request(args));
-  std::vector<dram::bulk_vector> vectors = f.get().vectors;
+  std::vector<dram::bulk_vector> vectors =
+      svc_->allocate(session_.id, size, count);
   owned_.insert(owned_.end(), vectors.begin(), vectors.end());
   return vectors;
 }
@@ -30,19 +26,19 @@ void service_client::write(const dram::bulk_vector& v, const bitvector& data) {
   write_args args;
   args.v = v;
   args.data = data;
-  shard_->enqueue(make_request(std::move(args))).get();
+  svc_->submit(make_request(std::move(args))).get();
 }
 
 bitvector service_client::read(const dram::bulk_vector& v) {
   read_args args;
   args.v = v;
-  return shard_->enqueue(make_request(std::move(args))).get().data;
+  return svc_->submit(make_request(std::move(args))).get().data;
 }
 
 request_future service_client::submit(runtime::pim_task task) {
   run_task_args args;
   args.task = std::move(task);
-  request_future f = shard_->enqueue(make_request(std::move(args)));
+  request_future f = svc_->submit(make_request(std::move(args)));
   pending_.push_back(f);
   return f;
 }
@@ -59,8 +55,17 @@ std::optional<request_future> service_client::try_submit(
   run_task_args args;
   args.task = std::move(task);
   std::optional<request_future> f =
-      shard_->try_enqueue(make_request(std::move(args)));
+      svc_->try_submit(make_request(std::move(args)));
   if (f) pending_.push_back(*f);
+  return f;
+}
+
+request_future service_client::submit_shared(dram::bulk_op op,
+                                             const shared_vector& a,
+                                             const shared_vector* b,
+                                             const shared_vector& d) {
+  request_future f = svc_->submit_cross(session_.id, op, a, b, d);
+  pending_.push_back(f);
   return f;
 }
 

@@ -2,11 +2,19 @@
 //
 // Open a client against a running pim_service and use it like a remote
 // pim_system: allocate bulk vectors, move data, submit bulk ops, wait
-// on futures. Every call is marshalled to the owning shard's worker
-// thread; allocate/write/read block (they are barriers on the shard),
-// submit_* returns a request_future that completes as the shard's
-// simulated clock advances. One client = one session = one runtime
-// stream; its fair-share weight is fixed at open.
+// on futures. Every call is routed by the service to the session's
+// current shard — the session (and all of its vectors) may be migrated
+// between shards at any time and the client's vector handles stay
+// valid, because handles are virtual and translated by the owning
+// shard. allocate/write/read block; submit_* returns a request_future
+// that completes as the shard's simulated clock advances. One client =
+// one session = one runtime stream; its fair-share weight is fixed at
+// open.
+//
+// Cross-session data: share() publishes a vector (handle + owning
+// session) for other clients; submit_shared() runs a bulk op over any
+// mix of shared vectors — the service plans a two-phase copy-then-
+// compute when they span shards.
 //
 // A service_client instance is meant to be driven by a single thread.
 // Many clients on many threads against one service is the supported —
@@ -24,11 +32,12 @@ class service_client {
   explicit service_client(pim_service& svc, double weight = 1.0);
 
   session_id id() const { return session_.id; }
-  int shard_index() const { return session_.shard; }
+  /// The session's current shard (migration moves it).
+  int shard_index() const { return svc_->owner_shard(session_.id); }
 
-  /// Allocates `count` co-located bulk vectors of `size` bits in the
-  /// session's shard. Blocks. The client remembers every vector it
-  /// allocated, in order, for digest().
+  /// Allocates `count` co-located bulk vectors of `size` bits on the
+  /// session's current shard. Blocks. The client remembers every
+  /// vector it allocated, in order, for digest().
   std::vector<dram::bulk_vector> allocate(bits size, int count);
 
   /// Host data movement through the service (blocking).
@@ -45,14 +54,28 @@ class service_client {
   /// Non-blocking variant: nullopt when the queue is full right now.
   std::optional<request_future> try_submit(runtime::pim_task task);
 
+  /// Publishes a vector this client owns for cross-session use.
+  shared_vector share(const dram::bulk_vector& v) const {
+    return {session_.id, v};
+  }
+
+  /// Bulk op over shared vectors, possibly spanning sessions and
+  /// shards: d = op(a[, b]). Blocks during the remote-fetch phase of a
+  /// cross-shard plan; the returned future completes after compute and
+  /// write-back.
+  request_future submit_shared(dram::bulk_op op, const shared_vector& a,
+                               const shared_vector* b,
+                               const shared_vector& d);
+
   /// Blocks until every future this client received has completed.
   /// Rethrows the first failure.
   void wait_all();
 
   /// Digest of every vector this client allocated (in allocation
   /// order), after waiting out pending work. Two runs of the same
-  /// client logic produce equal digests regardless of sharding or
-  /// scheduling — the service's bit-for-bit equivalence check.
+  /// client logic produce equal digests regardless of sharding,
+  /// scheduling, or migration — the service's bit-for-bit equivalence
+  /// check.
   std::uint64_t digest();
 
   /// Futures handed out so far (cleared by wait_all).
@@ -61,7 +84,7 @@ class service_client {
  private:
   request make_request(request_payload payload) const;
 
-  shard* shard_ = nullptr;  // cached owning shard (avoids a lookup per call)
+  pim_service* svc_ = nullptr;
   session_info session_;
   std::vector<request_future> pending_;
   std::vector<dram::bulk_vector> owned_;

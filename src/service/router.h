@@ -47,10 +47,19 @@ class shard_router {
     switch (mode_) {
       case shard_routing::hash:
         return static_cast<int>(mix(key) % static_cast<std::uint64_t>(shards_));
-      case shard_routing::range:
-        return static_cast<int>(
-            std::min<std::uint64_t>(key / keys_per_shard_,
-                                    static_cast<std::uint64_t>(shards_ - 1)));
+      case shard_routing::range: {
+        const std::uint64_t block = key / keys_per_shard_;
+        if (block < static_cast<std::uint64_t>(shards_)) {
+          return static_cast<int>(block);
+        }
+        // Overflow keys (beyond shards * keys_per_shard) wrap
+        // round-robin across all shards: clamping them onto the last
+        // shard — the old behavior — silently hot-spotted it as the
+        // population grew.
+        const std::uint64_t overflow =
+            key - static_cast<std::uint64_t>(shards_) * keys_per_shard_;
+        return static_cast<int>(overflow % static_cast<std::uint64_t>(shards_));
+      }
     }
     throw std::logic_error("unknown shard routing");
   }

@@ -7,9 +7,18 @@
 // each a complete PIM stack (memory_system + Ambit + RowClone +
 // pim_runtime) with its own worker thread and tick loop, and a router
 // that pins every client session (and therefore all of its vectors) to
-// one shard. Aggregate throughput scales with shard count while
-// results stay bit-for-bit identical to single-shard execution,
-// because each session's work is functionally self-contained.
+// a home shard.
+//
+// On top of the home-shard fast path the service runs a two-phase
+// cross-shard planner: an op whose operands live on different shards
+// first stages remote operands into a co-located scratch group on the
+// executing shard (chosen by an operand-bytes-moved cost model) with
+// RowClone-priced copies, then computes there and lands the result in
+// the destination owner's vector — digests stay bit-identical to
+// single-shard execution. The same copy machinery powers
+// migrate_session (move a session's vectors between shards, safe
+// against inflight work) and a skew-triggered rebalance policy that
+// drains hot-spotted shards.
 //
 // Layering: service_client → pim_service/shard queues → pim_runtime
 // (dispatcher + scheduler) → memory_system (DRAM controllers + Ambit/
@@ -54,6 +63,11 @@ struct service_stats {
   std::uint64_t sched_submitted = 0;
   std::uint64_t sched_completed = 0;
   std::uint64_t hazard_deferred = 0;
+  std::uint64_t hazard_drains = 0;
+  std::uint64_t cross_plans = 0;
+  bytes staged_bytes = 0;
+  bytes exported_bytes = 0;
+  std::uint64_t migrations = 0;
 
   /// Aggregate output bandwidth at the service interface.
   double aggregate_gbps() const {
@@ -86,12 +100,66 @@ class pim_service {
   void pause();
   void resume();
 
-  /// Opens a session: assigns an id, routes it to a shard, registers
-  /// its fair-share weight. Thread-safe.
+  /// Opens a session: assigns an id, routes it to a home shard,
+  /// registers its fair-share weight, and creates its entry in the
+  /// vector-ownership directory. Thread-safe.
   session_info open_session(double weight = 1.0);
 
-  /// The shard that owns `id`'s vectors; throws for unknown sessions.
+  /// Allocates `count` co-located bulk vectors for `session` on its
+  /// current shard. Blocks. Returns virtual handles (location-
+  /// independent: they survive migration) and records the group in the
+  /// ownership directory so migration can move it.
+  std::vector<dram::bulk_vector> allocate(session_id session, bits size,
+                                          int count);
+
+  /// Routes a request to the session's current shard; transparently
+  /// retries when the session migrates mid-call and waits out an
+  /// in-progress migration. Blocking admission.
+  request_future submit(request r);
+
+  /// Non-blocking variant: nullopt when the session's queue is full.
+  std::optional<request_future> try_submit(request r);
+
+  /// Cross-shard bulk op: d = op(a[, b]) where operands may be owned
+  /// by different sessions on different shards. Single-owner tasks
+  /// take the direct fast path; mixed-owner tasks run the two-phase
+  /// plan — RowClone-priced staging of remote operands onto the
+  /// execution shard (picked by an operand-bytes-moved cost model),
+  /// then compute, then a priced write-back to the destination owner.
+  /// The returned future completes only after all phases. Blocks the
+  /// caller during the fetch phase (like other metadata operations).
+  request_future submit_cross(session_id issuer, dram::bulk_op op,
+                              const shared_vector& a, const shared_vector* b,
+                              const shared_vector& d);
+
+  /// Moves `session` — queue backlog, fair-share weight, and every
+  /// vector it owns — to `shard`. Safe relative to inflight work: the
+  /// capture reads are ordered behind the session's in-flight compute
+  /// by the row-hazard graph, the unexecuted backlog is forwarded in
+  /// FIFO order with client futures intact, and in-progress cross-
+  /// shard plans involving the session are waited out first. Client
+  /// handles stay valid (virtual addressing). Blocks until the
+  /// session's data is resident on the destination.
+  void migrate_session(session_id session, int shard);
+
+  /// Skew-triggered rebalance: while the most loaded shard hosts more
+  /// backlogged sessions than `threshold` x the mean (and meaningfully
+  /// more than the least loaded), migrate its most backlogged sessions
+  /// to the least loaded shard — planned as one batch from a single
+  /// load snapshot and executed concurrently, so the receiving shard
+  /// sees the moved tenants' chains together. Sessions queuing fewer
+  /// than `min_backlog` requests are never worth the RowClone transfer
+  /// tax and are left alone. Returns sessions moved. Meant to be
+  /// called periodically from a control loop.
+  int rebalance(double threshold = 1.5, std::size_t min_backlog = 16);
+
+  /// The shard that currently owns `id`'s vectors; throws for unknown
+  /// sessions.
   shard& shard_of(session_id id);
+  int owner_shard(session_id id) const;
+
+  /// The session's fair-share weight as recorded at open_session.
+  double session_weight(session_id id) const;
 
   int shard_count() const { return static_cast<int>(shards_.size()); }
   shard& shard_at(int index) { return *shards_[static_cast<std::size_t>(index)]; }
@@ -104,13 +172,47 @@ class pim_service {
   void write_json(const std::string& path) const;
 
  private:
+  struct session_record {
+    int shard = 0;
+    double weight = 1.0;
+    bool migrating = false;  // routing waits on migrate_cv_ while set
+    std::uint64_t next_virtual = 0;  // next virtual row id to mint
+    /// Allocation groups (virtual handles): migration re-allocates at
+    /// group granularity to preserve Ambit co-location.
+    std::vector<std::vector<dram::bulk_vector>> groups;
+  };
+
+  request_future route(request& r);
+  /// route() for plan-internal requests whose sessions are pinned: no
+  /// migrating-flag wait (a migration stuck in pin-quiesce would
+  /// otherwise deadlock against the pin-holding plan).
+  request_future route_pinned(request& r);
+  /// Pins `sessions` against migration for the life of the returned
+  /// guard (released by the plan's final completion, on any path).
+  /// Caller holds mu_: the pin must be atomic with resolving the
+  /// sessions' placements, or migration's pin-quiesce could miss it.
+  std::shared_ptr<void> pin_sessions_locked(
+      const std::vector<session_id>& ids);
+
   service_config config_;
   shard_router router_;
   std::vector<std::unique_ptr<shard>> shards_;
   std::atomic<session_id> next_session_{0};
+  std::atomic<std::uint64_t> next_token_{1};  // write-back reservations
 
-  mutable std::mutex mu_;  // guards session_shard_
-  std::unordered_map<session_id, int> session_shard_;
+  mutable std::mutex mu_;  // guards sessions_ and plan_refs_
+  std::condition_variable migrate_cv_;  // a migration finished
+  std::unordered_map<session_id, session_record> sessions_;
+  std::unordered_map<session_id, std::shared_ptr<std::atomic<int>>>
+      plan_refs_;
+  /// Serializes the reserve->fetch section of cross-shard plans. Two
+  /// plans that concurrently fetch each other's reserved destinations
+  /// would otherwise deadlock: each fetch parks on the other plan's
+  /// reservation, and each reservation is cleared only by a write-back
+  /// gated behind the parked fetch. Holding this through the fetch
+  /// phase means a fetch can only ever park on reservations of plans
+  /// that already completed their fetches — a chain, never a cycle.
+  std::mutex plan_order_mu_;
 };
 
 }  // namespace pim::service

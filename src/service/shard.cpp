@@ -1,6 +1,7 @@
 #include "service/shard.h"
 
 #include <algorithm>
+#include <set>
 
 namespace pim::service {
 
@@ -10,8 +11,40 @@ shard::shard(int index, const core::pim_system_config& system_config,
   config_.session_queue_capacity =
       std::max<std::size_t>(1, config_.session_queue_capacity);
   config_.max_inflight = std::max(1, config_.max_inflight);
+  config_.session_max_inflight = std::max(1, config_.session_max_inflight);
   config_.ticks_per_slice = std::max(1, config_.ticks_per_slice);
   stats_.shard = index;
+
+  // Wire rows: one landing row per (channel, bank), the PSM partners
+  // that price inter-shard transfers on this shard's clock. One per
+  // bank — rather than one per channel — lets transfers of different
+  // rows overlap to whatever degree the controller's bus arbitration
+  // really allows, instead of artificially WAW-serializing every
+  // migration and staging copy behind a single landing row. The
+  // allocator's bank-fastest striping covers every (channel, bank)
+  // within the first banks*channels single-row allocations.
+  const dram::organization& org = sys_.org();
+  const int attempts = 2 * org.banks * org.channels * std::max(1, org.ranks);
+  std::map<int, std::set<std::pair<int, int>>> covered;
+  bool done = false;
+  for (int i = 0; i < attempts && !done; ++i) {
+    std::vector<dram::bulk_vector> row;
+    try {
+      row = sys_.allocate(org.row_bits(), 1);
+    } catch (const std::exception&) {
+      break;  // out of capacity: price what we can
+    }
+    const dram::address& a = row[0].rows[0];
+    if (covered[a.channel].insert({a.rank, a.bank}).second) {
+      wire_[a.channel].push_back(a);
+    }
+    done = true;
+    for (int c = 0; c < org.channels; ++c) {
+      if (covered[c].size() < static_cast<std::size_t>(org.banks)) {
+        done = false;
+      }
+    }
+  }
 }
 
 shard::~shard() { stop(); }
@@ -65,32 +98,65 @@ void shard::register_session(session_id id, double weight) {
   session_state& s = it->second;
   s.weight = weight;
   s.weight_applied = false;
+  s.moved = false;  // re-registering revives a migrated-away session
   if (inserted) {
     // A session joining mid-run starts at the current service position
     // so it competes fairly from now on instead of claiming back-share.
     s.pass = virtual_pass_;
+  } else {
+    s.pass = std::max(s.pass, virtual_pass_);
   }
   weights_dirty_ = true;
   cv_worker_.notify_one();
 }
 
-request_future shard::enqueue(request r) {
-  auto state = std::make_shared<request_state>();
+detached_session shard::detach_session(session_id id) {
+  detached_session out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end() || it->second.moved) {
+      throw std::invalid_argument("shard: cannot detach unknown session");
+    }
+    session_state& s = it->second;
+    out.weight = s.weight;
+    out.backlog = std::move(s.queue);
+    s.queue.clear();
+    total_queued_ -= out.backlog.size();
+    s.moved = true;
+  }
+  // Blocked enqueuers wake, observe `moved`, and throw
+  // session_moved_error for the service to reroute.
+  cv_space_.notify_all();
+  cv_worker_.notify_all();
+  return out;
+}
+
+request_future shard::enqueue_move(request& r) {
+  auto state = r.completion != nullptr ? r.completion
+                                       : std::make_shared<request_state>();
   r.completion = state;
   request_future future(state);
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = sessions_.find(r.session);
     if (it == sessions_.end()) {
-      throw std::invalid_argument("shard: unknown session");
+      // Not registered *here*. The service-level directory is the
+      // authority on session existence; at shard level this is a stale
+      // resolution racing a migration (the session may be mid-install
+      // on this very shard) — signal the router to re-resolve.
+      throw session_moved_error();
     }
     session_state& s = it->second;
+    if (s.moved) throw session_moved_error();
     if (!stop_ && s.queue.size() >= config_.session_queue_capacity) {
       ++stats_.enqueue_waits;
       cv_space_.wait(lock, [&] {
-        return stop_ || s.queue.size() < config_.session_queue_capacity;
+        return stop_ || s.moved ||
+               s.queue.size() < config_.session_queue_capacity;
       });
     }
+    if (s.moved) throw session_moved_error();
     if (stop_) {
       ++stats_.requests_failed;
       lock.unlock();
@@ -112,16 +178,18 @@ request_future shard::enqueue(request r) {
   return future;
 }
 
-std::optional<request_future> shard::try_enqueue(request r) {
-  auto state = std::make_shared<request_state>();
+std::optional<request_future> shard::try_enqueue_move(request& r) {
+  auto state = r.completion != nullptr ? r.completion
+                                       : std::make_shared<request_state>();
   r.completion = state;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = sessions_.find(r.session);
     if (it == sessions_.end()) {
-      throw std::invalid_argument("shard: unknown session");
+      throw session_moved_error();  // stale resolution: re-resolve
     }
     session_state& s = it->second;
+    if (s.moved) throw session_moved_error();
     if (stop_ || s.queue.size() >= config_.session_queue_capacity) {
       ++stats_.requests_rejected;
       return std::nullopt;
@@ -139,19 +207,95 @@ std::optional<request_future> shard::try_enqueue(request r) {
   return request_future(state);
 }
 
+request_future shard::enqueue_control(request r) {
+  // A request arriving with a completion state keeps it: the write-back
+  // leg of a cross-shard plan carries the client's original future.
+  auto state = r.completion != nullptr ? r.completion
+                                       : std::make_shared<request_state>();
+  r.completion = state;
+  request_future future(state);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      ++stats_.requests_failed;
+      fail(*state, "shard stopped");
+      return future;
+    }
+    control_queue_.push_back(std::move(r));
+    ++total_queued_;
+    ++stats_.requests_enqueued;
+    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, total_queued_);
+  }
+  cv_worker_.notify_one();
+  return future;
+}
+
+void shard::forward_backlog(session_id id, std::deque<request> backlog) {
+  if (backlog.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      for (request& r : backlog) {
+        fail(*r.completion, "shard stopped");
+        ++stats_.requests_failed;
+      }
+      return;
+    }
+    auto it = sessions_.find(id);
+    if (it == sessions_.end() || it->second.moved) {
+      throw std::invalid_argument("shard: forward to unregistered session");
+    }
+    session_state& s = it->second;
+    if (s.queue.empty()) s.pass = std::max(s.pass, virtual_pass_);
+    total_queued_ += backlog.size();
+    stats_.requests_enqueued += backlog.size();
+    for (request& r : backlog) s.queue.push_back(std::move(r));
+    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, total_queued_);
+  }
+  cv_worker_.notify_one();
+}
+
+std::vector<std::pair<session_id, std::size_t>> shard::session_backlogs()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<session_id, std::size_t>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) {
+    if (!s.moved) out.emplace_back(id, s.queue.size());
+  }
+  return out;
+}
+
 shard_stats shard::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }
 
 bool shard::pop_next_locked(request& out) {
+  // Service-internal traffic (migration capture/install, cross-shard
+  // write-backs) goes first: it is latency-critical for other shards'
+  // progress and never subject to fair-share.
+  if (!control_queue_.empty()) {
+    out = std::move(control_queue_.front());
+    control_queue_.pop_front();
+    --total_queued_;
+    return true;
+  }
   // Stride scheduling across sessions: serve the lowest pass; map
   // iteration order (ascending session id) breaks ties
-  // deterministically. FIFO within a session preserves program order.
+  // deterministically. FIFO within a session preserves program order —
+  // a session whose head is parked on a reservation pops nothing more.
   session_state* best = nullptr;
   for (auto& [id, s] : sessions_) {
-    (void)id;
-    if (s.queue.empty()) continue;
+    if (s.queue.empty() || s.parked.has_value()) continue;
+    // Per-session inflight cap: a tenant whose serial chain already
+    // fills its share of the window waits, keeping the released-task
+    // mix diverse enough to cover the banks.
+    auto inflight_it = session_inflight_.find(id);
+    if (inflight_it != session_inflight_.end() &&
+        inflight_it->second >= config_.session_max_inflight) {
+      continue;
+    }
     if (best == nullptr || s.pass < best->pass) best = &s;
   }
   if (best == nullptr) return false;
@@ -174,15 +318,28 @@ void shard::run() {
     if (weights_dirty_) apply_weights_locked();
     request req;
     bool have = false;
-    if (static_cast<int>(inflight_.size()) < config_.max_inflight) {
+    if (inflight_tasks_ < config_.max_inflight) {
       have = pop_next_locked(req);
     }
     if (have) {
       lock.unlock();
       cv_space_.notify_all();  // admission space freed
-      execute(std::move(req));
+      const exec_result result = execute(req);
       lock.lock();
-    } else if (!inflight_.empty()) {
+      if (result == exec_result::park_session) {
+        auto it = sessions_.find(req.session);
+        if (it != sessions_.end() && !it->second.moved &&
+            !it->second.parked.has_value()) {
+          it->second.parked = std::move(req);
+        } else {
+          // Control-origin or raced-away session: retried on the next
+          // reservation change.
+          waiting_on_token_.push_back(std::move(req));
+        }
+      } else if (result == exec_result::park_token) {
+        waiting_on_token_.push_back(std::move(req));
+      }
+    } else if (inflight_tasks_ > 0) {
       // Queue drained (or admission-capped): advance simulated time so
       // in-flight tasks make progress toward completion.
       lock.unlock();
@@ -204,75 +361,683 @@ void shard::run() {
   publish_stats_locked();
 }
 
-void shard::execute(request req) {
+// ---------------------------------------------------------------------------
+// Worker-side helpers
+// ---------------------------------------------------------------------------
+
+dram::address shard::translate_addr(session_id owner,
+                                    const dram::address& a) const {
+  if (a.channel >= 0) return a;  // raw physical address: passthrough
+  auto sit = remap_.find(owner);
+  if (sit != remap_.end()) {
+    auto it = sit->second.find(a.row);
+    if (it != sit->second.end()) return it->second;
+  }
+  throw std::runtime_error("vector not resident on this shard");
+}
+
+dram::bulk_vector shard::translate(session_id owner,
+                                   const dram::bulk_vector& v) const {
+  dram::bulk_vector out;
+  out.size = v.size;
+  out.rows.reserve(v.rows.size());
+  for (const dram::address& a : v.rows) {
+    out.rows.push_back(translate_addr(owner, a));
+  }
+  return out;
+}
+
+void shard::translate_task(session_id owner, runtime::pim_task& task) const {
+  if (auto* bulk = std::get_if<runtime::bulk_bool_args>(&task.payload)) {
+    bulk->a = translate(owner, bulk->a);
+    if (bulk->b) *bulk->b = translate(owner, *bulk->b);
+    bulk->d = translate(owner, bulk->d);
+  } else if (auto* copy = std::get_if<runtime::row_copy_args>(&task.payload)) {
+    copy->src = translate_addr(owner, copy->src);
+    copy->dst = translate_addr(owner, copy->dst);
+  } else if (auto* ms = std::get_if<runtime::row_memset_args>(&task.payload)) {
+    ms->dst = translate_addr(owner, ms->dst);
+  }
+}
+
+bool shard::has_hazard(const dram::bulk_vector& phys) const {
+  for (const dram::address& a : phys.rows) {
+    if (busy_rows_.count(sys_.memory().row_key(a)) != 0) return true;
+  }
+  return false;
+}
+
+void shard::drain_if_hazard(const dram::bulk_vector& phys) {
+  if (!has_hazard(phys)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hazard_drains;
+  }
+  drain();
+}
+
+const dram::address* shard::wire_for(const dram::address& target) const {
+  auto it = wire_.find(target.channel);
+  if (it == wire_.end() || it->second.empty()) return nullptr;
+  // Spread transfers across landing rows (offset from the target's own
+  // bank) so independent rows' copies are not all funneled — and
+  // hazard-serialized — through one partner.
+  const std::size_t n = it->second.size();
+  const std::size_t start = static_cast<std::size_t>(target.bank + 1) % n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const dram::address& w = it->second[(start + i) % n];
+    if (w.rank != target.rank || w.bank != target.bank) return &w;
+  }
+  return nullptr;
+}
+
+void shard::track_row(std::uint64_t key) { ++busy_rows_[key]; }
+
+void shard::untrack_row(std::uint64_t key) {
+  auto it = busy_rows_.find(key);
+  if (it != busy_rows_.end() && --it->second <= 0) busy_rows_.erase(it);
+}
+
+void shard::bump_completed(bytes output) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.requests_completed;
+  stats_.output_bytes += output;
+}
+
+namespace {
+
+/// Applies `data`'s row_index-th row_bits-sized slice to a physical
+/// row — the same packing write_vector/read_vector use.
+void write_row_slice(dram::memory_system& mem, const dram::address& phys,
+                     const bitvector& data, std::size_t row_index) {
+  const bits row_bits = mem.org().row_bits();
+  bitvector& row = mem.row(phys);
+  for (std::size_t i = 0; i < row_bits; ++i) {
+    const std::size_t bit = row_index * row_bits + i;
+    if (bit >= data.size()) break;
+    row.set(i, data.get(bit));
+  }
+}
+
+/// Row keys a (translated) task touches — mirrors the scheduler's own
+/// hazard collection, for the shard's functional-op hazard signal.
+void collect_task_rows(const dram::memory_system& mem,
+                       const runtime::pim_task& task,
+                       std::vector<std::uint64_t>& keys) {
+  if (const auto* bulk =
+          std::get_if<runtime::bulk_bool_args>(&task.payload)) {
+    for (const dram::address& a : bulk->a.rows) keys.push_back(mem.row_key(a));
+    if (bulk->b) {
+      for (const dram::address& a : bulk->b->rows) {
+        keys.push_back(mem.row_key(a));
+      }
+    }
+    for (const dram::address& a : bulk->d.rows) keys.push_back(mem.row_key(a));
+  } else if (const auto* copy =
+                 std::get_if<runtime::row_copy_args>(&task.payload)) {
+    keys.push_back(mem.row_key(copy->src));
+    keys.push_back(mem.row_key(copy->dst));
+  } else if (const auto* ms =
+                 std::get_if<runtime::row_memset_args>(&task.payload)) {
+    keys.push_back(mem.row_key(ms->dst));
+  }
+}
+
+}  // namespace
+
+void shard::stage_row(session_id stream, const dram::address& phys,
+                      std::shared_ptr<const bitvector> data,
+                      std::size_t row_index,
+                      std::shared_ptr<transfer_group> group, bool track) {
+  const std::uint64_t key = sys_.memory().row_key(phys);
+  const dram::address* wire = wire_for(phys);
+  if (wire == nullptr) {
+    // Unpriceable organization (single bank+rank): the caller drained
+    // hazards up front; apply functionally right away.
+    write_row_slice(sys_.memory(), phys, *data, row_index);
+    if (group && --group->remaining == 0) group->finalize();
+    return;
+  }
+  runtime::pim_task t;
+  t.payload = runtime::row_copy_args{*wire, phys, /*same_subarray=*/false};
+  t.forced_backend = runtime::backend_kind::rowclone;
+  t.stream = static_cast<int>(stream);
+  t.on_complete = [this, phys, data, row_index, group, track,
+                   key](const runtime::task_report&) {
+    // The PSM copy just deposited the wire row's (meaningless) bits;
+    // overwrite with the transfer's real payload before any
+    // hazard-dependent successor is released.
+    write_row_slice(sys_.memory(), phys, *data, row_index);
+    if (track) untrack_row(key);
+    --inflight_tasks_;
+    if (group && --group->remaining == 0) group->finalize();
+  };
+  sys_.submit(std::move(t));
+  ++inflight_tasks_;
+  if (track) track_row(key);
+}
+
+void shard::export_row(session_id stream, const dram::address& phys,
+                       std::shared_ptr<std::vector<bitvector>> rows,
+                       std::size_t row_index,
+                       std::shared_ptr<transfer_group> group) {
+  const std::uint64_t key = sys_.memory().row_key(phys);
+  const dram::address* wire = wire_for(phys);
+  // Callers fall back to the plain read path when unpriceable, so a
+  // wire partner exists here by construction.
+  runtime::pim_task t;
+  t.payload = runtime::row_copy_args{phys, *wire, /*same_subarray=*/false};
+  t.forced_backend = runtime::backend_kind::rowclone;
+  t.stream = static_cast<int>(stream);
+  t.on_complete = [this, phys, rows, row_index, group,
+                   key](const runtime::task_report&) {
+    (*rows)[row_index] = sys_.memory().row_or_zero(phys);
+    untrack_row(key);
+    --inflight_tasks_;
+    if (--group->remaining == 0) group->finalize();
+  };
+  sys_.submit(std::move(t));
+  ++inflight_tasks_;
+  track_row(key);
+}
+
+std::vector<dram::bulk_vector> shard::acquire_scratch(bits size, int count) {
+  auto& bucket = scratch_pool_[{size, count}];
+  if (!bucket.empty()) {
+    std::vector<dram::bulk_vector> group = std::move(bucket.back());
+    bucket.pop_back();
+    return group;
+  }
+  return sys_.allocate(size, count);
+}
+
+void shard::release_scratch(bits size, std::vector<dram::bulk_vector> group) {
+  scratch_pool_[{size, static_cast<int>(group.size())}].push_back(
+      std::move(group));
+}
+
+// ---------------------------------------------------------------------------
+// Request execution
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Write-back reservations
+// ---------------------------------------------------------------------------
+
+bool shard::rows_reserved(const std::vector<std::uint64_t>& keys,
+                          std::uint64_t own_token) const {
+  if (reserved_rows_.empty()) return false;
+  for (std::uint64_t key : keys) {
+    auto it = reserved_rows_.find(key);
+    if (it == reserved_rows_.end()) continue;
+    for (std::uint64_t token : it->second) {
+      if (token != own_token) return true;
+    }
+  }
+  return false;
+}
+
+bool shard::vector_reserved(session_id owner, const dram::bulk_vector& v,
+                            std::uint64_t own_token) const {
+  if (reserved_rows_.empty()) return false;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(v.rows.size());
+  for (const dram::address& a : v.rows) {
+    keys.push_back(sys_.memory().row_key(translate_addr(owner, a)));
+  }
+  return rows_reserved(keys, own_token);
+}
+
+void shard::place_reservation(session_id owner, std::uint64_t token,
+                              const dram::bulk_vector& v) {
+  std::vector<std::uint64_t>& keys = reservations_[token];
+  for (const dram::address& a : v.rows) {
+    const std::uint64_t key = sys_.memory().row_key(translate_addr(owner, a));
+    keys.push_back(key);
+    reserved_rows_[key].push_back(token);
+  }
+}
+
+void shard::clear_reservation(std::uint64_t token) {
+  auto it = reservations_.find(token);
+  if (it == reservations_.end()) return;
+  for (std::uint64_t key : it->second) {
+    auto rit = reserved_rows_.find(key);
+    if (rit == reserved_rows_.end()) continue;
+    std::erase(rit->second, token);
+    if (rit->second.empty()) reserved_rows_.erase(rit);
+  }
+  reservations_.erase(it);
+}
+
+void shard::unpark_sessions() {
+  // A reservation changed: every deferred request gets another shot.
+  // Parked session heads return to their queue fronts (FIFO intact);
+  // token-waiters return to the control queue front.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, s] : sessions_) {
+    (void)id;
+    if (s.parked.has_value()) {
+      s.queue.push_front(std::move(*s.parked));
+      s.parked.reset();
+      ++total_queued_;
+    }
+  }
+  for (auto it = waiting_on_token_.rbegin(); it != waiting_on_token_.rend();
+       ++it) {
+    control_queue_.push_front(std::move(*it));
+    ++total_queued_;
+  }
+  waiting_on_token_.clear();
+  cv_worker_.notify_one();
+}
+
+shard::exec_result shard::execute(request& req) {
   try {
-    if (auto* alloc = std::get_if<allocate_args>(&req.payload)) {
-      drain();
-      request_result res;
-      res.vectors = sys_.allocate(alloc->size, alloc->count);
-      complete(*req.completion, std::move(res));
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.requests_completed;
-    } else if (auto* wr = std::get_if<write_args>(&req.payload)) {
-      drain();
-      sys_.write(wr->v, wr->data);
-      complete(*req.completion, request_result{});
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.requests_completed;
-    } else if (auto* rd = std::get_if<read_args>(&req.payload)) {
-      drain();
-      request_result res;
-      res.data = sys_.read(rd->v);
-      complete(*req.completion, std::move(res));
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.requests_completed;
-    } else {
-      auto& rt = std::get<run_task_args>(req.payload);
-      rt.task.stream = static_cast<int>(req.session);
-      runtime::task_future f = sys_.submit(std::move(rt.task));
-      inflight_.push_back({std::move(f), std::move(req.completion)});
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.tasks_submitted;
+    switch (req.payload.index()) {
+      case 0: exec_allocate(req, std::get<allocate_args>(req.payload)); break;
+      case 1: {
+        auto& args = std::get<write_args>(req.payload);
+        if (vector_reserved(req.session, args.v, 0)) {
+          return exec_result::park_session;
+        }
+        exec_write(req, args);
+        break;
+      }
+      case 2: {
+        auto& args = std::get<read_args>(req.payload);
+        if (vector_reserved(req.session, args.v, args.token)) {
+          return exec_result::park_session;
+        }
+        exec_read(req, args);
+        break;
+      }
+      case 3:
+        return exec_run_task(req, std::get<run_task_args>(req.payload));
+      case 4:
+        return exec_stage_run(req, std::get<stage_run_args>(req.payload));
+      case 5: {
+        auto& args = std::get<stage_in_args>(req.payload);
+        if (args.token != 0) {
+          auto it = reservations_.find(args.token);
+          // The marker must exist (it trails every request queued
+          // before the plan) and be the oldest claim on its rows
+          // (write-backs of stacked plans land in program order).
+          if (it == reservations_.end()) return exec_result::park_token;
+          for (std::uint64_t key : it->second) {
+            auto rit = reserved_rows_.find(key);
+            if (rit != reserved_rows_.end() && !rit->second.empty() &&
+                rit->second.front() != args.token) {
+              return exec_result::park_token;
+            }
+          }
+          clear_reservation(args.token);
+          unpark_sessions();
+        }
+        exec_stage_in(req, args);
+        break;
+      }
+      case 6: exec_install(req, std::get<install_args>(req.payload)); break;
+      case 7: {
+        remap_.erase(std::get<forget_args>(req.payload).session);
+        complete(*req.completion, request_result{});
+        bump_completed(0);
+        break;
+      }
+      case 8: {
+        const auto& args = std::get<reserve_args>(req.payload);
+        place_reservation(req.session, args.token, args.v);
+        complete(*req.completion, request_result{});
+        bump_completed(0);
+        unpark_sessions();  // token-waiters for this marker can proceed
+        break;
+      }
+      case 9: {
+        const auto& args = std::get<clear_args>(req.payload);
+        if (reservations_.count(args.token) == 0) {
+          return exec_result::park_token;
+        }
+        clear_reservation(args.token);
+        complete(*req.completion, request_result{});
+        bump_completed(0);
+        unpark_sessions();
+        break;
+      }
+      default:
+        throw std::logic_error("shard: unknown request payload");
     }
   } catch (const std::exception& e) {
     fail(*req.completion, e.what());
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.requests_failed;
   }
+  return exec_result::done;
 }
 
-void shard::drain() {
-  sys_.wait_all();
-  harvest();
+void shard::exec_allocate(request& req, const allocate_args& args) {
+  // Pure allocator state: never interacts with in-flight compute, so
+  // no drain (the old unconditional wait_all stalled every session's
+  // compute behind any one session's allocation).
+  const std::vector<dram::bulk_vector> phys =
+      sys_.allocate(args.size, args.count);
+  const std::size_t per_vec = phys.empty() ? 0 : phys[0].rows.size();
+  request_result res;
+  res.vectors.reserve(phys.size());
+  auto& map = remap_[req.session];
+  for (std::size_t k = 0; k < phys.size(); ++k) {
+    dram::bulk_vector handle;
+    handle.size = args.size;
+    handle.rows.reserve(per_vec);
+    for (std::size_t i = 0; i < phys[k].rows.size(); ++i) {
+      dram::address virt;
+      virt.channel = -1;  // marks a virtual handle
+      virt.rank = index_;
+      virt.row = static_cast<int>(args.virtual_base + k * per_vec + i);
+      map[virt.row] = phys[k].rows[i];
+      handle.rows.push_back(virt);
+    }
+    res.vectors.push_back(std::move(handle));
+  }
+  complete(*req.completion, std::move(res));
+  bump_completed(0);
 }
+
+void shard::exec_write(request& req, const write_args& args) {
+  const dram::bulk_vector phys = translate(req.session, args.v);
+  drain_if_hazard(phys);
+  sys_.write(phys, args.data);
+  complete(*req.completion, request_result{});
+  bump_completed(0);
+}
+
+void shard::exec_read(request& req, const read_args& args) {
+  const dram::bulk_vector phys = translate(req.session, args.v);
+  bool priceable = args.priced;
+  for (const dram::address& a : phys.rows) {
+    if (wire_for(a) == nullptr) priceable = false;
+  }
+  if (!priceable) {
+    drain_if_hazard(phys);
+    request_result res;
+    res.data = sys_.read(phys);
+    complete(*req.completion, std::move(res));
+    bump_completed(0);
+    return;
+  }
+  // RowClone-priced export: one PSM copy per row onto the wire rows;
+  // each row's bits are captured at its copy's completion instant, so
+  // the row-hazard graph — not a drain — orders the export against
+  // in-flight compute.
+  auto rows = std::make_shared<std::vector<bitvector>>(phys.rows.size());
+  auto group = std::make_shared<transfer_group>();
+  group->remaining = static_cast<int>(phys.rows.size());
+  const bits size = phys.size;
+  const bits row_bits = sys_.org().row_bits();
+  auto completion = req.completion;
+  group->finalize = [this, rows, completion, size, row_bits] {
+    bitvector out(size);
+    for (std::size_t r = 0; r < rows->size(); ++r) {
+      const bitvector& row = (*rows)[r];
+      if (row.empty()) continue;  // never-materialized row reads as zero
+      for (std::size_t i = 0; i < row_bits; ++i) {
+        const std::size_t bit = r * row_bits + i;
+        if (bit >= size) break;
+        out.set(bit, row.get(i));
+      }
+    }
+    request_result res;
+    res.data = std::move(out);
+    complete(*completion, std::move(res));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests_completed;
+      stats_.exported_bytes += size / 8;
+    }
+  };
+  for (std::size_t i = 0; i < phys.rows.size(); ++i) {
+    export_row(req.session, phys.rows[i], rows, i, group);
+  }
+}
+
+shard::exec_result shard::exec_run_task(request& req, run_task_args& args) {
+  // Translate a copy: if the task's rows are under a write-back
+  // reservation the request parks and re-executes intact later.
+  runtime::pim_task task = args.task;
+  translate_task(req.session, task);
+  task.stream = static_cast<int>(req.session);
+  std::vector<std::uint64_t> keys;
+  collect_task_rows(sys_.memory(), task, keys);
+  if (rows_reserved(keys, 0)) return exec_result::park_session;
+  auto completion = req.completion;
+  const session_id session = req.session;
+  task.on_complete = [this, completion, keys,
+                      session](const runtime::task_report& report) {
+    for (std::uint64_t key : keys) untrack_row(key);
+    --inflight_tasks_;
+    --session_inflight_[session];
+    request_result res;
+    res.report = report;
+    complete(*completion, std::move(res));
+    bump_completed(report.output_bytes);
+  };
+  sys_.submit(std::move(task));
+  ++inflight_tasks_;
+  ++session_inflight_[session];
+  for (std::uint64_t key : keys) track_row(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.tasks_submitted;
+  return exec_result::done;
+}
+
+shard::exec_result shard::exec_stage_run(request& req, stage_run_args& args) {
+  // Inputs read locally must respect other plans' write-back
+  // reservations (the plan's own reservation on d is exempt: an
+  // in-place d = op(d, ...) reads the pre-op value by design). Check
+  // before consuming anything so a parked request stays intact.
+  if (!args.a.bits &&
+      vector_reserved(args.a.owner, args.a.v, args.token)) {
+    return exec_result::park_session;
+  }
+  if (args.b && !args.b->bits &&
+      vector_reserved(args.b->owner, args.b->v, args.token)) {
+    return exec_result::park_session;
+  }
+  const bits size = args.d.size;
+  const int count = args.b ? 3 : 2;
+  shard* d_shard = args.d_shard == nullptr ? this : args.d_shard;
+  try {
+  // Gather input bits: remote operands arrive pre-fetched; operands
+  // resident here are read directly (hazard-drained if needed).
+  auto local_bits = [&](cross_operand& operand) -> bitvector {
+    if (operand.bits) return std::move(*operand.bits);
+    const dram::bulk_vector phys = translate(operand.owner, operand.v);
+    drain_if_hazard(phys);
+    return sys_.read(phys);
+  };
+  auto da = std::make_shared<const bitvector>(local_bits(args.a));
+  std::shared_ptr<const bitvector> db;
+  if (args.b) db = std::make_shared<const bitvector>(local_bits(*args.b));
+
+  // Stage every input into one co-located scratch group: Ambit needs
+  // its operand rows in a shared subarray, which is exactly the
+  // paper's point — RowClone makes moving operands to the compute
+  // site cheap, so the op can always run in-DRAM.
+  std::vector<dram::bulk_vector> scratch = acquire_scratch(size, count);
+  bool priceable = true;
+  for (const dram::bulk_vector& v : scratch) {
+    for (const dram::address& a : v.rows) {
+      if (wire_for(a) == nullptr) priceable = false;
+    }
+  }
+  if (!priceable) drain();  // unpriceable fallback stages functionally
+  for (std::size_t i = 0; i < scratch[0].rows.size(); ++i) {
+    stage_row(req.session, scratch[0].rows[i], da, i, nullptr,
+              /*track=*/false);
+  }
+  if (db) {
+    for (std::size_t i = 0; i < scratch[1].rows.size(); ++i) {
+      stage_row(req.session, scratch[1].rows[i], db, i, nullptr,
+                /*track=*/false);
+    }
+  }
+
+  // The compute task RAW-depends on every staging copy (they write the
+  // scratch rows it reads), so submitting it immediately still runs it
+  // strictly after the transfer has been paid for.
+  runtime::pim_task ct = runtime::make_bulk_task(
+      args.op, scratch[0], args.b ? &scratch[1] : nullptr,
+      scratch[static_cast<std::size_t>(count - 1)]);
+  ct.stream = static_cast<int>(req.session);
+  const dram::bulk_vector scratch_d = scratch[static_cast<std::size_t>(
+      count - 1)];
+  auto completion = req.completion;
+  ct.on_complete = [this, completion, scratch_d, scratch, size,
+                    d_owner = args.d_owner, d_v = args.d, d_shard,
+                    token = args.token, guard = std::move(args.guard)](
+                       const runtime::task_report& report) mutable {
+    bitvector out = sys_.read(scratch_d);
+    release_scratch(size, std::move(scratch));
+    --inflight_tasks_;
+    bump_completed(0);  // this shard's part of the plan is done
+    // Phase three: land the result in the destination owner's vector
+    // (possibly on another shard) with RowClone pricing. The write-back
+    // request carries the client's original completion state, so the
+    // client future completes only once the landing has been paid for.
+    request wb;
+    wb.session = d_owner;
+    wb.completion = completion;
+    wb.payload = stage_in_args{d_owner, std::move(d_v), std::move(out),
+                               report, token, std::move(guard)};
+    d_shard->enqueue_control(std::move(wb));
+  };
+  sys_.submit(std::move(ct));
+  ++inflight_tasks_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.tasks_submitted;
+    ++stats_.cross_plans;
+    stats_.staged_bytes += (static_cast<bytes>(size) / 8) *
+                           static_cast<bytes>(count - 1);
+  }
+  return exec_result::done;
+  } catch (...) {
+    // The write-back will never happen: release the destination's
+    // reservation so its owner's queue does not stall forever, then
+    // let the outer handler fail the client future.
+    if (args.token != 0) {
+      request cl;
+      cl.session = args.d_owner;
+      cl.payload = clear_args{args.token};
+      d_shard->enqueue_control(std::move(cl));
+    }
+    throw;
+  }
+}
+
+void shard::exec_stage_in(request& req, stage_in_args& args) {
+  const dram::bulk_vector phys = translate(args.owner, args.v);
+  bool priceable = true;
+  for (const dram::address& a : phys.rows) {
+    if (wire_for(a) == nullptr) priceable = false;
+  }
+  auto completion = req.completion;
+  if (!priceable) {
+    drain_if_hazard(phys);
+    sys_.write(phys, args.data);
+    request_result res;
+    res.report = args.report;
+    complete(*completion, std::move(res));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests_completed;
+    stats_.staged_bytes += phys.size / 8;
+    return;
+  }
+  auto data = std::make_shared<const bitvector>(std::move(args.data));
+  auto group = std::make_shared<transfer_group>();
+  group->remaining = static_cast<int>(phys.rows.size());
+  const bits size = phys.size;
+  group->finalize = [this, completion, report = args.report, size,
+                     guard = std::move(args.guard)] {
+    request_result res;
+    res.report = report;
+    complete(*completion, std::move(res));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests_completed;
+      stats_.staged_bytes += size / 8;
+    }
+  };
+  for (std::size_t i = 0; i < phys.rows.size(); ++i) {
+    stage_row(args.owner, phys.rows[i], data, i, group, /*track=*/true);
+  }
+}
+
+void shard::exec_install(request& req, install_args& args) {
+  // Re-allocate the session's groups at group granularity (preserving
+  // Ambit co-location), map the virtual handles onto the new physical
+  // rows, and stage the captured contents in with RowClone pricing.
+  auto& map = remap_[args.session];
+  std::size_t flat = 0;
+  bytes total = 0;
+  struct staged_vec {
+    dram::bulk_vector phys;
+    std::shared_ptr<const bitvector> data;
+  };
+  std::vector<staged_vec> staged;
+  bool priceable = true;
+  for (const auto& group : args.groups) {
+    if (group.empty()) continue;
+    const std::vector<dram::bulk_vector> phys =
+        sys_.allocate(group[0].size, static_cast<int>(group.size()));
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      for (std::size_t i = 0; i < group[k].rows.size(); ++i) {
+        map[group[k].rows[i].row] = phys[k].rows[i];
+        if (wire_for(phys[k].rows[i]) == nullptr) priceable = false;
+      }
+      if (flat >= args.data.size()) {
+        throw std::logic_error("install: data/groups mismatch");
+      }
+      staged.push_back({phys[k], std::make_shared<const bitvector>(
+                                     std::move(args.data[flat]))});
+      total += group[k].size / 8;
+      ++flat;
+    }
+  }
+  auto completion = req.completion;
+  if (!priceable) drain();
+  auto group_state = std::make_shared<transfer_group>();
+  int rows_total = 0;
+  for (const staged_vec& sv : staged) {
+    rows_total += static_cast<int>(sv.phys.rows.size());
+  }
+  group_state->remaining = rows_total;
+  group_state->finalize = [this, completion, total] {
+    complete(*completion, request_result{});
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests_completed;
+      ++stats_.migrations_in;
+      stats_.staged_bytes += total;
+    }
+  };
+  if (rows_total == 0) {
+    group_state->finalize();
+    return;
+  }
+  for (const staged_vec& sv : staged) {
+    for (std::size_t i = 0; i < sv.phys.rows.size(); ++i) {
+      stage_row(args.session, sv.phys.rows[i], sv.data, i, group_state,
+                /*track=*/true);
+    }
+  }
+}
+
+void shard::drain() { sys_.wait_all(); }
 
 void shard::advance(int ticks) {
   runtime::scheduler& sched = sys_.runtime().sched();
   for (int i = 0; i < ticks && !sys_.runtime().idle(); ++i) {
     sched.tick();
-  }
-  harvest();
-}
-
-void shard::harvest() {
-  std::uint64_t completed = 0;
-  bytes out = 0;
-  for (auto it = inflight_.begin(); it != inflight_.end();) {
-    if (it->future.ready()) {
-      request_result res;
-      res.report = it->future.report();
-      out += res.report.output_bytes;
-      complete(*it->completion, std::move(res));
-      ++completed;
-      it = inflight_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  if (completed > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.requests_completed += completed;
-    stats_.output_bytes += out;
   }
 }
 
@@ -291,14 +1056,36 @@ void shard::apply_weights_locked() {
 }
 
 void shard::publish_stats_locked() {
-  stats_.sessions = static_cast<int>(sessions_.size());
+  int live = 0;
+  for (const auto& [id, s] : sessions_) {
+    (void)id;
+    if (!s.moved) ++live;
+  }
+  stats_.sessions = live;
   stats_.now_ps = sys_.memory().now_ps();
   stats_.runtime = sys_.runtime().stats();
 }
 
 void shard::fail_all_queued_locked() {
+  while (!control_queue_.empty()) {
+    request r = std::move(control_queue_.front());
+    control_queue_.pop_front();
+    --total_queued_;
+    fail(*r.completion, "shard stopped");
+    ++stats_.requests_failed;
+  }
+  for (request& r : waiting_on_token_) {
+    fail(*r.completion, "shard stopped");
+    ++stats_.requests_failed;
+  }
+  waiting_on_token_.clear();
   for (auto& [id, s] : sessions_) {
     (void)id;
+    if (s.parked.has_value()) {
+      fail(*s.parked->completion, "shard stopped");
+      ++stats_.requests_failed;
+      s.parked.reset();
+    }
     while (!s.queue.empty()) {
       request r = std::move(s.queue.front());
       s.queue.pop_front();

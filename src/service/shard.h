@@ -7,15 +7,27 @@
 // control: a full queue blocks or rejects instead of growing without
 // bound) and the worker pops across sessions by stride scheduling —
 // each session's share of pops is proportional to its weight, so one
-// heavy tenant cannot starve the others. Popped run_task requests are
-// submitted to the shard's asynchronous runtime and overlap across
-// banks; functional requests (allocate / write / read) act as
-// barriers: the worker drains the runtime before touching the row
-// store, which keeps them trivially ordered against in-flight ops.
+// heavy tenant cannot starve the others. A separate unbounded control
+// queue, popped ahead of the session queues, carries service-internal
+// traffic (migration capture/install, cross-shard write-backs).
+//
+// Vector handles are virtual (see request.h): the worker translates
+// them to physical rows through a per-session remap at execute time,
+// which is what lets sessions migrate between shards while clients
+// keep their handles.
+//
+// Popped run_task requests are submitted to the shard's asynchronous
+// runtime and overlap across banks; their client futures complete
+// through per-task callbacks at the simulated completion instant.
+// Functional requests (allocate / write / read) are hazard-checked at
+// row granularity: the worker drains the runtime only when a request
+// actually touches a row with an in-flight task, so independent
+// sessions' metadata ops no longer serialize everyone's compute.
 //
 // Thread-safety contract: the worker thread is the only code that
-// touches sys_ after start(); everything clients reach — queues,
-// counters, the published stats snapshot — lives behind mu_.
+// touches sys_ (and the worker-only members below) after start();
+// everything clients reach — queues, counters, the published stats
+// snapshot — lives behind mu_.
 #ifndef PIM_SERVICE_SHARD_H
 #define PIM_SERVICE_SHARD_H
 
@@ -25,6 +37,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 
 #include "core/pim_system.h"
 #include "service/request.h"
@@ -34,6 +47,12 @@ namespace pim::service {
 struct shard_config {
   std::size_t session_queue_capacity = 64;  // per-session admission bound
   int max_inflight = 64;  // runtime tasks released at once
+  /// Runtime tasks one session may hold in flight. A deep serial chain
+  /// is hazard-deferred anyway, so letting one tenant fill the whole
+  /// inflight window just starves everyone else's bank parallelism (a
+  /// convoy that shows up when a migrated session's forwarded backlog
+  /// lands on a quiet shard).
+  int session_max_inflight = 8;
   int ticks_per_slice = 128;  // DRAM clocks advanced per worker iteration
 };
 
@@ -51,7 +70,20 @@ struct shard_stats {
   std::uint64_t tasks_submitted = 0;    // runtime tasks entered the scheduler
   bytes output_bytes = 0;               // sum of completed task outputs
   picoseconds now_ps = 0;               // shard's simulated clock
+  std::uint64_t hazard_drains = 0;   // functional ops that found a row hazard
+  std::uint64_t cross_plans = 0;     // stage_run requests executed here
+  bytes staged_bytes = 0;            // RowClone-priced bytes landed here
+  bytes exported_bytes = 0;          // RowClone-priced bytes read out of here
+  std::uint64_t migrations_in = 0;   // sessions installed by migration
   runtime::runtime_stats runtime;
+};
+
+/// What detach_session hands the migration coordinator: the session's
+/// fair-share weight and its still-unexecuted backlog, extracted in
+/// FIFO order with every client future intact.
+struct detached_session {
+  double weight = 1.0;
+  std::deque<request> backlog;
 };
 
 class shard {
@@ -77,14 +109,51 @@ class shard {
   /// shard's stride admission popping — the fairness lever for bulk
   /// in-DRAM ops — and is also pushed into the runtime scheduler's
   /// per-stream hook (which governs the host/NDP executor queues).
+  /// Re-registering a previously migrated-away session revives it
+  /// (the migrate-back path).
   void register_session(session_id id, double weight);
 
+  /// Marks the session as moved (subsequent enqueues throw
+  /// session_moved_error) and extracts its unexecuted backlog for
+  /// forwarding to the destination shard. Called by the migration
+  /// coordinator with client admission gated off service-wide.
+  detached_session detach_session(session_id id);
+
   /// Blocking admission: waits while the session's queue is full.
-  request_future enqueue(request r);
+  /// Throws session_moved_error if the session migrated away.
+  request_future enqueue(request r) { return enqueue_move(r); }
 
   /// Non-blocking admission: nullopt when the session's queue is full
-  /// (or the shard is stopped) — the backpressure signal.
-  std::optional<request_future> try_enqueue(request r);
+  /// (or the shard is stopped) — the backpressure signal. Throws
+  /// session_moved_error if the session migrated away.
+  std::optional<request_future> try_enqueue(request r) {
+    return try_enqueue_move(r);
+  }
+
+  /// By-reference variants the service's retry-on-moved routing uses:
+  /// the request is consumed only on successful admission, so a
+  /// session_moved_error leaves it intact for the retry. An
+  /// already-attached completion state is kept (migration backlog
+  /// forwarding preserves client futures).
+  request_future enqueue_move(request& r);
+  std::optional<request_future> try_enqueue_move(request& r);
+
+  /// Unbounded service-internal admission, popped ahead of every
+  /// session queue and exempt from per-session registration — the
+  /// channel for migration capture/install and cross-shard
+  /// write-backs. Never blocks.
+  request_future enqueue_control(request r);
+
+  /// Splices a migrated session's unexecuted backlog into its queue in
+  /// one shot (client futures intact, FIFO preserved, admission bound
+  /// waived — the requests were admitted on the source shard). One
+  /// lock acquisition instead of hundreds keeps a batch of concurrent
+  /// migrations landing together on the receiving shard.
+  void forward_backlog(session_id id, std::deque<request> backlog);
+
+  /// Live per-session backlog sizes (moved sessions excluded) — the
+  /// rebalancer's load signal and its victim shortlist.
+  std::vector<std::pair<session_id, std::size_t>> session_backlogs() const;
 
   /// Latest published snapshot. Exact whenever the shard is quiescent
   /// (idle, paused-after-drain, or stopped); during a burst it may lag
@@ -98,23 +167,83 @@ class shard {
     double weight = 1.0;
     double pass = 0.0;  // stride scheduling position
     bool weight_applied = false;  // pushed into the runtime scheduler yet?
+    bool moved = false;  // migrated away; enqueues throw session_moved_error
     std::deque<request> queue;
+    /// Head request parked on a row reservation: the session pops
+    /// nothing further (FIFO) until the reservation clears.
+    std::optional<request> parked;
   };
 
-  struct inflight {
-    runtime::task_future future;
-    std::shared_ptr<request_state> completion;
+  /// Completion fan-in for a group of RowClone-priced transfer tasks:
+  /// the finalizer runs (on the worker thread, inside the scheduler's
+  /// completion path) when the last task of the group completes.
+  struct transfer_group {
+    int remaining = 0;
+    std::function<void()> finalize;
+  };
+
+  /// Why execute() could not run a request right now.
+  enum class exec_result {
+    done,         // executed (or failed) — finished with the request
+    park_session, // touches reserved rows: park, session stalls (FIFO)
+    park_token,   // needs its reservation marker placed first
   };
 
   void run();  // worker thread body
   bool pop_next_locked(request& out);
-  void execute(request req);
-  void drain();  // worker: tick until the runtime is idle, harvest all
-  void advance(int ticks);  // worker: tick a slice, then harvest
-  void harvest();  // worker: complete every ready in-flight future
+  exec_result execute(request& req);
+  void drain();             // worker: tick until the runtime is idle
+  void advance(int ticks);  // worker: tick a slice
   void apply_weights_locked();
   void publish_stats_locked();
   void fail_all_queued_locked();
+
+  // --- worker-only helpers -------------------------------------------------
+  dram::address translate_addr(session_id owner, const dram::address& a) const;
+  dram::bulk_vector translate(session_id owner,
+                              const dram::bulk_vector& v) const;
+  void translate_task(session_id owner, runtime::pim_task& task) const;
+  bool has_hazard(const dram::bulk_vector& phys) const;
+  void drain_if_hazard(const dram::bulk_vector& phys);
+  /// A wire row on `target`'s channel usable as the PSM partner
+  /// (different bank/rank); nullptr when the organization is too small
+  /// to price transfers.
+  const dram::address* wire_for(const dram::address& target) const;
+  /// Submits one PSM-priced landing copy: wire -> row, with `data`'s
+  /// row_index-th slice applied at the copy's completion instant.
+  /// Falls back to an immediate functional write when unpriceable.
+  void stage_row(session_id stream, const dram::address& phys,
+                 std::shared_ptr<const bitvector> data, std::size_t row_index,
+                 std::shared_ptr<transfer_group> group, bool track);
+  /// Submits one PSM-priced export copy: row -> wire, with the row's
+  /// bits captured into `rows` at the copy's completion instant.
+  void export_row(session_id stream, const dram::address& phys,
+                  std::shared_ptr<std::vector<bitvector>> rows,
+                  std::size_t row_index,
+                  std::shared_ptr<transfer_group> group);
+  std::vector<dram::bulk_vector> acquire_scratch(bits size, int count);
+  void release_scratch(bits size, std::vector<dram::bulk_vector> group);
+  void track_row(std::uint64_t key);
+  void untrack_row(std::uint64_t key);
+  void bump_completed(bytes output);
+
+  void exec_allocate(request& req, const allocate_args& args);
+  void exec_write(request& req, const write_args& args);
+  void exec_read(request& req, const read_args& args);
+  exec_result exec_run_task(request& req, run_task_args& args);
+  exec_result exec_stage_run(request& req, stage_run_args& args);
+  void exec_stage_in(request& req, stage_in_args& args);
+  void exec_install(request& req, install_args& args);
+
+  /// True if any key is reserved by a token other than `own_token`.
+  bool rows_reserved(const std::vector<std::uint64_t>& keys,
+                     std::uint64_t own_token) const;
+  bool vector_reserved(session_id owner, const dram::bulk_vector& v,
+                       std::uint64_t own_token) const;
+  void place_reservation(session_id owner, std::uint64_t token,
+                         const dram::bulk_vector& v);
+  void clear_reservation(std::uint64_t token);
+  void unpark_sessions();
 
   const int index_;
   shard_config config_;
@@ -128,6 +257,7 @@ class shard {
   bool paused_ = false;
   bool weights_dirty_ = false;
   std::map<session_id, session_state> sessions_;
+  std::deque<request> control_queue_;
   std::size_t total_queued_ = 0;
   /// Service position of the stride pop (pass of the last pop);
   /// sessions joining or re-entering after an idle spell are floored
@@ -135,8 +265,35 @@ class shard {
   double virtual_pass_ = 0.0;
   shard_stats stats_;
 
-  // Worker-thread-only state (no lock needed).
-  std::vector<inflight> inflight_;
+  // Worker-thread-only state (no lock needed; the constructor may also
+  // touch it, before the worker exists).
+  /// Per-session translation: virtual row id -> physical row address.
+  std::unordered_map<session_id, std::unordered_map<int, dram::address>>
+      remap_;
+  /// Rows with an in-flight runtime task — the row-granular hazard
+  /// signal functional ops drain on (value = pending task count).
+  std::unordered_map<std::uint64_t, int> busy_rows_;
+  /// Reusable co-located scratch groups for cross-shard staging,
+  /// keyed by vector size (the allocator cannot free, so plans
+  /// recycle instead of leaking capacity).
+  std::map<std::pair<bits, int>, std::vector<std::vector<dram::bulk_vector>>>
+      scratch_pool_;
+  /// Per-channel landing rows in >= 2 distinct banks: the PSM partners
+  /// that price inter-shard transfers on this shard's clock.
+  std::map<int, std::vector<dram::address>> wire_;
+  int inflight_tasks_ = 0;
+  /// Per-session runtime tasks in flight (worker-thread data, read by
+  /// pop_next_locked on the same thread).
+  std::unordered_map<session_id, int> session_inflight_;
+  /// Active write-back reservations: token -> reserved row keys, plus
+  /// the per-row token lists requests are checked against.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
+      reservations_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
+      reserved_rows_;
+  /// Control requests (stage_in / clear) waiting for their reservation
+  /// marker to be placed.
+  std::vector<request> waiting_on_token_;
   std::thread thread_;
 };
 

@@ -29,12 +29,20 @@ std::vector<dram::bulk_vector> setup_vectors(service_client& client,
 }
 
 void storm(service_client& client, const std::vector<dram::bulk_vector>& v,
-           const synthetic_config& config, client_outcome& outcome) {
+           const synthetic_config& config, client_outcome& outcome,
+           const shared_vector* neighbor = nullptr) {
   for (const synthetic_op& op : make_synthetic_ops(config)) {
-    const dram::bulk_vector* b =
-        op.b < 0 ? nullptr : &v[static_cast<std::size_t>(op.b)];
-    client.submit_bulk(op.op, v[static_cast<std::size_t>(op.a)], b,
-                       v[static_cast<std::size_t>(op.d)]);
+    if (op.cross && neighbor != nullptr) {
+      client.submit_shared(op.op, client.share(v[static_cast<std::size_t>(
+                                      op.a)]),
+                           neighbor,
+                           client.share(v[static_cast<std::size_t>(op.d)]));
+    } else {
+      const dram::bulk_vector* b =
+          op.b < 0 ? nullptr : &v[static_cast<std::size_t>(op.b)];
+      client.submit_bulk(op.op, v[static_cast<std::size_t>(op.a)], b,
+                         v[static_cast<std::size_t>(op.d)]);
+    }
     ++outcome.tasks;
     outcome.output_bytes += config.vector_bits / 8;
   }
@@ -70,6 +78,11 @@ std::vector<synthetic_op> make_synthetic_ops(const synthetic_config& config) {
       op.b = op.a == s0 ? s1 : s0;
     }
     op.d = dest;
+    // Drawn last (and only when enabled) so populations without cross
+    // traffic keep their historical op streams.
+    if (config.cross_fraction > 0 && !dram::is_unary(op.op)) {
+      op.cross = gen.next_bool(config.cross_fraction);
+    }
     group_written[static_cast<std::size_t>(g)] = true;
     ops.push_back(op);
   }
@@ -101,6 +114,12 @@ std::vector<client_outcome> run_synthetic_fleet(
         throw std::invalid_argument(
             "synthetic fleet: burst storm exceeds session_queue_capacity");
       }
+      if (c.cross_fraction > 0) {
+        // A cross-shard submit blocks on its fetch phase, which needs
+        // live workers — it cannot be queued against a paused service.
+        throw std::invalid_argument(
+            "synthetic fleet: cross traffic requires burst=false");
+      }
     }
   }
 
@@ -114,14 +133,31 @@ std::vector<client_outcome> run_synthetic_fleet(
   start_gate storm_go(parties + 1);
   start_gate admitted(parties + 1);
 
+  // Cross traffic: clients publish their v[0] after setup and read the
+  // next client's — rendezvous so every published handle exists before
+  // any storm starts.
+  bool any_cross = false;
+  for (const synthetic_config& c : population) {
+    if (c.cross_fraction > 0) any_cross = true;
+  }
+  std::vector<shared_vector> published(population.size());
+  start_gate exchange(parties);
+
   std::vector<std::thread> threads;
   threads.reserve(population.size());
   for (std::size_t i = 0; i < population.size(); ++i) {
     threads.emplace_back([&svc, &population, &outcomes, &setup_done,
-                          &storm_go, &admitted, burst, i] {
+                          &storm_go, &admitted, &published, &exchange,
+                          any_cross, burst, i] {
       const synthetic_config& config = population[i];
       service_client client(svc, config.weight);
       const std::vector<dram::bulk_vector> v = setup_vectors(client, config);
+      const shared_vector* neighbor = nullptr;
+      if (any_cross) {
+        published[i] = client.share(v[0]);
+        exchange.arrive_and_wait();
+        neighbor = &published[(i + 1) % published.size()];
+      }
       if (burst) {
         setup_done.arrive_and_wait();
         storm_go.arrive_and_wait();
@@ -129,7 +165,7 @@ std::vector<client_outcome> run_synthetic_fleet(
       client_outcome& outcome = outcomes[i];
       outcome.session = client.id();
       outcome.shard = client.shard_index();
-      storm(client, v, config, outcome);
+      storm(client, v, config, outcome, neighbor);
       if (burst) admitted.arrive_and_wait();
       outcome.digest = client.digest();
     });
@@ -147,7 +183,8 @@ std::vector<client_outcome> run_synthetic_fleet(
 }
 
 client_outcome run_synthetic_reference(core::pim_system& sys,
-                                       const synthetic_config& config) {
+                                       const synthetic_config& config,
+                                       const synthetic_config* neighbor) {
   std::vector<dram::bulk_vector> v;
   for (int g = 0; g < config.groups; ++g) {
     const std::vector<dram::bulk_vector> group =
@@ -160,12 +197,31 @@ client_outcome run_synthetic_reference(core::pim_system& sys,
     sys.write(vec, bitvector::random(vec.size, data));
   }
 
+  // The neighbor's published vector is its v[0]: the first draw of its
+  // setup stream — regenerable here without sharing a memory system.
+  bitvector neighbor_published;
+  if (neighbor != nullptr) {
+    if (neighbor->vector_bits != config.vector_bits) {
+      throw std::invalid_argument(
+          "synthetic reference: cross traffic needs equal vector_bits");
+    }
+    rng ndata(neighbor->seed ^ 0xa5a5a5a5a5a5a5a5ull);
+    neighbor_published = bitvector::random(neighbor->vector_bits, ndata);
+  }
+
   client_outcome outcome;
   for (const synthetic_op& op : make_synthetic_ops(config)) {
     dram::bulk_vector d = v[static_cast<std::size_t>(op.d)];
-    const dram::bulk_vector* b =
-        op.b < 0 ? nullptr : &v[static_cast<std::size_t>(op.b)];
-    sys.execute(op.op, v[static_cast<std::size_t>(op.a)], b, d);
+    if (op.cross && neighbor != nullptr) {
+      // Functional equivalent of the service's two-phase plan: compute
+      // with the neighbor's static published contents.
+      const bitvector va = sys.read(v[static_cast<std::size_t>(op.a)]);
+      sys.write(d, dram::ambit_engine::apply(op.op, va, neighbor_published));
+    } else {
+      const dram::bulk_vector* b =
+          op.b < 0 ? nullptr : &v[static_cast<std::size_t>(op.b)];
+      sys.execute(op.op, v[static_cast<std::size_t>(op.a)], b, d);
+    }
     ++outcome.tasks;
     outcome.output_bytes += config.vector_bits / 8;
   }

@@ -32,6 +32,14 @@ struct synthetic_config {
   /// instead of the sources only. Raise toward 1.0 for latency-bound
   /// chain tenants.
   double dependent_fraction = 0.25;
+  /// Fraction of binary ops whose second operand is the *neighbor*
+  /// client's published vector (its v[0], written once at setup and
+  /// never recomputed — so results stay deterministic under any
+  /// cross-client interleaving). In a sharded service the neighbor
+  /// usually lives on another shard, so these exercise the two-phase
+  /// cross-shard planner. Requires equal vector_bits across the
+  /// population.
+  double cross_fraction = 0.0;
 };
 
 struct client_outcome {
@@ -50,6 +58,9 @@ struct synthetic_op {
   int a = 0;
   int b = -1;
   int d = 0;
+  /// Second operand is the neighbor's published vector (falls back to
+  /// `b` when the run has no neighbor to exchange with).
+  bool cross = false;
 };
 
 /// Vectors per group: two sources + one destination.
@@ -105,8 +116,14 @@ std::vector<client_outcome> run_synthetic_fleet(
 
 /// The same workload straight on a pim_system (no service, no
 /// threads): the reference execution the sharded digests must match.
+/// `neighbor` supplies the config whose published vector (v[0],
+/// regenerable from its seed) cross ops read; pass nullptr for a
+/// population without cross traffic (cross ops then fall back to their
+/// local operand, mirroring the service path).
 client_outcome run_synthetic_reference(core::pim_system& sys,
-                                       const synthetic_config& config);
+                                       const synthetic_config& config,
+                                       const synthetic_config* neighbor =
+                                           nullptr);
 
 }  // namespace pim::service
 

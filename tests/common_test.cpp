@@ -1,10 +1,13 @@
 // Unit tests for the foundation library (src/common).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "common/bitvector.h"
 #include "common/config.h"
+#include "common/json_writer.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -399,6 +402,61 @@ TEST(TypesTest, Bandwidth) {
   // 16 bytes every 1000 ps = 16 GB/s.
   EXPECT_DOUBLE_EQ(gigabytes_per_second(16, 1000), 16.0);
   EXPECT_EQ(gigabytes_per_second(16, 0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// json_writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Emits one double through the writer and parses it back.
+double json_round_trip(double value) {
+  json_writer json;
+  json.begin_object();
+  json.key("v").value(value);
+  json.end_object();
+  const std::string& text = json.str();
+  const std::size_t colon = text.find(':');
+  EXPECT_NE(colon, std::string::npos);
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+}  // namespace
+
+TEST(JsonWriterTest, DoublesRoundTripExactly) {
+  // %.6g lost precision on large cycle/byte counters, defeating
+  // run-over-run comparison of BENCH_*.json; %.17g must round-trip
+  // every finite double bit-exactly.
+  const double values[] = {
+      0.0,
+      0.1,
+      2.0 / 3.0,
+      3.141592653589793,
+      1e300,
+      5e-324,                  // smallest subnormal
+      123456789.123456789,
+      98765432109876544.0,     // a picosecond-scale makespan counter
+      9.007199254740992e15,    // 2^53: integer precision boundary
+      9.007199254740994e15,
+      -123456789012345.678,
+  };
+  for (double v : values) {
+    EXPECT_EQ(json_round_trip(v), v) << "value " << v;
+  }
+  // Large uint64 counters passed as doubles keep their magnitude.
+  const double big = static_cast<double>(
+      std::uint64_t{18'446'744'073'709'551'615ull});
+  EXPECT_EQ(json_round_trip(big), big);
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  json_writer json;
+  json.begin_object();
+  json.key("inf").value(std::numeric_limits<double>::infinity());
+  json.key("nan").value(std::numeric_limits<double>::quiet_NaN());
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"inf\":null,\"nan\":null}");
 }
 
 }  // namespace

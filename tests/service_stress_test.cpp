@@ -6,6 +6,8 @@
 // cross-thread futures, pause/resume, stop) under real parallelism.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "service/synthetic.h"
@@ -91,6 +93,126 @@ TEST(ServiceStressTest, FreeRunningClientsAlsoMatch) {
   svc.start();
   const auto outcomes =
       run_synthetic_fleet(svc, population, /*burst=*/false);
+  svc.stop();
+
+  EXPECT_EQ(outcome_digests(outcomes), expected);
+  EXPECT_EQ(svc.stats().requests_failed, 0u);
+}
+
+TEST(ServiceStressTest, MigrationUnderInflightTrafficKeepsDigests) {
+  // Sessions are yanked between shards while their client threads are
+  // mid-storm: backlogs are forwarded, vector contents staged across,
+  // and every digest must still match the single-threaded reference.
+  const auto population = stress_population(12, 16);
+  const auto expected = reference_digests(population);
+
+  service_config cfg;
+  cfg.shards = 4;
+  cfg.system = stress_system();
+  cfg.shard.session_queue_capacity = 16;
+  pim_service svc(cfg);
+  svc.start();
+
+  std::atomic<bool> done{false};
+  std::thread migrator([&svc, &done] {
+    rng gen(4242);
+    while (!done.load()) {
+      const session_id victim = gen.next_below(12);
+      const int target = static_cast<int>(gen.next_below(4));
+      try {
+        svc.migrate_session(victim, target);
+      } catch (const std::invalid_argument&) {
+        // The victim session may not have opened yet; harmless.
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  const auto outcomes = run_synthetic_fleet(svc, population, /*burst=*/false);
+  done.store(true);
+  migrator.join();
+
+  // Deterministic tail: force a couple of migrations after the storm
+  // and re-verify the data survived them.
+  svc.migrate_session(0, 1);
+  svc.migrate_session(0, 2);
+  svc.stop();
+
+  EXPECT_EQ(outcome_digests(outcomes), expected);
+  const service_stats stats = svc.stats();
+  EXPECT_EQ(stats.requests_failed, 0u);
+  EXPECT_GE(stats.migrations, 2u);
+}
+
+TEST(ServiceStressTest, CrossShardTrafficMatchesReference) {
+  // A quarter of every client's binary ops read the neighbor's
+  // published vector — across shards, through the two-phase planner —
+  // under full thread contention. Digests must match the functional
+  // reference (which regenerates the neighbors' published contents).
+  auto population = stress_population(12, 16);
+  for (auto& c : population) c.cross_fraction = 0.25;
+
+  std::vector<std::uint64_t> expected;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    core::pim_system sys(stress_system());
+    const synthetic_config& neighbor =
+        population[(i + 1) % population.size()];
+    expected.push_back(
+        run_synthetic_reference(sys, population[i], &neighbor).digest);
+  }
+
+  service_config cfg;
+  cfg.shards = 3;
+  cfg.system = stress_system();
+  cfg.shard.session_queue_capacity = 24;
+  pim_service svc(cfg);
+  svc.start();
+  const auto outcomes = run_synthetic_fleet(svc, population, /*burst=*/false);
+  svc.stop();
+
+  EXPECT_EQ(outcome_digests(outcomes), expected);
+  const service_stats stats = svc.stats();
+  EXPECT_EQ(stats.requests_failed, 0u);
+  EXPECT_GT(stats.cross_plans, 0u);
+  EXPECT_GT(stats.staged_bytes, 0u);
+}
+
+TEST(ServiceStressTest, CrossShardTrafficSurvivesConcurrentMigration) {
+  // The full gauntlet: cross-shard plans racing session migrations.
+  // Plans pin their sessions, migrations wait them out, and the
+  // results must still be bit-exact.
+  auto population = stress_population(8, 12);
+  for (auto& c : population) c.cross_fraction = 0.2;
+
+  std::vector<std::uint64_t> expected;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    core::pim_system sys(stress_system());
+    const synthetic_config& neighbor =
+        population[(i + 1) % population.size()];
+    expected.push_back(
+        run_synthetic_reference(sys, population[i], &neighbor).digest);
+  }
+
+  service_config cfg;
+  cfg.shards = 3;
+  cfg.system = stress_system();
+  cfg.shard.session_queue_capacity = 16;
+  pim_service svc(cfg);
+  svc.start();
+  std::atomic<bool> done{false};
+  std::thread migrator([&svc, &done] {
+    rng gen(777);
+    while (!done.load()) {
+      try {
+        svc.migrate_session(gen.next_below(8),
+                            static_cast<int>(gen.next_below(3)));
+      } catch (const std::invalid_argument&) {
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  const auto outcomes = run_synthetic_fleet(svc, population, /*burst=*/false);
+  done.store(true);
+  migrator.join();
   svc.stop();
 
   EXPECT_EQ(outcome_digests(outcomes), expected);

@@ -4,6 +4,8 @@
 // bit-for-bit equivalence across shard counts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/digest.h"
 #include "service/synthetic.h"
 
@@ -39,8 +41,38 @@ TEST(ShardRouterTest, RangeRoutingMakesContiguousBlocks) {
   EXPECT_EQ(router.route(2), 1);
   EXPECT_EQ(router.route(5), 2);
   EXPECT_EQ(router.route(7), 3);
-  // Keys past the last block clamp to the last shard.
-  EXPECT_EQ(router.route(1000), 3);
+}
+
+TEST(ShardRouterTest, RangeOverflowWrapsRoundRobin) {
+  // Keys past shards * keys_per_shard used to clamp onto the last
+  // shard, silently hot-spotting it as the population grew; they must
+  // wrap round-robin across all shards instead.
+  shard_router router(4, shard_routing::range, /*keys_per_shard=*/2);
+  // Boundary: the last in-range key vs the first overflow key.
+  EXPECT_EQ(router.route(7), 3);
+  EXPECT_EQ(router.route(8), 0);
+  EXPECT_EQ(router.route(9), 1);
+  EXPECT_EQ(router.route(10), 2);
+  EXPECT_EQ(router.route(11), 3);
+  EXPECT_EQ(router.route(12), 0);  // second wrap
+  EXPECT_EQ(router.route(1000), 0);  // (1000 - 8) % 4
+  EXPECT_EQ(router.route(1001), 1);
+
+  // A growing population stays balanced: over any large key range the
+  // spread between the fullest and emptiest shard is bounded by one
+  // block, not linear in the overflow.
+  std::vector<int> hits(4, 0);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    ++hits[static_cast<std::size_t>(router.route(key))];
+  }
+  const auto [lo, hi] = std::minmax_element(hits.begin(), hits.end());
+  EXPECT_LE(*hi - *lo, 2);
+
+  // Single-shard degenerate case: everything routes to shard 0.
+  shard_router one(1, shard_routing::range, /*keys_per_shard=*/4);
+  EXPECT_EQ(one.route(3), 0);
+  EXPECT_EQ(one.route(4), 0);
+  EXPECT_EQ(one.route(12345), 0);
 }
 
 TEST(ShardRouterTest, HashRoutingCoversAllShards) {
@@ -340,6 +372,360 @@ TEST(ServiceStatsTest, AggregatesAcrossShards) {
   json.end_object();
   EXPECT_NE(json.str().find("\"shards\""), std::string::npos);
   EXPECT_NE(json.str().find("\"aggregate_gbps\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Row-granular hazard drains (the old code drained the whole runtime on
+// every allocate/write/read, serializing all sessions' compute behind
+// any one session's metadata ops)
+// ---------------------------------------------------------------------------
+
+TEST(ServiceHazardTest, IndependentSessionsDoNotSerializeOnMetadataOps) {
+  service_config cfg = small_service(1);
+  pim_service svc(cfg);
+  svc.start();
+  service_client compute(svc);
+  service_client meta(svc);
+
+  const bits size = 1'000;
+  // Independent groups stripe across banks, so hazard-free tasks can
+  // genuinely overlap.
+  std::vector<std::vector<dram::bulk_vector>> groups;
+  for (int g = 0; g < 4; ++g) groups.push_back(compute.allocate(size, 3));
+  auto mv = meta.allocate(size, 1);
+  rng gen(9);
+  std::vector<bitvector> a, b;
+  for (auto& g : groups) {
+    a.push_back(bitvector::random(size, gen));
+    b.push_back(bitvector::random(size, gen));
+    compute.write(g[0], a.back());
+    compute.write(g[1], b.back());
+  }
+  const bitvector md = bitvector::random(size, gen);
+
+  // Queue everything while paused so the pop order is deterministic:
+  // stride popping interleaves meta's writes between compute's tasks.
+  svc.pause();
+  std::vector<request_future> fs;
+  for (int g = 0; g < 4; ++g) {
+    fs.push_back(compute.submit_bulk(dram::bulk_op::xor_op, groups[g][0],
+                                     &groups[g][1], groups[g][2]));
+  }
+  std::vector<request_future> ws;
+  for (int i = 0; i < 4; ++i) {
+    request r;
+    r.session = meta.id();
+    r.payload = write_args{mv[0], md};
+    ws.push_back(svc.submit(std::move(r)));
+  }
+  svc.resume();
+  compute.wait_all();
+  for (const request_future& w : ws) w.get();
+
+  // With the old always-drain behavior the interleaved writes forced
+  // every compute task to finish alone before the next was submitted:
+  // no two tasks' [start, complete) windows could ever overlap. With
+  // hazard-scoped drains the writes touch unrelated rows and all four
+  // tasks run concurrently.
+  int overlapping = 0;
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    for (std::size_t j = i + 1; j < fs.size(); ++j) {
+      const runtime::task_report& x = fs[i].get().report;
+      const runtime::task_report& y = fs[j].get().report;
+      if (x.start_ps < y.complete_ps && y.start_ps < x.complete_ps) {
+        ++overlapping;
+      }
+    }
+  }
+  EXPECT_GT(overlapping, 0);
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_EQ(compute.read(groups[g][2]),
+              a[static_cast<std::size_t>(g)] ^ b[static_cast<std::size_t>(g)]);
+  }
+  EXPECT_EQ(meta.read(mv[0]), md);
+  svc.stop();
+  // The unrelated metadata ops never drained...
+  EXPECT_EQ(svc.stats().shards[0].hazard_drains, 0u);
+}
+
+TEST(ServiceHazardTest, ReadOfPendingResultStillDrains) {
+  service_config cfg = small_service(1);
+  pim_service svc(cfg);
+  svc.start();
+  service_client client(svc);
+  const bits size = 1'000;
+  auto v = client.allocate(size, 3);
+  rng gen(21);
+  const bitvector a = bitvector::random(size, gen);
+  const bitvector b = bitvector::random(size, gen);
+  client.write(v[0], a);
+  client.write(v[1], b);
+  // Queue the op and the read back-to-back while paused: the worker
+  // then provably executes the read while the task is still in flight,
+  // and the hazard drain must make it observe the completed result.
+  svc.pause();
+  client.submit_bulk(dram::bulk_op::nand_op, v[0], &v[1], v[2]);
+  request r;
+  r.session = client.id();
+  r.payload = read_args{v[2]};
+  request_future rf = svc.submit(std::move(r));
+  svc.resume();
+  EXPECT_EQ(rf.get().data, ~(a & b));
+  client.wait_all();
+  svc.stop();
+  EXPECT_GE(svc.stats().hazard_drains, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard plans
+// ---------------------------------------------------------------------------
+
+service_config two_shard_range() {
+  service_config cfg = small_service(2);
+  cfg.routing = shard_routing::range;
+  cfg.sessions_per_shard = 1;
+  return cfg;
+}
+
+TEST(ServiceCrossShardTest, CrossShardOpsMatchFunctionalReference) {
+  pim_service svc(two_shard_range());
+  svc.start();
+  service_client c0(svc);
+  service_client c1(svc);
+  ASSERT_EQ(c0.shard_index(), 0);
+  ASSERT_EQ(c1.shard_index(), 1);
+
+  const bits size = 1'500;
+  auto v0 = c0.allocate(size, 2);  // a, and a destination for the unary op
+  auto v1 = c1.allocate(size, 2);  // b, d
+  rng gen(31);
+  const bitvector a = bitvector::random(size, gen);
+  const bitvector b = bitvector::random(size, gen);
+  c0.write(v0[0], a);
+  c1.write(v1[0], b);
+
+  // Binary op across shards: a lives on shard 0, b and d on shard 1.
+  const shared_vector sb{c1.id(), v1[0]};
+  const shared_vector sd{c1.id(), v1[1]};
+  request_future f =
+      c0.submit_shared(dram::bulk_op::xor_op, c0.share(v0[0]), &sb, sd);
+  f.get();
+  EXPECT_EQ(c1.read(v1[1]), a ^ b);
+
+  // Unary op across shards: source on shard 1, destination on shard 0.
+  request_future g =
+      c0.submit_shared(dram::bulk_op::not_op, sb, nullptr, c0.share(v0[1]));
+  g.get();
+  EXPECT_EQ(c0.read(v0[1]), ~b);
+
+  // Chained: a cross-shard result feeds a local op (hazard ordering
+  // across the plan's write-back).
+  c1.submit_bulk(dram::bulk_op::and_op, v1[1], &v1[0], v1[1]);
+  c1.wait_all();
+  EXPECT_EQ(c1.read(v1[1]), (a ^ b) & b);
+
+  svc.stop();
+  const service_stats stats = svc.stats();
+  EXPECT_EQ(stats.cross_plans, 2u);
+  EXPECT_GT(stats.staged_bytes, 0u);
+  EXPECT_GT(stats.exported_bytes, 0u);
+  EXPECT_EQ(stats.requests_failed, 0u);
+}
+
+TEST(ServiceCrossShardTest, PlannerPicksShardMinimizingBytesMoved) {
+  pim_service svc(two_shard_range());
+  svc.start();
+  service_client c0(svc);
+  service_client c1(svc);
+  const bits size = 4'000;
+  auto v0 = c0.allocate(size, 2);  // a, b on shard 0
+  auto v1 = c1.allocate(size, 1);  // d on shard 1
+  rng gen(47);
+  const bitvector a = bitvector::random(size, gen);
+  const bitvector b = bitvector::random(size, gen);
+  c0.write(v0[0], a);
+  c0.write(v0[1], b);
+
+  // Two inputs on shard 0 vs one output on shard 1: moving d's bytes
+  // (write-back) is cheaper than moving a+b, so the plan must execute
+  // on shard 0.
+  const shared_vector sa{c0.id(), v0[0]};
+  const shared_vector sb{c0.id(), v0[1]};
+  c1.submit_shared(dram::bulk_op::or_op, sa, &sb, c1.share(v1[0])).get();
+  EXPECT_EQ(c1.read(v1[0]), a | b);
+
+  svc.stop();
+  const service_stats stats = svc.stats();
+  EXPECT_EQ(stats.shards[0].cross_plans, 1u);
+  EXPECT_EQ(stats.shards[1].cross_plans, 0u);
+  // The write-back landed (and was priced) on d's shard.
+  EXPECT_GE(stats.shards[1].staged_bytes, static_cast<bytes>(size / 8));
+  // Nothing was exported from shard 1 — its only involvement is the
+  // landing.
+  EXPECT_EQ(stats.shards[1].exported_bytes, 0u);
+}
+
+TEST(ServiceCrossShardTest, SingleOwnerSharedSubmitTakesFastPath) {
+  pim_service svc(two_shard_range());
+  svc.start();
+  service_client c0(svc);
+  service_client c1(svc);
+  const bits size = 1'000;
+  auto v1 = c1.allocate(size, 3);
+  rng gen(53);
+  const bitvector a = bitvector::random(size, gen);
+  const bitvector b = bitvector::random(size, gen);
+  c1.write(v1[0], a);
+  c1.write(v1[1], b);
+  // All operands owned by c1: no staging, direct run on shard 1 even
+  // though the issuer lives on shard 0.
+  const shared_vector sa{c1.id(), v1[0]};
+  const shared_vector sb{c1.id(), v1[1]};
+  const shared_vector sd{c1.id(), v1[2]};
+  c0.submit_shared(dram::bulk_op::and_op, sa, &sb, sd).get();
+  EXPECT_EQ(c1.read(v1[2]), a & b);
+  svc.stop();
+  EXPECT_EQ(svc.stats().cross_plans, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Session migration and rebalancing
+// ---------------------------------------------------------------------------
+
+TEST(ServiceMigrationTest, MigrationPreservesDataOrderingAndHandles) {
+  pim_service svc(two_shard_range());
+  svc.start();
+  service_client c(svc);
+  ASSERT_EQ(c.shard_index(), 0);
+  const bits size = 2'000;
+  auto v = c.allocate(size, 3);
+  rng gen(61);
+  const bitvector a = bitvector::random(size, gen);
+  const bitvector b = bitvector::random(size, gen);
+  c.write(v[0], a);
+  c.write(v[1], b);
+
+  // An op in flight (or queued) when the migration starts must land
+  // before the post-migration op, on the new shard, same handles.
+  c.submit_bulk(dram::bulk_op::and_op, v[0], &v[1], v[2]);
+  svc.migrate_session(c.id(), 1);
+  EXPECT_EQ(c.shard_index(), 1);
+  c.submit_bulk(dram::bulk_op::xor_op, v[2], &v[0], v[2]);  // RAW chain
+  c.wait_all();
+  EXPECT_EQ(c.read(v[2]), (a & b) ^ a);
+
+  // Allocation after migration lands on the new shard and coexists
+  // with migrated vectors (one op per co-located group, as always).
+  auto w = c.allocate(size, 3);
+  c.write(w[0], b);
+  c.write(w[1], a);
+  c.submit_bulk(dram::bulk_op::or_op, w[0], &w[1], w[2]);
+  c.wait_all();
+  EXPECT_EQ(c.read(w[2]), b | a);
+
+  // Migrate back: handles still valid.
+  svc.migrate_session(c.id(), 0);
+  EXPECT_EQ(c.shard_index(), 0);
+  EXPECT_EQ(c.read(v[2]), (a & b) ^ a);
+  EXPECT_EQ(c.read(w[2]), b | a);
+
+  svc.stop();
+  const service_stats stats = svc.stats();
+  EXPECT_EQ(stats.migrations, 2u);
+  EXPECT_EQ(stats.requests_failed, 0u);
+}
+
+TEST(ServiceMigrationTest, MigratedSessionMatchesReferenceDigest) {
+  synthetic_config sc;
+  sc.ops = 10;
+  sc.groups = 2;
+  sc.vector_bits = 1'200;
+  sc.seed = 77;
+
+  core::pim_system reference(small_system());
+  const std::uint64_t expected =
+      run_synthetic_reference(reference, sc).digest;
+
+  pim_service svc(two_shard_range());
+  svc.start();
+  service_client c(svc);
+  // Interleave the chain with migrations: same digest as never moving.
+  std::vector<dram::bulk_vector> v;
+  for (int g = 0; g < sc.groups; ++g) {
+    auto group = c.allocate(sc.vector_bits, synthetic_group_vectors);
+    v.insert(v.end(), group.begin(), group.end());
+  }
+  rng data(sc.seed ^ 0xa5a5a5a5a5a5a5a5ull);
+  for (const dram::bulk_vector& vec : v) {
+    c.write(vec, bitvector::random(vec.size, data));
+  }
+  int i = 0;
+  for (const synthetic_op& op : make_synthetic_ops(sc)) {
+    const dram::bulk_vector* b =
+        op.b < 0 ? nullptr : &v[static_cast<std::size_t>(op.b)];
+    c.submit_bulk(op.op, v[static_cast<std::size_t>(op.a)], b,
+                  v[static_cast<std::size_t>(op.d)]);
+    if (++i % 3 == 0) svc.migrate_session(c.id(), i % 2);
+  }
+  EXPECT_EQ(c.digest(), expected);
+  svc.stop();
+}
+
+TEST(ServiceRebalanceTest, DrainsHotSpottedShard) {
+  // Route every session onto shard 0 (range routing with a huge block),
+  // then let the rebalancer spread the backlogged ones. Migration
+  // needs live workers (its captures flow through the shard queues),
+  // so the backlog is built under pause but rebalance runs after
+  // resume, polled while the hot shard chews through it.
+  service_config cfg = small_service(3);
+  cfg.routing = shard_routing::range;
+  cfg.sessions_per_shard = 64;
+  cfg.shard.session_queue_capacity = 64;
+  pim_service svc(cfg);
+  svc.start();
+  std::vector<std::unique_ptr<service_client>> clients;
+  // 16-row vectors x 64 ops x 5 tenants (more tenants than shards: the
+  // oversubscription the policy acts on): a backlog whose simulated
+  // drain takes long enough (tens of ms wall) that the skew is
+  // reliably observable after resume.
+  const int tenants = 5;
+  const bits size = 64'000;
+  rng gen(83);
+  std::vector<std::vector<dram::bulk_vector>> vs;
+  for (int i = 0; i < tenants; ++i) {
+    clients.push_back(std::make_unique<service_client>(svc));
+    ASSERT_EQ(clients.back()->shard_index(), 0);
+    vs.push_back(clients.back()->allocate(size, 3));
+    clients.back()->write(vs.back()[0], bitvector::random(size, gen));
+    clients.back()->write(vs.back()[1], bitvector::random(size, gen));
+  }
+  svc.pause();
+  for (int i = 0; i < tenants; ++i) {
+    for (int k = 0; k < 64; ++k) {
+      clients[static_cast<std::size_t>(i)]->submit_bulk(
+          dram::bulk_op::xor_op, vs[static_cast<std::size_t>(i)][0],
+          &vs[static_cast<std::size_t>(i)][1],
+          vs[static_cast<std::size_t>(i)][2]);
+    }
+  }
+  svc.resume();
+  int moved = 0;
+  for (int tries = 0; tries < 1000 && moved == 0; ++tries) {
+    moved = svc.rebalance(/*threshold=*/1.2);
+  }
+  EXPECT_GE(moved, 1);
+  // Rebalancing moved sessions (and their backlogs) off the hot shard.
+  std::vector<int> homes(tenants);
+  for (int i = 0; i < tenants; ++i) {
+    homes[static_cast<std::size_t>(i)] =
+        clients[static_cast<std::size_t>(i)]->shard_index();
+  }
+  EXPECT_TRUE(std::any_of(homes.begin(), homes.end(),
+                          [](int h) { return h != 0; }));
+  for (auto& c : clients) c->wait_all();
+  svc.stop();
+  EXPECT_EQ(svc.stats().requests_failed, 0u);
+  EXPECT_GE(svc.stats().migrations, 1u);
 }
 
 TEST(ServiceSessionTest, SessionsSpreadAndClientsSeeTheirShard) {

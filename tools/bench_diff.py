@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json emitted by two runs and flag perf regressions.
+
+Usage: bench_diff.py PREV_DIR CURR_DIR [--threshold PCT]
+
+Walks every BENCH_*.json present in both directories, pairs numeric
+leaves by their JSON path, and reports the classified performance
+metrics side by side. A metric is flagged as a regression when it moves
+against its good direction by more than the threshold (default 10%).
+
+Output is GitHub-flavored markdown meant for $GITHUB_STEP_SUMMARY. The
+exit code is always 0: the diff is advisory (wall-clock noise and
+machine variance make a hard gate counterproductive), the summary is
+the signal.
+
+Stdlib only: runs on a bare CI image.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Good-direction classification by the leaf key name. Keys not listed
+# are ignored (counters, configuration echoes, wall-clock noise).
+HIGHER_BETTER_SUFFIXES = (
+    "gbps",
+    "speedup",
+    "gain",
+    "throughput",
+    "avg_busy_banks",
+)
+LOWER_BETTER_SUFFIXES = (
+    "makespan_us",
+    "latency_us",
+    "latency_ns",
+    "energy_pj",
+)
+
+
+def classify(key: str):
+    k = key.lower()
+    for s in HIGHER_BETTER_SUFFIXES:
+        if k.endswith(s):
+            return "higher"
+    for s in LOWER_BETTER_SUFFIXES:
+        if k.endswith(s):
+            return "lower"
+    return None
+
+
+def numeric_leaves(node, path=""):
+    """Yields (path, value) for every classified numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from numeric_leaves(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from numeric_leaves(value, f"{path}[{i}]")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        key = path.rsplit(".", 1)[-1].split("[", 1)[0]
+        if classify(key) is not None:
+            yield path, float(node)
+
+
+def diff_file(name, prev, curr, threshold):
+    prev_leaves = dict(numeric_leaves(prev))
+    curr_leaves = dict(numeric_leaves(curr))
+    rows = []
+    regressions = 0
+    for path in sorted(set(prev_leaves) & set(curr_leaves)):
+        key = path.rsplit(".", 1)[-1].split("[", 1)[0]
+        direction = classify(key)
+        p, c = prev_leaves[path], curr_leaves[path]
+        if p == 0 and c == 0:
+            continue
+        delta = (c - p) / abs(p) * 100.0 if p != 0 else float("inf")
+        bad = delta < -threshold if direction == "higher" else delta > threshold
+        good = delta > threshold if direction == "higher" else delta < -threshold
+        status = "ok"
+        if bad:
+            status = "**REGRESSION**"
+            regressions += 1
+        elif good:
+            status = "improved"
+        rows.append((path, p, c, delta, status))
+    if not rows:
+        return regressions
+    print(f"\n### {name}\n")
+    print("| metric | previous | current | delta | status |")
+    print("|--------|----------|---------|-------|--------|")
+    for path, p, c, delta, status in rows:
+        print(f"| `{path}` | {p:.4g} | {c:.4g} | {delta:+.1f}% | {status} |")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("prev_dir")
+    parser.add_argument("curr_dir")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="flag moves beyond this percentage")
+    args = parser.parse_args()
+
+    prev_files = {f for f in os.listdir(args.prev_dir)
+                  if f.startswith("BENCH_") and f.endswith(".json")}
+    curr_files = {f for f in os.listdir(args.curr_dir)
+                  if f.startswith("BENCH_") and f.endswith(".json")}
+    common = sorted(prev_files & curr_files)
+
+    print("## Benchmark diff vs previous run")
+    if not common:
+        print("\nNo benchmark files in common; nothing to compare.")
+        return 0
+
+    total = 0
+    for name in common:
+        try:
+            with open(os.path.join(args.prev_dir, name)) as f:
+                prev = json.load(f)
+            with open(os.path.join(args.curr_dir, name)) as f:
+                curr = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"\n`{name}`: unreadable ({e})")
+            continue
+        total += diff_file(name, prev, curr, args.threshold)
+
+    only_new = sorted(curr_files - prev_files)
+    if only_new:
+        print(f"\nNew benchmarks (no baseline): {', '.join(only_new)}")
+    print()
+    if total:
+        print(f"**{total} metric(s) regressed beyond the "
+              f"{args.threshold:.0f}% threshold.**")
+    else:
+        print(f"No regressions beyond the {args.threshold:.0f}% threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
