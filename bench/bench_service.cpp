@@ -18,11 +18,14 @@
 #include <atomic>
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "common/config.h"
 #include "common/json_writer.h"
 #include "common/table.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "service/synthetic.h"
 
 namespace {
@@ -68,9 +71,12 @@ struct scale_point {
   service::service_stats stats;
 };
 
-scale_point run_at(int shards,
-                   const std::vector<service::synthetic_config>& population,
-                   bool burst) {
+/// One service configuration for a population — shared by the
+/// in-process and net-loopback scenarios, so the wire-tax comparison
+/// measures the transport and nothing else (same routing, same
+/// admission bounds, same backpressure).
+service::service_config make_service_config(
+    int shards, const std::vector<service::synthetic_config>& population) {
   service::service_config cfg;
   cfg.shards = shards;
   cfg.system = shard_system_config();
@@ -83,7 +89,13 @@ scale_point run_at(int shards,
     max_ops = std::max(max_ops, static_cast<std::size_t>(c.ops));
   }
   cfg.shard.session_queue_capacity = max_ops;  // one full storm, exactly
-  service::pim_service svc(cfg);
+  return cfg;
+}
+
+scale_point run_at(int shards,
+                   const std::vector<service::synthetic_config>& population,
+                   bool burst) {
+  service::pim_service svc(make_service_config(shards, population));
   svc.start();
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -211,6 +223,55 @@ scale_point run_skewed(const std::vector<service::synthetic_config>&
   return point;
 }
 
+/// Net-loopback scenario: the same population, each client an
+/// out-of-process-style remote_client over a loopback socket to an
+/// in-process pim_server, vs in-process service_clients against an
+/// identical service. Digests must match bit for bit; the wall-clock
+/// ratio is the wire tax (serialization + syscalls + the extra thread
+/// hops), since the simulated work is identical.
+struct loopback_point {
+  double wall_ms = 0;
+  double makespan_us = 0;
+  std::vector<std::uint64_t> digests;
+};
+
+loopback_point run_loopback(
+    int shards, const std::vector<service::synthetic_config>& population) {
+  net::server_config cfg;
+  cfg.service = make_service_config(shards, population);
+  net::pim_server server(cfg);
+  server.start();
+
+  const int parties = static_cast<int>(population.size());
+  service::start_gate storm_gate(parties);
+  std::vector<service::client_outcome> outcomes(population.size());
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(population.size());
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    threads.emplace_back([&server, &population, &outcomes, &storm_gate, i] {
+      net::remote_client client("127.0.0.1", server.port(),
+                                population[i].weight);
+      outcomes[i] =
+          service::run_synthetic_client(client, population[i], &storm_gate);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  loopback_point point;
+  point.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count();
+  point.makespan_us =
+      static_cast<double>(server.service().stats().makespan_ps) / 1e6;
+  for (const service::client_outcome& o : outcomes) {
+    point.digests.push_back(o.digest);
+  }
+  server.stop();
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -333,6 +394,33 @@ int main(int argc, char** argv) {
   std::cout << "  gain: " << format_double(skew_gain, 2) << "x, digests "
             << (skew_match ? "identical" : "DIFFER") << "\n";
 
+  // --- Net loopback: the wire tax ------------------------------------------
+  // The same tenants, driven through remote_client over loopback TCP
+  // against a pim_server, vs in-process service_clients on an
+  // identical service. Simulated work is identical, digests must be
+  // bit-identical; the wall-clock ratio is what the wire costs
+  // (framing, syscalls, response demultiplexing).
+  std::cout << "\n=== Net loopback: wire tax vs in-process ===\n\n";
+  const int net_clients = std::min(clients, 8);
+  const auto net_population = client_population(net_clients, ops);
+  const scale_point net_inproc =
+      run_at(max_shards, net_population, /*burst=*/false);
+  const loopback_point net_loop = run_loopback(max_shards, net_population);
+  const bool net_match = net_loop.digests == net_inproc.digests;
+  const double wire_tax =
+      net_inproc.wall_ms > 0 ? net_loop.wall_ms / net_inproc.wall_ms : 0.0;
+  std::cout << net_clients << " clients x " << ops << " ops, " << max_shards
+            << " shards:\n";
+  std::cout << "  in-process : " << format_double(net_inproc.wall_ms, 1)
+            << " ms wall, makespan "
+            << format_double(net_inproc.makespan_us, 1) << " us\n";
+  std::cout << "  loopback   : " << format_double(net_loop.wall_ms, 1)
+            << " ms wall, makespan "
+            << format_double(net_loop.makespan_us, 1) << " us\n";
+  std::cout << "  wire tax: " << format_double(wire_tax, 2)
+            << "x wall-clock, digests "
+            << (net_match ? "identical" : "DIFFER") << "\n";
+
   // Machine-readable trajectory record: the scaling curve plus the full
   // per-shard telemetry of the widest configuration.
   json_writer json;
@@ -365,6 +453,13 @@ int main(int argc, char** argv) {
   json.key("staged_bytes").value(cross_wide.stats.staged_bytes);
   json.key("exported_bytes").value(cross_wide.stats.exported_bytes);
   json.end_object();
+  json.key("net_loopback").begin_object();
+  json.key("clients").value(net_clients);
+  json.key("digests_match").value(net_match);
+  json.key("inproc_wall_ms").value(net_inproc.wall_ms);
+  json.key("loopback_wall_ms").value(net_loop.wall_ms);
+  json.key("wire_tax").value(wire_tax);
+  json.end_object();
   json.key("skew").begin_object();
   json.key("clients").value(static_cast<int>(skew_population.size()));
   json.key("digests_match").value(skew_match);
@@ -380,7 +475,7 @@ int main(int argc, char** argv) {
   json.write_file("BENCH_service.json");
   std::cout << "\nwrote BENCH_service.json\n";
 
-  const bool pass = digests_match && cross_match && skew_match &&
+  const bool pass = digests_match && cross_match && skew_match && net_match &&
                     final_speedup >= 2.0 && skew_gain > 1.05;
   return pass ? 0 : 1;
 }

@@ -28,6 +28,16 @@ std::vector<dram::bulk_vector> pim_system::allocate(bits size, int count) {
   return allocator_.allocate_group(size, count);
 }
 
+void pim_system::free_group(const std::vector<dram::bulk_vector>& group) {
+  allocator_.free_group(group);
+}
+
+void pim_system::free_rows(const std::vector<dram::address>& rows) {
+  allocator_.free_rows(rows);
+}
+
+std::size_t pim_system::free_slots() const { return allocator_.free_slots(); }
+
 void pim_system::write(const dram::bulk_vector& v, const bitvector& data) {
   ambit_.write_vector(v, data);
 }

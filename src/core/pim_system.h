@@ -45,6 +45,15 @@ class pim_system {
   /// Allocates `count` co-located bulk vectors of `size` bits.
   std::vector<dram::bulk_vector> allocate(bits size, int count);
 
+  /// Returns vectors' rows to the allocator's free pool for reuse —
+  /// the capacity-reclaim path of session migration. The caller must
+  /// ensure no in-flight task still touches the rows.
+  void free_group(const std::vector<dram::bulk_vector>& group);
+  void free_rows(const std::vector<dram::address>& rows);
+
+  /// Data-row slots currently allocatable (fresh + freed).
+  std::size_t free_slots() const;
+
   /// Host data movement (functional).
   void write(const dram::bulk_vector& v, const bitvector& data);
   bitvector read(const dram::bulk_vector& v) const;

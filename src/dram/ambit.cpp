@@ -1,5 +1,6 @@
 #include "dram/ambit.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
@@ -36,7 +37,8 @@ ambit_allocator::ambit_allocator(const organization& org)
       layout_(org),
       next_slot_(static_cast<std::size_t>(org.channels) * org.ranks *
                      org.banks * org.subarrays,
-                 0) {}
+                 0),
+      freed_(next_slot_.size()) {}
 
 std::vector<bulk_vector> ambit_allocator::allocate_group(bits size,
                                                          int count) {
@@ -52,16 +54,25 @@ std::vector<bulk_vector> ambit_allocator::allocate_group(bits size,
     v.rows.reserve(rows_needed);
   }
 
+  // A unit's capacity is its untouched tail plus whatever free_*
+  // handed back. Co-location only requires the `count` slots to share
+  // the subarray, not to be contiguous, so recycled slots mix freely
+  // with fresh ones.
+  auto capacity = [&](std::size_t u) {
+    return static_cast<std::size_t>(layout_.data_rows() - next_slot_[u]) +
+           freed_[u].size();
+  };
+
   for (std::size_t i = 0; i < rows_needed; ++i) {
     // Find the next stripe unit with `count` free slots.
     std::size_t tried = 0;
     while (tried < next_slot_.size() &&
-           next_slot_[cursor_] + count > layout_.data_rows()) {
+           capacity(cursor_) < static_cast<std::size_t>(count)) {
       cursor_ = (cursor_ + 1) % next_slot_.size();
       ++tried;
     }
     if (tried == next_slot_.size() &&
-        next_slot_[cursor_] + count > layout_.data_rows()) {
+        capacity(cursor_) < static_cast<std::size_t>(count)) {
       throw std::runtime_error("ambit_allocator: out of subarray capacity");
     }
     // Decompose the flat unit id into coordinates. The bank digit
@@ -77,20 +88,75 @@ std::vector<bulk_vector> ambit_allocator::allocate_group(bits size,
     unit /= static_cast<std::size_t>(org_.ranks);
     const int subarray = static_cast<int>(unit);
 
-    const int base_slot = next_slot_[cursor_];
-    next_slot_[cursor_] += count;
+    std::vector<int>& recycled = freed_[cursor_];
     for (int k = 0; k < count; ++k) {
+      int slot;
+      if (!recycled.empty()) {
+        slot = recycled.back();
+        recycled.pop_back();
+      } else {
+        slot = next_slot_[cursor_]++;
+      }
       address a;
       a.channel = channel;
       a.rank = rank;
       a.bank = bank;
-      a.row = layout_.data_row(subarray, base_slot + k);
+      a.row = layout_.data_row(subarray, slot);
       group[static_cast<std::size_t>(k)].rows.push_back(a);
     }
     // Advance to the next unit for the next row index (stripe).
     cursor_ = (cursor_ + 1) % next_slot_.size();
   }
   return group;
+}
+
+std::size_t ambit_allocator::unit_of(const address& a, int& slot) const {
+  if (a.channel < 0 || a.channel >= org_.channels || a.rank < 0 ||
+      a.rank >= org_.ranks || a.bank < 0 || a.bank >= org_.banks) {
+    throw std::invalid_argument("ambit_allocator: address out of range");
+  }
+  const int subarray = layout_.subarray_of(a.row);
+  if (subarray < 0 || subarray >= org_.subarrays) {
+    throw std::invalid_argument("ambit_allocator: row out of range");
+  }
+  slot = a.row - subarray * layout_.rows_per_subarray();
+  if (slot < 0 || slot >= layout_.data_rows()) {
+    throw std::invalid_argument("ambit_allocator: cannot free a reserved row");
+  }
+  return static_cast<std::size_t>(a.bank) +
+         static_cast<std::size_t>(org_.banks) *
+             (static_cast<std::size_t>(a.channel) +
+              static_cast<std::size_t>(org_.channels) *
+                  (static_cast<std::size_t>(a.rank) +
+                   static_cast<std::size_t>(org_.ranks) *
+                       static_cast<std::size_t>(subarray)));
+}
+
+void ambit_allocator::free_rows(const std::vector<address>& rows) {
+  for (const address& a : rows) {
+    int slot = 0;
+    const std::size_t unit = unit_of(a, slot);
+    if (slot >= next_slot_[unit] ||
+        std::find(freed_[unit].begin(), freed_[unit].end(), slot) !=
+            freed_[unit].end()) {
+      throw std::invalid_argument(
+          "ambit_allocator: freeing a row that is not allocated");
+    }
+    freed_[unit].push_back(slot);
+  }
+}
+
+void ambit_allocator::free_group(const std::vector<bulk_vector>& group) {
+  for (const bulk_vector& v : group) free_rows(v.rows);
+}
+
+std::size_t ambit_allocator::free_slots() const {
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < next_slot_.size(); ++u) {
+    total += static_cast<std::size_t>(layout_.data_rows() - next_slot_[u]) +
+             freed_[u].size();
+  }
+  return total;
 }
 
 // --------------------------------------------------------------------------

@@ -46,14 +46,36 @@ class ambit_allocator {
   /// Allocates `count` vectors of `size` bits. For every row index i,
   /// the i-th rows of all vectors share one subarray; consecutive row
   /// indices rotate across (channel, rank, bank, subarray) for
-  /// bank-level parallelism. Throws std::bad_alloc-like logic on
+  /// bank-level parallelism. Freed slots are recycled before fresh
+  /// capacity is consumed. Throws std::bad_alloc-like logic on
   /// capacity exhaustion.
   std::vector<bulk_vector> allocate_group(bits size, int count);
 
+  /// Returns every row of `group` to the free pool for reuse by later
+  /// allocations — the reclaim path session migration uses, so a shard
+  /// that migrates tenants away recovers their capacity instead of
+  /// leaking it. Freed rows keep their last contents (a fresh
+  /// allocation never promises zeroed rows). Throws
+  /// std::invalid_argument on a row that was never allocated or is
+  /// already free (double free).
+  void free_group(const std::vector<bulk_vector>& group);
+  void free_rows(const std::vector<address>& rows);
+
+  /// Data-row slots currently available (fresh + freed) — the
+  /// capacity-reclaim regression signal.
+  std::size_t free_slots() const;
+
  private:
+  /// Flat stripe-unit index of an address (bank fastest, matching
+  /// allocate_group's decomposition) and its slot within the unit.
+  std::size_t unit_of(const address& a, int& slot) const;
+
   organization org_;
   subarray_layout layout_;
-  std::vector<int> next_slot_;  // per stripe unit
+  std::vector<int> next_slot_;  // per stripe unit: bump pointer
+  /// Per stripe unit: slots handed back by free_*; consumed before the
+  /// bump pointer advances.
+  std::vector<std::vector<int>> freed_;
   std::size_t cursor_ = 0;
 };
 

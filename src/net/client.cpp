@@ -1,0 +1,248 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/digest.h"
+
+namespace pim::net {
+
+namespace {
+
+bool send_all(int fd, const std::vector<std::uint8_t>& buf) {
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n =
+        ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+remote_client::remote_client(const std::string& host, std::uint16_t port,
+                             double weight) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("remote_client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::runtime_error("remote_client: bad host " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("remote_client: connect to " + host + ":" +
+                             std::to_string(port) + " failed: " +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  reader_ = std::thread([this] { reader_loop(); });
+
+  // Handshake: open the session synchronously. On failure the
+  // destructor will not run, so tear the half-built connection down
+  // here.
+  try {
+    auto reply = std::make_shared<net_message>();
+    open_session_req req;
+    req.weight = weight;
+    send_request(req, reply).get();
+    const auto* opened = std::get_if<opened_resp>(reply.get());
+    if (opened == nullptr) {
+      throw std::runtime_error("remote_client: unexpected open response");
+    }
+    session_ = opened->session;
+    shard_ = opened->shard;
+  } catch (...) {
+    ::shutdown(fd_, SHUT_RDWR);
+    reader_.join();
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+remote_client::~remote_client() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  if (fd_ >= 0) ::close(fd_);
+  fail_pending("client destroyed");
+}
+
+service::request_future remote_client::send_request(
+    const net_message& msg, std::shared_ptr<net_message> reply) {
+  auto state = std::make_shared<service::request_state>();
+  service::request_future future(state);
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> frame = encode_frame(id, msg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(id, pending_entry{state, std::move(reply)});
+    if (!send_all(fd_, frame)) {
+      pending_.erase(id);
+      throw std::runtime_error("remote_client: connection lost on send");
+    }
+  }
+  return future;
+}
+
+void remote_client::fail_pending(const std::string& why) {
+  std::unordered_map<std::uint64_t, pending_entry> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphans.swap(pending_);
+  }
+  for (auto& [id, p] : orphans) {
+    (void)id;
+    fail(*p.state, why);
+  }
+}
+
+void remote_client::reader_loop() {
+  frame_splitter splitter;
+  std::vector<std::uint8_t> buf(1 << 16);
+  std::string reason = "connection closed by server";
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n <= 0) break;
+    try {
+      splitter.feed(buf.data(), static_cast<std::size_t>(n));
+      while (auto f = splitter.next()) {
+        pending_entry entry;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = pending_.find(f->id);
+          if (it == pending_.end()) continue;  // stale/unknown id: drop
+          entry = std::move(it->second);
+          pending_.erase(it);
+        }
+        if (entry.reply != nullptr) *entry.reply = f->msg;
+        if (const auto* err = std::get_if<error_resp>(&f->msg)) {
+          fail(*entry.state, err->message);
+        } else {
+          service::request_result result;
+          if (auto* vecs = std::get_if<vectors_resp>(&f->msg)) {
+            result.vectors = std::move(vecs->vectors);
+          } else if (auto* data = std::get_if<data_resp>(&f->msg)) {
+            result.data = std::move(data->data);
+          } else if (const auto* done = std::get_if<done_resp>(&f->msg)) {
+            result.report = done->report;
+          }
+          complete(*entry.state, std::move(result));
+        }
+      }
+    } catch (const protocol_error& e) {
+      reason = e.what();
+      break;
+    }
+  }
+  fail_pending(reason);
+}
+
+std::vector<dram::bulk_vector> remote_client::allocate(bits size, int count) {
+  allocate_req req;
+  req.session = session_;
+  req.size = size;
+  req.count = count;
+  std::vector<dram::bulk_vector> vectors =
+      send_request(req, nullptr).get().vectors;
+  owned_.insert(owned_.end(), vectors.begin(), vectors.end());
+  return vectors;
+}
+
+void remote_client::write(const dram::bulk_vector& v, const bitvector& data) {
+  write_req req;
+  req.session = session_;
+  req.v = v;
+  req.data = data;
+  send_request(req, nullptr).get();
+}
+
+bitvector remote_client::read(const dram::bulk_vector& v) {
+  read_req req;
+  req.session = session_;
+  req.v = v;
+  return send_request(req, nullptr).get().data;
+}
+
+service::request_future remote_client::submit_bulk(dram::bulk_op op,
+                                                   const dram::bulk_vector& a,
+                                                   const dram::bulk_vector* b,
+                                                   const dram::bulk_vector& d) {
+  submit_req req;
+  req.session = session_;
+  req.op = op;
+  req.a = a;
+  if (b != nullptr) req.b = *b;
+  req.d = d;
+  service::request_future f = send_request(req, nullptr);
+  futures_.push_back(f);
+  return f;
+}
+
+service::request_future remote_client::submit_shared(
+    dram::bulk_op op, const service::shared_vector& a,
+    const service::shared_vector* b, const service::shared_vector& d) {
+  submit_shared_req req;
+  req.issuer = session_;
+  req.op = op;
+  req.a = a;
+  if (b != nullptr) req.b = *b;
+  req.d = d;
+  service::request_future f = send_request(req, nullptr);
+  futures_.push_back(f);
+  return f;
+}
+
+void remote_client::wait_all() {
+  // Same contract as service_client::wait_all: wait everything out,
+  // then surface the first failure.
+  std::vector<service::request_future> waiting = std::move(futures_);
+  futures_.clear();
+  std::exception_ptr first_error;
+  for (const service::request_future& f : waiting) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::uint64_t remote_client::digest() {
+  wait_all();
+  std::uint64_t hash = fnv1a_basis;
+  for (const dram::bulk_vector& v : owned_) {
+    hash = fnv1a(hash, read(v));
+  }
+  return hash;
+}
+
+void remote_client::barrier() { send_request(wait_req{}, nullptr).get(); }
+
+std::string remote_client::stats_json() {
+  auto reply = std::make_shared<net_message>();
+  send_request(stats_req{}, reply).get();
+  const auto* stats = std::get_if<stats_resp>(reply.get());
+  if (stats == nullptr) {
+    throw std::runtime_error("remote_client: unexpected stats response");
+  }
+  return stats->json;
+}
+
+void remote_client::close_session() {
+  send_request(close_session_req{session_}, nullptr).get();
+}
+
+}  // namespace pim::net

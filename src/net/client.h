@@ -1,0 +1,97 @@
+// remote_client: the out-of-process counterpart of service_client.
+//
+// Connects to a pim_server, opens one session, and implements
+// service::client_api over the wire protocol — so any workload written
+// against client_api (the examples, the synthetic fleets) runs
+// unchanged over a socket. Requests are pipelined: submit_bulk/
+// submit_shared return immediately with a request_future backed by the
+// same request_state the in-process path uses, and a reader thread
+// completes futures as response frames arrive — out of request order,
+// matched by request id, mirroring how the shard workers complete
+// futures in process.
+//
+// Like service_client, one instance is driven by a single thread; many
+// clients on many threads (or processes) against one server is the
+// supported concurrency model.
+#ifndef PIM_NET_CLIENT_H
+#define PIM_NET_CLIENT_H
+
+#include <thread>
+#include <unordered_map>
+
+#include "net/protocol.h"
+#include "service/client_api.h"
+
+namespace pim::net {
+
+class remote_client final : public service::client_api {
+ public:
+  /// Connects and opens a session of the given fair-share weight;
+  /// throws on connection or handshake failure.
+  remote_client(const std::string& host, std::uint16_t port,
+                double weight = 1.0);
+  ~remote_client() override;
+
+  remote_client(const remote_client&) = delete;
+  remote_client& operator=(const remote_client&) = delete;
+
+  // client_api ------------------------------------------------------------
+  service::session_id id() const override { return session_; }
+  /// Home shard reported at open (migration may move it later).
+  int shard_index() const override { return shard_; }
+  std::vector<dram::bulk_vector> allocate(bits size, int count) override;
+  void write(const dram::bulk_vector& v, const bitvector& data) override;
+  bitvector read(const dram::bulk_vector& v) override;
+  service::request_future submit_bulk(dram::bulk_op op,
+                                      const dram::bulk_vector& a,
+                                      const dram::bulk_vector* b,
+                                      const dram::bulk_vector& d) override;
+  service::request_future submit_shared(dram::bulk_op op,
+                                        const service::shared_vector& a,
+                                        const service::shared_vector* b,
+                                        const service::shared_vector& d)
+      override;
+  void wait_all() override;
+  std::uint64_t digest() override;
+
+  // wire extras -----------------------------------------------------------
+  /// Server-side barrier: returns once every request this connection
+  /// submitted has completed on the server (the wire `wait` op).
+  void barrier();
+
+  /// Service-wide telemetry as the server's JSON document.
+  std::string stats_json();
+
+  /// Connection-level close of this client's session on the server.
+  void close_session();
+
+ private:
+  struct pending_entry {
+    std::shared_ptr<service::request_state> state;
+    /// Raw reply for control responses (opened/waited/stats) that do
+    /// not map onto request_result.
+    std::shared_ptr<net_message> reply;
+  };
+
+  /// Registers a pending id, sends the frame, returns the future.
+  service::request_future send_request(const net_message& msg,
+                                       std::shared_ptr<net_message> reply);
+  void reader_loop();
+  void fail_pending(const std::string& why);
+
+  int fd_ = -1;
+  service::session_id session_ = 0;
+  int shard_ = -1;
+  std::uint64_t next_id_ = 1;  // driving thread only
+
+  std::mutex mu_;  // pending_ + socket writes
+  std::unordered_map<std::uint64_t, pending_entry> pending_;
+  std::thread reader_;
+
+  std::vector<service::request_future> futures_;  // wait_all bookkeeping
+  std::vector<dram::bulk_vector> owned_;          // digest bookkeeping
+};
+
+}  // namespace pim::net
+
+#endif  // PIM_NET_CLIENT_H

@@ -1,0 +1,441 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "common/json_writer.h"
+#include "runtime/task.h"
+
+namespace pim::net {
+
+namespace {
+
+/// Writes the whole buffer, absorbing partial sends; false on a dead
+/// peer. MSG_NOSIGNAL: a closed client must surface as an error code,
+/// not SIGPIPE.
+bool send_all(int fd, const std::vector<std::uint8_t>& buf) {
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n =
+        ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Per-connection demultiplexer state. Held by shared_ptr from the
+/// connection AND from every pending request's completion hook, so a
+/// request completing after the connection died writes into live (if
+/// unread) memory instead of a dangling pointer.
+struct connection_demux {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool closing = false;
+
+  /// Encoded frames awaiting the writer thread (responses built on the
+  /// reader thread for synchronous calls, by the writer for async
+  /// completions).
+  std::deque<std::vector<std::uint8_t>> outgoing;
+
+  /// Async requests submitted but not yet answered: the shared
+  /// completion state (readable once `completed` names the id) and the
+  /// response opcode to build from it.
+  struct pending {
+    std::shared_ptr<service::request_state> state;
+    opcode reply = opcode::done;
+  };
+  std::unordered_map<std::uint64_t, pending> inflight;
+  /// Ids whose futures completed, in completion order — the order
+  /// responses leave the socket (NOT request order: that is the
+  /// pipelining).
+  std::deque<std::uint64_t> completed;
+  /// Parked wait barriers, answered when inflight drains to empty.
+  std::vector<std::uint64_t> waiting;
+};
+
+struct pim_server::connection {
+  int fd = -1;
+  std::shared_ptr<connection_demux> dx = std::make_shared<connection_demux>();
+  /// Sessions opened over this connection (reader-thread-only).
+  std::set<service::session_id> sessions;
+  std::thread reader;
+  std::thread writer;
+  std::atomic<bool> reader_done{false};
+  std::atomic<bool> writer_done{false};
+
+  bool finished() const { return reader_done.load() && writer_done.load(); }
+
+  ~connection() {
+    if (reader.joinable()) reader.join();
+    if (writer.joinable()) writer.join();
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+pim_server::pim_server(server_config config)
+    : config_(std::move(config)), svc_(config_.service) {}
+
+pim_server::~pim_server() { stop(); }
+
+void pim_server::start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) throw std::runtime_error("pim_server: cannot restart");
+    if (started_) return;
+    started_ = true;
+  }
+  svc_.start();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("pim_server: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("pim_server: bad host " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw std::runtime_error("pim_server: bind failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    throw std::runtime_error("pim_server: listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  acceptor_ = std::thread([this, fd = listen_fd_] { accept_loop(fd); });
+}
+
+void pim_server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopped_) {
+      stopped_ = true;
+      svc_.stop();
+      return;
+    }
+    stopped_ = true;
+  }
+  // Order matters: stop accepting, wake every connection thread off
+  // its socket, then stop the service — which fails outstanding
+  // requests, unblocking readers parked inside blocking service calls
+  // and firing the completion hooks of whatever was still in flight.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& c : connections_) {
+      {
+        std::lock_guard<std::mutex> l(c->dx->mu);
+        c->dx->closing = true;
+      }
+      c->dx->cv.notify_all();
+      ::shutdown(c->fd, SHUT_RDWR);
+    }
+  }
+  svc_.stop();
+  if (acceptor_.joinable()) acceptor_.join();
+  listen_fd_ = -1;  // cleared only after the acceptor is gone
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_.clear();  // joins every connection's threads
+}
+
+void pim_server::reap_finished_locked() {
+  std::erase_if(connections_,
+                [](const std::unique_ptr<connection>& c) {
+                  return c->finished();
+                });
+}
+
+// ---------------------------------------------------------------------------
+// Connection threads
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void enqueue_frame(connection_demux& dx, std::uint64_t id,
+                   const net_message& msg) {
+  std::vector<std::uint8_t> frame = encode_frame(id, msg);
+  {
+    std::lock_guard<std::mutex> lock(dx.mu);
+    dx.outgoing.push_back(std::move(frame));
+  }
+  dx.cv.notify_all();
+}
+
+/// Builds the response for a completed async request from its shared
+/// state (done is guaranteed set before the id reaches `completed`).
+net_message build_response(connection_demux::pending& p) {
+  std::lock_guard<std::mutex> lock(p.state->mu);
+  if (!p.state->error.empty()) return error_resp{p.state->error};
+  switch (p.reply) {
+    case opcode::vectors:
+      return vectors_resp{std::move(p.state->result.vectors)};
+    case opcode::data:
+      return data_resp{std::move(p.state->result.data)};
+    default:
+      return done_resp{p.state->result.report};
+  }
+}
+
+void writer_loop(int fd, std::shared_ptr<connection_demux> dx) {
+  std::unique_lock<std::mutex> lock(dx->mu);
+  for (;;) {
+    dx->cv.wait(lock, [&] {
+      return dx->closing || !dx->outgoing.empty() || !dx->completed.empty();
+    });
+    // Turn completions into response frames, in completion order.
+    while (!dx->completed.empty()) {
+      const std::uint64_t id = dx->completed.front();
+      dx->completed.pop_front();
+      auto it = dx->inflight.find(id);
+      if (it == dx->inflight.end()) continue;  // answered by an error path
+      connection_demux::pending p = std::move(it->second);
+      dx->inflight.erase(it);
+      lock.unlock();
+      std::vector<std::uint8_t> frame = encode_frame(id, build_response(p));
+      lock.lock();
+      dx->outgoing.push_back(std::move(frame));
+    }
+    // A drained pipeline releases parked wait barriers.
+    if (dx->inflight.empty() && !dx->waiting.empty()) {
+      for (const std::uint64_t id : dx->waiting) {
+        dx->outgoing.push_back(encode_frame(id, waited_resp{}));
+      }
+      dx->waiting.clear();
+    }
+    while (!dx->outgoing.empty()) {
+      std::vector<std::uint8_t> frame = std::move(dx->outgoing.front());
+      dx->outgoing.pop_front();
+      lock.unlock();
+      const bool ok = send_all(fd, frame);
+      lock.lock();
+      if (!ok) {
+        dx->closing = true;
+        dx->outgoing.clear();
+        break;
+      }
+    }
+    if (dx->closing && dx->outgoing.empty() && dx->completed.empty()) break;
+  }
+}
+
+}  // namespace
+
+void pim_server::accept_loop(const int listen_fd) {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd =
+        ::accept(listen_fd, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) return;  // listen socket closed: server stopping
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<connection>();
+    conn->fd = fd;
+    connection* c = conn.get();
+    c->writer = std::thread([fd, dx = c->dx, c] {
+      writer_loop(fd, dx);
+      // A dead writer (peer stopped reading, or protocol error already
+      // flushed) means the connection is over: wake the reader off its
+      // blocking recv too.
+      ::shutdown(fd, SHUT_RDWR);
+      c->writer_done.store(true);
+    });
+    c->reader = std::thread([this, fd, c] {
+      auto dx = c->dx;
+
+      // Dispatch helpers. Asynchronous requests (write/read/submit/
+      // submit_shared) register their completion state under the
+      // request id BEFORE submitting: the completion hook may fire on
+      // the shard worker before the submitting call even returns.
+      auto submit_async =
+          [&](std::uint64_t id, opcode reply,
+              auto&& do_submit) {
+            auto state = std::make_shared<service::request_state>();
+            state->on_done = [dx, id] {
+              {
+                std::lock_guard<std::mutex> l(dx->mu);
+                dx->completed.push_back(id);
+              }
+              dx->cv.notify_all();
+            };
+            {
+              std::lock_guard<std::mutex> l(dx->mu);
+              dx->inflight.emplace(
+                  id, connection_demux::pending{state, reply});
+            }
+            try {
+              do_submit(state);
+            } catch (const std::exception& e) {
+              {
+                std::lock_guard<std::mutex> l(dx->mu);
+                dx->inflight.erase(id);
+              }
+              enqueue_frame(*dx, id, error_resp{e.what()});
+            }
+          };
+
+      auto require_session = [&](service::session_id s) {
+        if (c->sessions.count(s) == 0) {
+          throw std::invalid_argument(
+              "session not opened on this connection");
+        }
+      };
+
+      auto dispatch = [&](net_frame& f) {
+        const std::uint64_t id = f.id;
+        try {
+          std::visit(
+              [&](auto& m) {
+                using T = std::decay_t<decltype(m)>;
+                if constexpr (std::is_same_v<T, open_session_req>) {
+                  const service::session_info si = svc_.open_session(m.weight);
+                  c->sessions.insert(si.id);
+                  enqueue_frame(*dx, id, opened_resp{si.id, si.shard});
+                } else if constexpr (std::is_same_v<T, close_session_req>) {
+                  require_session(m.session);
+                  c->sessions.erase(m.session);
+                  enqueue_frame(*dx, id, closed_resp{});
+                } else if constexpr (std::is_same_v<T, allocate_req>) {
+                  require_session(m.session);
+                  vectors_resp resp;
+                  resp.vectors = svc_.allocate(m.session, m.size, m.count);
+                  enqueue_frame(*dx, id, std::move(resp));
+                } else if constexpr (std::is_same_v<T, write_req>) {
+                  require_session(m.session);
+                  submit_async(id, opcode::done, [&](auto state) {
+                    service::request r;
+                    r.session = m.session;
+                    r.completion = std::move(state);
+                    r.payload = service::write_args{std::move(m.v),
+                                                    std::move(m.data)};
+                    svc_.submit(std::move(r));
+                  });
+                } else if constexpr (std::is_same_v<T, read_req>) {
+                  require_session(m.session);
+                  submit_async(id, opcode::data, [&](auto state) {
+                    service::request r;
+                    r.session = m.session;
+                    r.completion = std::move(state);
+                    r.payload = service::read_args{std::move(m.v)};
+                    svc_.submit(std::move(r));
+                  });
+                } else if constexpr (std::is_same_v<T, submit_req>) {
+                  require_session(m.session);
+                  submit_async(id, opcode::done, [&](auto state) {
+                    service::request r;
+                    r.session = m.session;
+                    r.completion = std::move(state);
+                    r.payload = service::run_task_args{runtime::make_bulk_task(
+                        m.op, m.a, m.b ? &*m.b : nullptr, m.d)};
+                    svc_.submit(std::move(r));
+                  });
+                } else if constexpr (std::is_same_v<T, submit_shared_req>) {
+                  require_session(m.issuer);
+                  submit_async(id, opcode::done, [&](auto state) {
+                    // Blocks this connection's reader for the fetch
+                    // phase of a cross-shard plan — per-connection
+                    // head-of-line blocking, matching the in-process
+                    // client's submit_shared semantics.
+                    svc_.submit_cross(m.issuer, m.op, m.a,
+                                      m.b ? &*m.b : nullptr, m.d,
+                                      std::move(state));
+                  });
+                } else if constexpr (std::is_same_v<T, wait_req>) {
+                  bool drained = false;
+                  {
+                    std::lock_guard<std::mutex> l(dx->mu);
+                    if (dx->inflight.empty() && dx->completed.empty()) {
+                      drained = true;
+                    } else {
+                      dx->waiting.push_back(id);
+                    }
+                  }
+                  if (drained) enqueue_frame(*dx, id, waited_resp{});
+                } else if constexpr (std::is_same_v<T, stats_req>) {
+                  json_writer json;
+                  json.begin_object();
+                  json.key("service").begin_object();
+                  svc_.stats().to_json(json);
+                  json.end_object();
+                  json.end_object();
+                  enqueue_frame(*dx, id, stats_resp{json.str()});
+                } else {
+                  // A response opcode arriving at the server is a
+                  // protocol violation, not a failed request.
+                  throw protocol_error("response opcode sent to server");
+                }
+              },
+              f.msg);
+        } catch (const protocol_error&) {
+          throw;  // close the connection
+        } catch (const std::exception& e) {
+          // Per-request failure (unknown session, exhausted allocator,
+          // stopped service): answer it, keep the connection.
+          enqueue_frame(*dx, id, error_resp{e.what()});
+        }
+      };
+
+      frame_splitter splitter;
+      std::vector<std::uint8_t> buf(1 << 16);
+      for (;;) {
+        const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+        if (n <= 0) break;
+        bool fatal = false;
+        try {
+          splitter.feed(buf.data(), static_cast<std::size_t>(n));
+          while (auto f = splitter.next()) dispatch(*f);
+        } catch (const protocol_error& e) {
+          // Malformed input: one error frame, then hang up. The id is
+          // best-effort (a frame broken before its id echoes 0).
+          enqueue_frame(*dx, splitter.last_id(), error_resp{e.what()});
+          fatal = true;
+        }
+        if (fatal) break;
+      }
+      {
+        std::lock_guard<std::mutex> l(dx->mu);
+        dx->closing = true;
+      }
+      dx->cv.notify_all();
+      c->reader_done.store(true);
+    });
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      // Raced with stop(): tear the fresh connection down the same way.
+      {
+        std::lock_guard<std::mutex> l(c->dx->mu);
+        c->dx->closing = true;
+      }
+      c->dx->cv.notify_all();
+      ::shutdown(c->fd, SHUT_RDWR);
+    }
+    connections_.push_back(std::move(conn));
+    reap_finished_locked();
+  }
+}
+
+}  // namespace pim::net

@@ -1,0 +1,86 @@
+// pim_server: the socket front door of the PIM service.
+//
+// Owns a sharded pim_service and exposes it to out-of-process clients
+// over the wire protocol (see protocol.h). One acceptor thread takes
+// TCP connections; each connection runs a reader thread (decode frames,
+// dispatch onto service calls) and a writer thread (serialize
+// responses). Pipelined requests demultiplex onto the service's
+// cross-thread futures: the reader installs a completion hook on each
+// request's state before submitting, the shard worker fires it at the
+// simulated completion instant, and the writer turns completions into
+// response frames in completion order — so responses go out OUT OF
+// ORDER relative to their requests, matched by the per-connection
+// request id, exactly like in-process clients' futures resolve.
+//
+// Malformed input (bad magic, oversized length, truncated body,
+// unknown opcode) answers with one error frame and closes that
+// connection; the server and its other connections keep running.
+// Blocking service calls (open/allocate, the fetch phase of a shared
+// submit) run on the connection's reader thread — per-connection
+// head-of-line blocking, never cross-connection.
+#ifndef PIM_NET_SERVER_H
+#define PIM_NET_SERVER_H
+
+#include <memory>
+#include <thread>
+
+#include "net/protocol.h"
+#include "service/service.h"
+
+namespace pim::net {
+
+struct server_config {
+  /// Listen address. The default binds loopback only: the simulated
+  /// memory is not an authenticated service.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the chosen port back with port().
+  std::uint16_t port = 0;
+  service::service_config service;
+};
+
+class pim_server {
+ public:
+  explicit pim_server(server_config config = {});
+  ~pim_server();
+
+  pim_server(const pim_server&) = delete;
+  pim_server& operator=(const pim_server&) = delete;
+
+  /// Starts the service's shard workers, binds, listens, and launches
+  /// the acceptor. Throws on bind/listen failure.
+  void start();
+
+  /// Stops accepting, closes every connection (joining its threads),
+  /// and stops the service. Idempotent.
+  void stop();
+
+  /// The bound port (resolved after start() for port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// The in-process service — loopback tests drive reference clients
+  /// against the very same instance the socket clients reach.
+  service::pim_service& service() { return svc_; }
+
+ private:
+  struct connection;
+
+  /// `fd` is passed by value: stop() closes and clears listen_fd_
+  /// concurrently, so the loop must never re-read the member.
+  void accept_loop(int fd);
+  void reap_finished_locked();
+
+  server_config config_;
+  service::pim_service svc_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+
+  std::mutex mu_;  // guards connections_ and started_/stopped_
+  bool started_ = false;
+  bool stopped_ = false;
+  std::vector<std::unique_ptr<connection>> connections_;
+};
+
+}  // namespace pim::net
+
+#endif  // PIM_NET_SERVER_H

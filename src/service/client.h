@@ -22,42 +22,38 @@
 #ifndef PIM_SERVICE_CLIENT_H
 #define PIM_SERVICE_CLIENT_H
 
+#include "service/client_api.h"
 #include "service/service.h"
 
 namespace pim::service {
 
-class service_client {
+class service_client final : public client_api {
  public:
   /// Opens a session on `svc` (which must outlive the client).
   explicit service_client(pim_service& svc, double weight = 1.0);
 
-  session_id id() const { return session_.id; }
+  session_id id() const override { return session_.id; }
   /// The session's current shard (migration moves it).
-  int shard_index() const { return svc_->owner_shard(session_.id); }
+  int shard_index() const override { return svc_->owner_shard(session_.id); }
 
   /// Allocates `count` co-located bulk vectors of `size` bits on the
   /// session's current shard. Blocks. The client remembers every
   /// vector it allocated, in order, for digest().
-  std::vector<dram::bulk_vector> allocate(bits size, int count);
+  std::vector<dram::bulk_vector> allocate(bits size, int count) override;
 
   /// Host data movement through the service (blocking).
-  void write(const dram::bulk_vector& v, const bitvector& data);
-  bitvector read(const dram::bulk_vector& v);
+  void write(const dram::bulk_vector& v, const bitvector& data) override;
+  bitvector read(const dram::bulk_vector& v) override;
 
   /// Submits one task; blocks only while the session's admission queue
   /// is full (backpressure).
   request_future submit(runtime::pim_task task);
   request_future submit_bulk(dram::bulk_op op, const dram::bulk_vector& a,
                              const dram::bulk_vector* b,
-                             const dram::bulk_vector& d);
+                             const dram::bulk_vector& d) override;
 
   /// Non-blocking variant: nullopt when the queue is full right now.
   std::optional<request_future> try_submit(runtime::pim_task task);
-
-  /// Publishes a vector this client owns for cross-session use.
-  shared_vector share(const dram::bulk_vector& v) const {
-    return {session_.id, v};
-  }
 
   /// Bulk op over shared vectors, possibly spanning sessions and
   /// shards: d = op(a[, b]). Blocks during the remote-fetch phase of a
@@ -65,18 +61,18 @@ class service_client {
   /// write-back.
   request_future submit_shared(dram::bulk_op op, const shared_vector& a,
                                const shared_vector* b,
-                               const shared_vector& d);
+                               const shared_vector& d) override;
 
   /// Blocks until every future this client received has completed.
   /// Rethrows the first failure.
-  void wait_all();
+  void wait_all() override;
 
   /// Digest of every vector this client allocated (in allocation
   /// order), after waiting out pending work. Two runs of the same
   /// client logic produce equal digests regardless of sharding,
   /// scheduling, or migration — the service's bit-for-bit equivalence
   /// check.
-  std::uint64_t digest();
+  std::uint64_t digest() override;
 
   /// Futures handed out so far (cleared by wait_all).
   std::size_t pending() const { return pending_.size(); }

@@ -18,7 +18,9 @@
 #ifndef PIM_SERVICE_REQUEST_H
 #define PIM_SERVICE_REQUEST_H
 
+#include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -175,6 +177,18 @@ struct request_state {
   bool done = false;
   std::string error;  // non-empty = request failed
   request_result result;
+  /// Stamped at construction — i.e. at client submit time — so the
+  /// completing shard can charge the full submit→complete latency to
+  /// the session's percentile histogram.
+  std::chrono::steady_clock::time_point submitted_at =
+      std::chrono::steady_clock::now();
+  /// Invoked exactly once, after `done` is set (on the completing
+  /// thread, outside the state lock). Must be installed before the
+  /// request is submitted and never touched afterwards. The socket
+  /// server hangs its response demultiplexer here: pipelined requests
+  /// complete out of order, and the hook is what turns each completion
+  /// into a response frame without a waiter thread per request.
+  std::function<void()> on_done;
 };
 
 inline void complete(request_state& state, request_result result) {
@@ -184,6 +198,7 @@ inline void complete(request_state& state, request_result result) {
     state.done = true;
   }
   state.cv.notify_all();
+  if (state.on_done) state.on_done();
 }
 
 inline void fail(request_state& state, std::string error) {
@@ -193,6 +208,7 @@ inline void fail(request_state& state, std::string error) {
     state.done = true;
   }
   state.cv.notify_all();
+  if (state.on_done) state.on_done();
 }
 
 /// Client-side handle to a submitted request.

@@ -18,6 +18,22 @@ double service_stats::avg_busy_banks() const {
              : static_cast<double>(busy) / static_cast<double>(ticks);
 }
 
+namespace {
+
+/// Emits one histogram's percentile summary as an open-and-closed
+/// object under the current key.
+void latency_to_json(json_writer& json, const latency_histogram& h) {
+  const latency_stats s = h.summary();
+  json.begin_object();
+  json.key("count").value(s.count);
+  json.key("p50_us").value(s.p50_us);
+  json.key("p95_us").value(s.p95_us);
+  json.key("p99_us").value(s.p99_us);
+  json.end_object();
+}
+
+}  // namespace
+
 void service_stats::to_json(json_writer& json) const {
   json.key("shard_count").value(static_cast<int>(shards.size()));
   json.key("sessions").value(sessions);
@@ -39,6 +55,14 @@ void service_stats::to_json(json_writer& json) const {
   json.key("staged_bytes").value(staged_bytes);
   json.key("exported_bytes").value(exported_bytes);
   json.key("migrations").value(migrations);
+  json.key("latency");
+  latency_to_json(json, latency);
+  json.key("session_latency").begin_object();
+  for (const auto& [id, h] : session_latency) {
+    json.key(std::to_string(id));
+    latency_to_json(json, h);
+  }
+  json.end_object();
   json.key("shards").begin_array();
   for (const shard_stats& s : shards) {
     json.begin_object();
@@ -59,6 +83,13 @@ void service_stats::to_json(json_writer& json) const {
     json.key("staged_bytes").value(s.staged_bytes);
     json.key("exported_bytes").value(s.exported_bytes);
     json.key("migrations_in").value(s.migrations_in);
+    latency_histogram shard_latency;
+    for (const auto& [id, h] : s.session_latency) {
+      (void)id;
+      shard_latency.merge(h);
+    }
+    json.key("latency");
+    latency_to_json(json, shard_latency);
     json.key("sched_submitted").value(s.runtime.sched.submitted);
     json.key("sched_completed").value(s.runtime.sched.completed);
     json.key("hazard_deferred").value(s.runtime.sched.hazard_deferred);
@@ -288,7 +319,9 @@ std::shared_ptr<void> pim_service::pin_sessions_locked(
 request_future pim_service::submit_cross(session_id issuer, dram::bulk_op op,
                                          const shared_vector& a,
                                          const shared_vector* b,
-                                         const shared_vector& d) {
+                                         const shared_vector& d,
+                                         std::shared_ptr<request_state>
+                                             completion) {
   if (dram::is_unary(op) != (b == nullptr)) {
     throw std::invalid_argument("submit_cross: operand arity mismatch");
   }
@@ -299,6 +332,7 @@ request_future pim_service::submit_cross(session_id issuer, dram::bulk_op op,
     // runs directly on its shard exactly like a home submit.
     request r;
     r.session = a.owner;
+    r.completion = std::move(completion);
     r.payload = run_task_args{
         runtime::make_bulk_task(op, a.v, b != nullptr ? &b->v : nullptr, d.v)};
     return route(r);
@@ -413,6 +447,7 @@ request_future pim_service::submit_cross(session_id issuer, dram::bulk_op op,
 
     request r;
     r.session = issuer;
+    r.completion = std::move(completion);
     stage_run_args sr;
     sr.op = op;
     sr.a = std::move(ca);
@@ -677,6 +712,10 @@ service_stats pim_service::stats() const {
     total.staged_bytes += snap.staged_bytes;
     total.exported_bytes += snap.exported_bytes;
     total.migrations += snap.migrations_in;
+    for (const auto& [id, h] : snap.session_latency) {
+      total.session_latency[id].merge(h);
+      total.latency.merge(h);
+    }
   }
   return total;
 }

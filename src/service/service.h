@@ -68,6 +68,11 @@ struct service_stats {
   bytes staged_bytes = 0;
   bytes exported_bytes = 0;
   std::uint64_t migrations = 0;
+  /// Submit→complete latency, merged across shards: the service-wide
+  /// histogram plus one per session (a migrated session's histograms
+  /// from both shards fold together here).
+  latency_histogram latency;
+  std::map<session_id, latency_histogram> session_latency;
 
   /// Aggregate output bandwidth at the service interface.
   double aggregate_gbps() const {
@@ -128,9 +133,14 @@ class pim_service {
   /// then compute, then a priced write-back to the destination owner.
   /// The returned future completes only after all phases. Blocks the
   /// caller during the fetch phase (like other metadata operations).
+  /// `completion` optionally supplies a pre-built completion state (the
+  /// socket server installs its response hook on one before
+  /// submitting); when null the shard creates one.
   request_future submit_cross(session_id issuer, dram::bulk_op op,
                               const shared_vector& a, const shared_vector* b,
-                              const shared_vector& d);
+                              const shared_vector& d,
+                              std::shared_ptr<request_state> completion =
+                                  nullptr);
 
   /// Moves `session` — queue backlog, fair-share weight, and every
   /// vector it owns — to `shard`. Safe relative to inflight work: the

@@ -268,7 +268,12 @@ std::vector<std::pair<session_id, std::size_t>> shard::session_backlogs()
 
 shard_stats shard::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  shard_stats snap = stats_;
+  // Latency histograms are served live, not from the last idle-time
+  // publish: a monitor polling percentiles mid-burst (the SLO signal)
+  // must see current samples, and latency_ is mu_-guarded anyway.
+  snap.session_latency = latency_;
+  return snap;
 }
 
 bool shard::pop_next_locked(request& out) {
@@ -442,6 +447,19 @@ void shard::bump_completed(bytes output) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.requests_completed;
   stats_.output_bytes += output;
+}
+
+void shard::complete_tracked(session_id session,
+                             const std::shared_ptr<request_state>& state,
+                             request_result result, bytes output) {
+  const auto elapsed = std::chrono::steady_clock::now() - state->submitted_at;
+  complete(*state, std::move(result));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.requests_completed;
+  stats_.output_bytes += output;
+  latency_[session].record(static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+             .count())));
 }
 
 namespace {
@@ -679,7 +697,26 @@ shard::exec_result shard::execute(request& req) {
       }
       case 6: exec_install(req, std::get<install_args>(req.payload)); break;
       case 7: {
-        remap_.erase(std::get<forget_args>(req.payload).session);
+        // Migrated-away session: drop its translation state AND return
+        // its physical rows to the allocator. By the time the
+        // migration coordinator enqueues this, every capture of the
+        // session's contents has completed — and those priced exports
+        // were hazard-ordered behind the session's in-flight compute —
+        // so nothing in flight touches the rows anymore. Without the
+        // reclaim, the source shard's capacity leaked on every
+        // migrate-away (the load moved, the rows never came back).
+        const session_id gone = std::get<forget_args>(req.payload).session;
+        auto it = remap_.find(gone);
+        if (it != remap_.end()) {
+          std::vector<dram::address> rows;
+          rows.reserve(it->second.size());
+          for (const auto& [virt, phys] : it->second) {
+            (void)virt;
+            rows.push_back(phys);
+          }
+          sys_.free_rows(rows);
+          remap_.erase(it);
+        }
         complete(*req.completion, request_result{});
         bump_completed(0);
         break;
@@ -738,16 +775,14 @@ void shard::exec_allocate(request& req, const allocate_args& args) {
     }
     res.vectors.push_back(std::move(handle));
   }
-  complete(*req.completion, std::move(res));
-  bump_completed(0);
+  complete_tracked(req.session, req.completion, std::move(res), 0);
 }
 
 void shard::exec_write(request& req, const write_args& args) {
   const dram::bulk_vector phys = translate(req.session, args.v);
   drain_if_hazard(phys);
   sys_.write(phys, args.data);
-  complete(*req.completion, request_result{});
-  bump_completed(0);
+  complete_tracked(req.session, req.completion, request_result{}, 0);
 }
 
 void shard::exec_read(request& req, const read_args& args) {
@@ -760,8 +795,14 @@ void shard::exec_read(request& req, const read_args& args) {
     drain_if_hazard(phys);
     request_result res;
     res.data = sys_.read(phys);
-    complete(*req.completion, std::move(res));
-    bump_completed(0);
+    if (args.priced) {
+      // Internal capture on an unpriceable organization: functional
+      // fallback, still not a client call — no latency sample.
+      complete(*req.completion, std::move(res));
+      bump_completed(0);
+    } else {
+      complete_tracked(req.session, req.completion, std::move(res), 0);
+    }
     return;
   }
   // RowClone-priced export: one PSM copy per row onto the wire rows;
@@ -787,6 +828,8 @@ void shard::exec_read(request& req, const read_args& args) {
     }
     request_result res;
     res.data = std::move(out);
+    // Priced exports are service-internal (plan fetches, migration
+    // captures) — never a client call, so no latency sample.
     complete(*completion, std::move(res));
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -817,8 +860,8 @@ shard::exec_result shard::exec_run_task(request& req, run_task_args& args) {
     --session_inflight_[session];
     request_result res;
     res.report = report;
-    complete(*completion, std::move(res));
-    bump_completed(report.output_bytes);
+    complete_tracked(session, completion, std::move(res),
+                     report.output_bytes);
   };
   sys_.submit(std::move(task));
   ++inflight_tasks_;
@@ -941,14 +984,14 @@ void shard::exec_stage_in(request& req, stage_in_args& args) {
     if (wire_for(a) == nullptr) priceable = false;
   }
   auto completion = req.completion;
+  const session_id session = req.session;
   if (!priceable) {
     drain_if_hazard(phys);
     sys_.write(phys, args.data);
     request_result res;
     res.report = args.report;
-    complete(*completion, std::move(res));
+    complete_tracked(session, completion, std::move(res), 0);
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.requests_completed;
     stats_.staged_bytes += phys.size / 8;
     return;
   }
@@ -956,14 +999,13 @@ void shard::exec_stage_in(request& req, stage_in_args& args) {
   auto group = std::make_shared<transfer_group>();
   group->remaining = static_cast<int>(phys.rows.size());
   const bits size = phys.size;
-  group->finalize = [this, completion, report = args.report, size,
+  group->finalize = [this, completion, session, report = args.report, size,
                      guard = std::move(args.guard)] {
     request_result res;
     res.report = report;
-    complete(*completion, std::move(res));
+    complete_tracked(session, completion, std::move(res), 0);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.requests_completed;
       stats_.staged_bytes += size / 8;
     }
   };
@@ -1011,6 +1053,8 @@ void shard::exec_install(request& req, install_args& args) {
     rows_total += static_cast<int>(sv.phys.rows.size());
   }
   group_state->remaining = rows_total;
+  // Migration machinery, not a client request: completes untracked so
+  // the session's percentiles reflect only client-observed latency.
   group_state->finalize = [this, completion, total] {
     complete(*completion, request_result{});
     {

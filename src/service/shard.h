@@ -40,6 +40,7 @@
 #include <unordered_map>
 
 #include "core/pim_system.h"
+#include "service/latency.h"
 #include "service/request.h"
 
 namespace pim::service {
@@ -75,6 +76,11 @@ struct shard_stats {
   bytes staged_bytes = 0;            // RowClone-priced bytes landed here
   bytes exported_bytes = 0;          // RowClone-priced bytes read out of here
   std::uint64_t migrations_in = 0;   // sessions installed by migration
+  /// Submit→complete wall-clock latency histograms per session hosted
+  /// here (client-visible requests only; internal reservation markers
+  /// are excluded). Mergeable across shards — pim_service::stats()
+  /// folds them into per-session and service-wide percentiles.
+  std::map<session_id, latency_histogram> session_latency;
   runtime::runtime_stats runtime;
 };
 
@@ -226,6 +232,12 @@ class shard {
   void track_row(std::uint64_t key);
   void untrack_row(std::uint64_t key);
   void bump_completed(bytes output);
+  /// Completes a client-visible request and charges its
+  /// submit→complete latency to the session's histogram in one stats
+  /// update.
+  void complete_tracked(session_id session,
+                        const std::shared_ptr<request_state>& state,
+                        request_result result, bytes output);
 
   void exec_allocate(request& req, const allocate_args& args);
   void exec_write(request& req, const write_args& args);
@@ -264,6 +276,9 @@ class shard {
   /// to it so they cannot replay the share they did not use.
   double virtual_pass_ = 0.0;
   shard_stats stats_;
+  /// Live per-session latency histograms (mu_); snapshotted into
+  /// stats_.session_latency by publish_stats_locked.
+  std::map<session_id, latency_histogram> latency_;
 
   // Worker-thread-only state (no lock needed; the constructor may also
   // touch it, before the worker exists).

@@ -11,7 +11,7 @@ const dram::bulk_op kOps[] = {dram::bulk_op::and_op, dram::bulk_op::or_op,
                               dram::bulk_op::xor_op, dram::bulk_op::nand_op,
                               dram::bulk_op::nor_op, dram::bulk_op::not_op};
 
-std::vector<dram::bulk_vector> setup_vectors(service_client& client,
+std::vector<dram::bulk_vector> setup_vectors(client_api& client,
                                              const synthetic_config& config) {
   // One allocation per group: consecutive groups stripe across banks,
   // which is what lets a single client's ops overlap.
@@ -28,7 +28,7 @@ std::vector<dram::bulk_vector> setup_vectors(service_client& client,
   return v;
 }
 
-void storm(service_client& client, const std::vector<dram::bulk_vector>& v,
+void storm(client_api& client, const std::vector<dram::bulk_vector>& v,
            const synthetic_config& config, client_outcome& outcome,
            const shared_vector* neighbor = nullptr) {
   for (const synthetic_op& op : make_synthetic_ops(config)) {
@@ -93,13 +93,20 @@ client_outcome run_synthetic_client(pim_service& svc,
                                     const synthetic_config& config,
                                     start_gate* gate) {
   service_client client(svc, config.weight);
+  return run_synthetic_client(client, config, gate);
+}
+
+client_outcome run_synthetic_client(client_api& client,
+                                    const synthetic_config& config,
+                                    start_gate* gate,
+                                    const shared_vector* neighbor) {
   const std::vector<dram::bulk_vector> v = setup_vectors(client, config);
   if (gate != nullptr) gate->arrive_and_wait();
 
   client_outcome outcome;
   outcome.session = client.id();
   outcome.shard = client.shard_index();
-  storm(client, v, config, outcome);
+  storm(client, v, config, outcome, neighbor);
   outcome.digest = client.digest();  // waits out the chain
   return outcome;
 }

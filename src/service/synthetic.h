@@ -101,6 +101,18 @@ client_outcome run_synthetic_client(pim_service& svc,
                                     const synthetic_config& config,
                                     start_gate* gate = nullptr);
 
+/// Transport-independent variant: drives an already-open client (in-
+/// process service_client or net::remote_client — anything behind
+/// client_api) through the same deterministic chain. The digest is a
+/// pure function of the config, so running the same population over
+/// the socket transport must reproduce the in-process digests bit for
+/// bit. `neighbor` supplies the published vector cross ops read (null
+/// for populations without cross traffic).
+client_outcome run_synthetic_client(client_api& client,
+                                    const synthetic_config& config,
+                                    start_gate* gate = nullptr,
+                                    const shared_vector* neighbor = nullptr);
+
 /// Drives the whole population concurrently, one thread per client,
 /// and returns outcomes in population order (so digest lists compare
 /// across shard counts). With `burst` (the benchmark mode) the service

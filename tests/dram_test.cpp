@@ -878,6 +878,68 @@ TEST(AmbitAllocatorTest, ExhaustionThrows) {
       std::runtime_error);
 }
 
+TEST(AmbitAllocatorTest, FreedGroupsAreRecycled) {
+  organization org = small_org();
+  org.channels = 1;
+  org.ranks = 1;
+  org.banks = 1;
+  org.subarrays = 2;
+  ambit_allocator alloc(org);
+  const std::size_t before = alloc.free_slots();
+  // Allocate/free in a loop consuming many times the total capacity:
+  // only recycling can keep this alive.
+  for (int i = 0; i < 1000; ++i) {
+    auto group = alloc.allocate_group(org.row_bits() * 2, 3);
+    alloc.free_group(group);
+  }
+  EXPECT_EQ(alloc.free_slots(), before);  // everything came back
+  // Freed slots are really reusable for differently-shaped groups.
+  auto wide = alloc.allocate_group(org.row_bits(), 6);
+  EXPECT_EQ(wide.size(), 6u);
+}
+
+TEST(AmbitAllocatorTest, FreedRowsKeepColocationGuarantee) {
+  const organization org = small_org();
+  ambit_allocator alloc(org);
+  const subarray_layout layout(org);
+  auto first = alloc.allocate_group(org.row_bits() * 4, 3);
+  alloc.free_group(first);
+  // The next group mixes recycled and fresh slots; co-location must
+  // hold regardless.
+  auto group = alloc.allocate_group(org.row_bits() * 4, 3);
+  for (std::size_t i = 0; i < group[0].rows.size(); ++i) {
+    const address& a = group[0].rows[i];
+    for (std::size_t k = 1; k < group.size(); ++k) {
+      const address& x = group[k].rows[i];
+      EXPECT_EQ(a.channel, x.channel);
+      EXPECT_EQ(a.rank, x.rank);
+      EXPECT_EQ(a.bank, x.bank);
+      EXPECT_EQ(layout.subarray_of(a.row), layout.subarray_of(x.row));
+    }
+  }
+}
+
+TEST(AmbitAllocatorTest, DoubleFreeAndForeignRowsThrow) {
+  const organization org = small_org();
+  ambit_allocator alloc(org);
+  const subarray_layout layout(org);
+  auto group = alloc.allocate_group(org.row_bits(), 2);
+  alloc.free_group(group);
+  EXPECT_THROW(alloc.free_group(group), std::invalid_argument);  // double
+
+  auto other = alloc.allocate_group(org.row_bits(), 1);
+  address reserved = other[0].rows[0];
+  reserved.row = layout.t(layout.subarray_of(reserved.row), 0);
+  EXPECT_THROW(alloc.free_rows({reserved}), std::invalid_argument);
+
+  address never;  // a data row no allocation has reached yet
+  never.channel = org.channels - 1;
+  never.rank = org.ranks - 1;
+  never.bank = org.banks - 1;
+  never.row = layout.data_row(org.subarrays - 1, layout.data_rows() - 1);
+  EXPECT_THROW(alloc.free_rows({never}), std::invalid_argument);
+}
+
 TEST(AmbitCompilerTest, StepCountsMatchPaper) {
   const organization org = small_org();
   const ambit_compiler rich(org, true);

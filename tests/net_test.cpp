@@ -1,0 +1,619 @@
+// Tests for the wire protocol and the socket server/client pair.
+//
+// Framing is tested on plain byte buffers (no socket): round trips
+// across every message type, then every malformed-input class — bad
+// magic, oversized length, truncated body, unknown opcode, trailing
+// bytes. The server tests drive real loopback sockets: garbage input
+// must produce one error frame and a closed connection (never a
+// crash, and never take down other connections), and a synthetic
+// fleet over remote_client must reproduce the in-process digests bit
+// for bit with pipelined, out-of-order responses.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "service/synthetic.h"
+
+namespace pim::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Framing round trips
+// ---------------------------------------------------------------------------
+
+dram::bulk_vector sample_vector(int base) {
+  dram::bulk_vector v;
+  v.size = 8192 * 2;
+  for (int i = 0; i < 2; ++i) {
+    dram::address a;
+    a.channel = base % 2;
+    a.rank = 0;
+    a.bank = (base + i) % 8;
+    a.row = 100 + base + i;
+    v.rows.push_back(a);
+  }
+  return v;
+}
+
+bitvector sample_bits(std::size_t size, std::uint64_t seed) {
+  rng gen(seed);
+  return bitvector::random(size, gen);
+}
+
+net_frame roundtrip(std::uint64_t id, const net_message& msg) {
+  const std::vector<std::uint8_t> wire = encode_frame(id, msg);
+  frame_splitter splitter;
+  splitter.feed(wire.data(), wire.size());
+  std::optional<net_frame> frame = splitter.next();
+  EXPECT_TRUE(frame.has_value());
+  EXPECT_EQ(splitter.buffered(), 0u);
+  EXPECT_EQ(frame->id, id);
+  EXPECT_EQ(frame->msg.index(), msg.index());
+  return std::move(*frame);
+}
+
+TEST(protocol, round_trips_every_request_type) {
+  {
+    const auto f = roundtrip(1, open_session_req{2.5});
+    EXPECT_DOUBLE_EQ(std::get<open_session_req>(f.msg).weight, 2.5);
+  }
+  {
+    const auto f = roundtrip(2, close_session_req{77});
+    EXPECT_EQ(std::get<close_session_req>(f.msg).session, 77u);
+  }
+  {
+    const auto f = roundtrip(3, allocate_req{9, 8192, 3});
+    const auto& m = std::get<allocate_req>(f.msg);
+    EXPECT_EQ(m.session, 9u);
+    EXPECT_EQ(m.size, 8192u);
+    EXPECT_EQ(m.count, 3);
+  }
+  {
+    write_req req;
+    req.session = 4;
+    req.v = sample_vector(1);
+    req.data = sample_bits(req.v.size, 99);
+    const auto f = roundtrip(4, req);
+    const auto& m = std::get<write_req>(f.msg);
+    EXPECT_EQ(m.v.rows, req.v.rows);
+    EXPECT_EQ(m.v.size, req.v.size);
+    EXPECT_EQ(m.data, req.data);
+  }
+  {
+    read_req req;
+    req.session = 5;
+    req.v = sample_vector(2);
+    const auto f = roundtrip(5, req);
+    EXPECT_EQ(std::get<read_req>(f.msg).v.rows, req.v.rows);
+  }
+  {
+    submit_req req;
+    req.session = 6;
+    req.op = dram::bulk_op::xor_op;
+    req.a = sample_vector(1);
+    req.b = sample_vector(2);
+    req.d = sample_vector(3);
+    const auto f = roundtrip(6, req);
+    const auto& m = std::get<submit_req>(f.msg);
+    EXPECT_EQ(m.op, dram::bulk_op::xor_op);
+    ASSERT_TRUE(m.b.has_value());
+    EXPECT_EQ(m.b->rows, req.b->rows);
+  }
+  {
+    submit_req unary;
+    unary.session = 6;
+    unary.op = dram::bulk_op::not_op;
+    unary.a = sample_vector(1);
+    unary.d = sample_vector(3);
+    const auto f = roundtrip(7, unary);
+    EXPECT_FALSE(std::get<submit_req>(f.msg).b.has_value());
+  }
+  {
+    submit_shared_req req;
+    req.issuer = 8;
+    req.op = dram::bulk_op::and_op;
+    req.a = {11, sample_vector(1)};
+    req.b = service::shared_vector{12, sample_vector(2)};
+    req.d = {11, sample_vector(3)};
+    const auto f = roundtrip(8, req);
+    const auto& m = std::get<submit_shared_req>(f.msg);
+    EXPECT_EQ(m.a.owner, 11u);
+    ASSERT_TRUE(m.b.has_value());
+    EXPECT_EQ(m.b->owner, 12u);
+    EXPECT_EQ(m.d.v.rows, req.d.v.rows);
+  }
+  roundtrip(9, wait_req{});
+  roundtrip(10, stats_req{});
+}
+
+TEST(protocol, round_trips_every_response_type) {
+  {
+    const auto f = roundtrip(20, opened_resp{1234, 3});
+    const auto& m = std::get<opened_resp>(f.msg);
+    EXPECT_EQ(m.session, 1234u);
+    EXPECT_EQ(m.shard, 3);
+  }
+  roundtrip(21, closed_resp{});
+  {
+    vectors_resp resp;
+    resp.vectors = {sample_vector(1), sample_vector(4)};
+    const auto f = roundtrip(22, resp);
+    const auto& m = std::get<vectors_resp>(f.msg);
+    ASSERT_EQ(m.vectors.size(), 2u);
+    EXPECT_EQ(m.vectors[1].rows, resp.vectors[1].rows);
+  }
+  {
+    data_resp resp;
+    resp.data = sample_bits(1000, 7);
+    const auto f = roundtrip(23, resp);
+    EXPECT_EQ(std::get<data_resp>(f.msg).data, resp.data);
+  }
+  {
+    done_resp resp;
+    resp.report.id = 55;
+    resp.report.stream = 2;
+    resp.report.kind = runtime::task_kind::bulk_bool;
+    resp.report.where = runtime::backend_kind::ambit;
+    resp.report.submit_ps = 10;
+    resp.report.start_ps = 20;
+    resp.report.complete_ps = 300;
+    resp.report.output_bytes = 4096;
+    const auto f = roundtrip(24, resp);
+    const auto& m = std::get<done_resp>(f.msg);
+    EXPECT_EQ(m.report.id, 55u);
+    EXPECT_EQ(m.report.where, runtime::backend_kind::ambit);
+    EXPECT_EQ(m.report.complete_ps, 300);
+    EXPECT_EQ(m.report.output_bytes, 4096u);
+  }
+  roundtrip(25, waited_resp{});
+  {
+    const auto f = roundtrip(26, stats_resp{"{\"x\":1}"});
+    EXPECT_EQ(std::get<stats_resp>(f.msg).json, "{\"x\":1}");
+  }
+  {
+    const auto f = roundtrip(27, error_resp{"boom"});
+    EXPECT_EQ(std::get<error_resp>(f.msg).message, "boom");
+  }
+}
+
+TEST(protocol, reassembles_frames_split_across_feeds) {
+  write_req req;
+  req.session = 4;
+  req.v = sample_vector(1);
+  req.data = sample_bits(req.v.size, 5);
+  const std::vector<std::uint8_t> wire = encode_frame(99, req);
+
+  frame_splitter splitter;
+  // One byte at a time: next() must return nullopt until the last byte.
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    splitter.feed(&wire[i], 1);
+    EXPECT_FALSE(splitter.next().has_value());
+  }
+  splitter.feed(&wire[wire.size() - 1], 1);
+  const auto frame = splitter.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->id, 99u);
+  EXPECT_EQ(std::get<write_req>(frame->msg).data, req.data);
+}
+
+TEST(protocol, pops_pipelined_frames_in_order) {
+  std::vector<std::uint8_t> wire;
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    const auto f = encode_frame(id, wait_req{});
+    wire.insert(wire.end(), f.begin(), f.end());
+  }
+  frame_splitter splitter;
+  splitter.feed(wire.data(), wire.size());
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    const auto frame = splitter.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->id, id);
+  }
+  EXPECT_FALSE(splitter.next().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input
+// ---------------------------------------------------------------------------
+
+TEST(protocol, rejects_bad_magic) {
+  std::vector<std::uint8_t> wire = encode_frame(1, wait_req{});
+  wire[0] ^= 0xff;
+  frame_splitter splitter;
+  splitter.feed(wire.data(), wire.size());
+  EXPECT_THROW(splitter.next(), protocol_error);
+}
+
+TEST(protocol, rejects_oversized_length) {
+  std::vector<std::uint8_t> wire = encode_frame(1, wait_req{});
+  const std::uint32_t huge = max_frame_bytes + 1;
+  std::memcpy(wire.data() + 4, &huge, 4);  // little-endian host in tests
+  frame_splitter splitter;
+  splitter.feed(wire.data(), wire.size());
+  EXPECT_THROW(splitter.next(), protocol_error);
+}
+
+TEST(protocol, rejects_runt_frame) {
+  std::vector<std::uint8_t> wire = encode_frame(1, wait_req{});
+  const std::uint32_t tiny = 4;  // below version+id+opcode
+  std::memcpy(wire.data() + 4, &tiny, 4);
+  frame_splitter splitter;
+  splitter.feed(wire.data(), wire.size());
+  EXPECT_THROW(splitter.next(), protocol_error);
+}
+
+TEST(protocol, rejects_truncated_body) {
+  // A write frame whose declared length stops mid-bitvector: the body
+  // decoder must throw, not read out of bounds.
+  write_req req;
+  req.session = 1;
+  req.v = sample_vector(1);
+  req.data = sample_bits(req.v.size, 3);
+  std::vector<std::uint8_t> wire = encode_frame(7, req);
+  const std::uint32_t declared = static_cast<std::uint32_t>(wire.size() - 8);
+  const std::uint32_t shorter = declared - 9;  // drop one word + 1 byte
+  std::memcpy(wire.data() + 4, &shorter, 4);
+  wire.resize(8 + shorter);
+  frame_splitter splitter;
+  splitter.feed(wire.data(), wire.size());
+  EXPECT_THROW(splitter.next(), protocol_error);
+  EXPECT_EQ(splitter.last_id(), 7u);  // failed after the id was read
+}
+
+TEST(protocol, rejects_unknown_opcode) {
+  std::vector<std::uint8_t> wire = encode_frame(3, wait_req{});
+  wire[8 + 1 + 8] = 0xee;  // opcode byte after version + id
+  frame_splitter splitter;
+  splitter.feed(wire.data(), wire.size());
+  EXPECT_THROW(splitter.next(), protocol_error);
+  EXPECT_EQ(splitter.last_id(), 3u);
+}
+
+TEST(protocol, rejects_trailing_bytes_in_frame) {
+  std::vector<std::uint8_t> wire = encode_frame(1, wait_req{});
+  // Grow the payload by one byte the body decoder will not consume.
+  wire.push_back(0xab);
+  const std::uint32_t longer = static_cast<std::uint32_t>(wire.size() - 8);
+  std::memcpy(wire.data() + 4, &longer, 4);
+  frame_splitter splitter;
+  splitter.feed(wire.data(), wire.size());
+  EXPECT_THROW(splitter.next(), protocol_error);
+}
+
+// ---------------------------------------------------------------------------
+// Server over loopback sockets
+// ---------------------------------------------------------------------------
+
+server_config small_server_config(int shards = 2) {
+  server_config cfg;
+  cfg.service.shards = shards;
+  cfg.service.system.org.channels = 2;
+  cfg.service.system.org.ranks = 1;
+  cfg.service.system.org.banks = 4;
+  cfg.service.system.org.subarrays = 4;
+  cfg.service.system.org.rows = 512;
+  cfg.service.system.org.columns = 128;
+  return cfg;
+}
+
+int connect_raw(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+/// Reads until EOF; returns everything received.
+std::vector<std::uint8_t> drain_socket(int fd) {
+  std::vector<std::uint8_t> all;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    all.insert(all.end(), buf, buf + n);
+  }
+  return all;
+}
+
+TEST(pim_server, answers_garbage_with_error_frame_and_closes) {
+  pim_server server(small_server_config());
+  server.start();
+
+  const int fd = connect_raw(server.port());
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(fd, garbage, sizeof(garbage), MSG_NOSIGNAL), 0);
+
+  // The server must answer with a well-formed error frame, then close.
+  const std::vector<std::uint8_t> reply = drain_socket(fd);
+  ::close(fd);
+  frame_splitter splitter;
+  splitter.feed(reply.data(), reply.size());
+  const auto frame = splitter.next();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_TRUE(std::holds_alternative<error_resp>(frame->msg));
+
+  // And the server must still serve new connections afterwards.
+  remote_client client("127.0.0.1", server.port());
+  const auto v = client.allocate(8192, 3);
+  EXPECT_EQ(v.size(), 3u);
+  server.stop();
+}
+
+TEST(pim_server, survives_truncated_and_oversized_frames) {
+  pim_server server(small_server_config());
+  server.start();
+
+  {
+    // Truncated body under a valid header.
+    write_req req;
+    req.session = 0;
+    req.v = sample_vector(1);
+    req.data = sample_bits(req.v.size, 3);
+    std::vector<std::uint8_t> wire = encode_frame(7, req);
+    const std::uint32_t shorter =
+        static_cast<std::uint32_t>(wire.size() - 8 - 16);
+    std::memcpy(wire.data() + 4, &shorter, 4);
+    wire.resize(8 + shorter);
+    const int fd = connect_raw(server.port());
+    ASSERT_GT(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL), 0);
+    const auto reply = drain_socket(fd);
+    ::close(fd);
+    EXPECT_FALSE(reply.empty());  // error frame, not a crash
+  }
+  {
+    // Oversized declared length.
+    std::vector<std::uint8_t> wire = encode_frame(1, wait_req{});
+    const std::uint32_t huge = max_frame_bytes + 1;
+    std::memcpy(wire.data() + 4, &huge, 4);
+    const int fd = connect_raw(server.port());
+    ASSERT_GT(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL), 0);
+    const auto reply = drain_socket(fd);
+    ::close(fd);
+    EXPECT_FALSE(reply.empty());
+  }
+  {
+    // Unknown opcode.
+    std::vector<std::uint8_t> wire = encode_frame(5, wait_req{});
+    wire[8 + 1 + 8] = 0xee;
+    const int fd = connect_raw(server.port());
+    ASSERT_GT(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL), 0);
+    const auto reply = drain_socket(fd);
+    ::close(fd);
+    frame_splitter splitter;
+    splitter.feed(reply.data(), reply.size());
+    const auto frame = splitter.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->id, 5u);  // id echoed even for an unknown opcode
+    EXPECT_TRUE(std::holds_alternative<error_resp>(frame->msg));
+  }
+
+  // Healthy traffic still works.
+  remote_client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.allocate(8192, 3).size(), 3u);
+  server.stop();
+}
+
+TEST(pim_server, rejects_requests_for_foreign_sessions) {
+  pim_server server(small_server_config());
+  server.start();
+  remote_client a("127.0.0.1", server.port());
+  const int fd = connect_raw(server.port());
+
+  // A raw connection that never opened session `a.id()` asks to
+  // allocate on it: per-request error, connection stays up.
+  allocate_req req;
+  req.session = a.id();
+  req.size = 8192;
+  req.count = 1;
+  const auto wire = encode_frame(1, req);
+  ASSERT_GT(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL), 0);
+  std::uint8_t buf[4096];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  ASSERT_GT(n, 0);
+  frame_splitter splitter;
+  splitter.feed(buf, static_cast<std::size_t>(n));
+  const auto frame = splitter.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(std::holds_alternative<error_resp>(frame->msg));
+
+  // Same connection, now with its own session: works.
+  const auto open_wire = encode_frame(2, open_session_req{});
+  ASSERT_GT(::send(fd, open_wire.data(), open_wire.size(), MSG_NOSIGNAL), 0);
+  const ssize_t n2 = ::recv(fd, buf, sizeof(buf), 0);
+  ASSERT_GT(n2, 0);
+  splitter.feed(buf, static_cast<std::size_t>(n2));
+  const auto opened = splitter.next();
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(std::holds_alternative<opened_resp>(opened->msg));
+  ::close(fd);
+  server.stop();
+}
+
+TEST(remote_client, matches_in_process_execution_bit_for_bit) {
+  // The acceptance check: one synthetic chain over the socket equals
+  // the same chain in process. 4 groups × pipelined ops exercise
+  // out-of-order completion (independent groups overlap across banks,
+  // so response frames do not come back in request order).
+  service::synthetic_config chain;
+  chain.ops = 24;
+  chain.groups = 4;
+  chain.vector_bits = 2 * 8192;
+  chain.seed = 7;
+
+  pim_server server(small_server_config());
+  server.start();
+  std::uint64_t remote_digest = 0;
+  {
+    remote_client client("127.0.0.1", server.port());
+    remote_digest = service::run_synthetic_client(client, chain).digest;
+    client.barrier();
+    const std::string json = client.stats_json();
+    EXPECT_NE(json.find("\"latency\""), std::string::npos);
+    client.close_session();
+  }
+  server.stop();
+
+  service::service_config local;
+  local.shards = 1;
+  local.system = small_server_config().service.system;
+  service::pim_service svc(local);
+  svc.start();
+  const std::uint64_t local_digest =
+      service::run_synthetic_client(svc, chain).digest;
+  svc.stop();
+
+  EXPECT_EQ(remote_digest, local_digest);
+}
+
+TEST(remote_client, fleet_over_loopback_matches_in_process_fleet) {
+  // Whole-fleet equivalence: N concurrent remote clients vs the same
+  // population through in-process service_clients, digest lists equal
+  // element-wise. Includes cross-session ops (submit_shared over the
+  // wire, two-phase planner underneath when owners land on different
+  // shards).
+  std::vector<service::synthetic_config> population;
+  for (int i = 0; i < 6; ++i) {
+    service::synthetic_config c;
+    c.ops = 16;
+    c.groups = 2;
+    c.vector_bits = 8192;
+    c.seed = 100 + static_cast<std::uint64_t>(i);
+    c.cross_fraction = i % 2 == 0 ? 0.25 : 0.0;
+    population.push_back(c);
+  }
+
+  auto run_remote = [&](std::uint16_t port) {
+    const int parties = static_cast<int>(population.size());
+    std::vector<service::client_outcome> outcomes(population.size());
+    std::vector<std::unique_ptr<remote_client>> clients;
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      clients.push_back(std::make_unique<remote_client>("127.0.0.1", port));
+    }
+    // Neighbor exchange mirrors run_synthetic_fleet: client i's cross
+    // ops read client (i+1)'s published v[0].
+    std::vector<service::shared_vector> published(population.size());
+    std::vector<std::vector<dram::bulk_vector>> setup(population.size());
+    std::vector<std::thread> threads;
+    service::start_gate exchange(parties);
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      threads.emplace_back([&, i] {
+        const service::synthetic_config& config = population[i];
+        remote_client& client = *clients[i];
+        std::vector<dram::bulk_vector> v;
+        for (int g = 0; g < config.groups; ++g) {
+          const auto group = client.allocate(
+              config.vector_bits, service::synthetic_group_vectors);
+          v.insert(v.end(), group.begin(), group.end());
+        }
+        rng data(config.seed ^ 0xa5a5a5a5a5a5a5a5ull);
+        for (const dram::bulk_vector& vec : v) {
+          client.write(vec, bitvector::random(vec.size, data));
+        }
+        published[i] = client.share(v[0]);
+        exchange.arrive_and_wait();
+        const service::shared_vector* neighbor =
+            &published[(i + 1) % published.size()];
+        service::client_outcome& outcome = outcomes[i];
+        outcome.session = client.id();
+        for (const service::synthetic_op& op :
+             service::make_synthetic_ops(config)) {
+          if (op.cross) {
+            client.submit_shared(
+                op.op, client.share(v[static_cast<std::size_t>(op.a)]),
+                neighbor, client.share(v[static_cast<std::size_t>(op.d)]));
+          } else {
+            const dram::bulk_vector* b =
+                op.b < 0 ? nullptr : &v[static_cast<std::size_t>(op.b)];
+            client.submit_bulk(op.op, v[static_cast<std::size_t>(op.a)], b,
+                               v[static_cast<std::size_t>(op.d)]);
+          }
+          ++outcome.tasks;
+        }
+        outcome.digest = client.digest();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    std::vector<std::uint64_t> digests;
+    for (const auto& o : outcomes) digests.push_back(o.digest);
+    return digests;
+  };
+
+  pim_server server(small_server_config());
+  server.start();
+  const std::vector<std::uint64_t> remote_digests = run_remote(server.port());
+  server.stop();
+
+  service::service_config local;
+  local.shards = 2;
+  local.system = small_server_config().service.system;
+  service::pim_service svc(local);
+  svc.start();
+  const auto outcomes =
+      service::run_synthetic_fleet(svc, population, /*burst=*/false);
+  svc.stop();
+  std::vector<std::uint64_t> local_digests;
+  for (const auto& o : outcomes) local_digests.push_back(o.digest);
+
+  EXPECT_EQ(remote_digests, local_digests);
+}
+
+TEST(remote_client, wait_barrier_drains_pipeline) {
+  pim_server server(small_server_config());
+  server.start();
+  {
+    remote_client client("127.0.0.1", server.port());
+    const auto v = client.allocate(8192, 3);
+    rng gen(1);
+    client.write(v[0], bitvector::random(8192, gen));
+    client.write(v[1], bitvector::random(8192, gen));
+    for (int i = 0; i < 8; ++i) {
+      client.submit_bulk(dram::bulk_op::xor_op, v[0], &v[1], v[2]);
+    }
+    client.barrier();  // server answers only once all 8 completed
+    // After the barrier every future must already be resolved.
+    client.wait_all();
+  }
+  server.stop();
+}
+
+TEST(remote_client, server_side_failure_surfaces_as_future_error) {
+  pim_server server(small_server_config());
+  server.start();
+  {
+    remote_client client("127.0.0.1", server.port());
+    // A submit naming a vector that was never allocated fails on the
+    // shard; the error must travel back through the response frame
+    // into the future.
+    dram::bulk_vector bogus;
+    bogus.size = 8192;
+    dram::address a;
+    a.channel = -1;  // virtual handle with no translation
+    a.rank = 0;
+    a.row = 4096;
+    bogus.rows.push_back(a);
+    service::request_future f =
+        client.submit_bulk(dram::bulk_op::not_op, bogus, nullptr, bogus);
+    EXPECT_THROW(f.get(), std::runtime_error);
+    // wait_all surfaces the recorded failure too, then clears it.
+    EXPECT_THROW(client.wait_all(), std::runtime_error);
+    // The connection is still healthy for correct requests.
+    EXPECT_EQ(client.allocate(8192, 2).size(), 2u);
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pim::net

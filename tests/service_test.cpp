@@ -728,6 +728,96 @@ TEST(ServiceRebalanceTest, DrainsHotSpottedShard) {
   EXPECT_GE(svc.stats().migrations, 1u);
 }
 
+TEST(ServiceMigrationTest, RepeatedMigrationDoesNotExhaustCapacity) {
+  // Regression for the migrated-row capacity leak: before the Ambit
+  // allocator grew a free list, every migrate-away left the source
+  // shard's physical rows allocated forever, so ping-ponging one
+  // session between two shards ran each shard out of subarray capacity
+  // after a few dozen moves. The total rows cycled through each shard
+  // here is several times its capacity — only reclaim-on-forget can
+  // survive it.
+  const core::pim_system_config sys_cfg = small_system();
+  // Capacity per shard: channels*ranks*banks*subarrays stripe units x
+  // data rows each. small_system: 16 units x 54 rows = 864 data rows.
+  pim_service svc(two_shard_range());
+  svc.start();
+  service_client c(svc);
+  ASSERT_EQ(c.shard_index(), 0);
+
+  const bits size = 6 * sys_cfg.org.row_bits();  // 6 rows per vector
+  auto v = c.allocate(size, 3);                  // one group: 18 rows
+  rng gen(29);
+  const bitvector a = bitvector::random(size, gen);
+  const bitvector b = bitvector::random(size, gen);
+  c.write(v[0], a);
+  c.write(v[1], b);
+  c.submit_bulk(dram::bulk_op::xor_op, v[0], &v[1], v[2]);
+  c.wait_all();
+
+  // 60 round trips x 18 rows = 1080 rows through each shard's
+  // allocator — beyond the 864-row capacity unless freed rows are
+  // recycled.
+  for (int trip = 0; trip < 60; ++trip) {
+    svc.migrate_session(c.id(), 1);
+    svc.migrate_session(c.id(), 0);
+  }
+  // Contents and handles survived every move.
+  EXPECT_EQ(c.read(v[2]), a ^ b);
+  c.submit_bulk(dram::bulk_op::and_op, v[0], &v[1], v[2]);
+  c.wait_all();
+  EXPECT_EQ(c.read(v[2]), a & b);
+  svc.stop();
+  EXPECT_EQ(svc.stats().migrations, 120u);
+  EXPECT_EQ(svc.stats().requests_failed, 0u);
+}
+
+TEST(ServiceStatsTest, TracksPerSessionLatencyPercentiles) {
+  pim_service svc(small_service(2));
+  svc.start();
+  service_client c1(svc);
+  service_client c2(svc);
+  const bits size = 2'000;
+  rng gen(31);
+  for (service_client* c : {&c1, &c2}) {
+    auto v = c->allocate(size, 3);
+    c->write(v[0], bitvector::random(size, gen));
+    c->write(v[1], bitvector::random(size, gen));
+    for (int i = 0; i < 8; ++i) {
+      c->submit_bulk(dram::bulk_op::or_op, v[0], &v[1], v[2]);
+    }
+    c->wait_all();
+  }
+  svc.stop();
+
+  const service_stats stats = svc.stats();
+  // Every client-visible request (allocate + 2 writes + 8 submits +
+  // reads from wait_all... at least 11 per session) charged a latency
+  // sample to its session.
+  ASSERT_EQ(stats.session_latency.size(), 2u);
+  for (const session_id id : {c1.id(), c2.id()}) {
+    auto it = stats.session_latency.find(id);
+    ASSERT_NE(it, stats.session_latency.end());
+    const latency_stats s = it->second.summary();
+    EXPECT_GE(s.count, 11u);
+    EXPECT_GT(s.p50_us, 0.0);
+    EXPECT_LE(s.p50_us, s.p95_us);
+    EXPECT_LE(s.p95_us, s.p99_us);
+  }
+  // The service-wide histogram folds both sessions together.
+  EXPECT_EQ(stats.latency.count(),
+            stats.session_latency.at(c1.id()).count() +
+                stats.session_latency.at(c2.id()).count());
+
+  // And the telemetry document carries the percentiles.
+  json_writer json;
+  json.begin_object();
+  stats.to_json(json);
+  json.end_object();
+  EXPECT_NE(json.str().find("\"latency\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"session_latency\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"p99_us\""), std::string::npos);
+}
+
 TEST(ServiceSessionTest, SessionsSpreadAndClientsSeeTheirShard) {
   service_config cfg = small_service(4);
   cfg.routing = shard_routing::range;

@@ -1,0 +1,84 @@
+// pim_serverd: standalone networked PIM service.
+//
+// Binds a pim_server on loopback (or a given host) and serves the
+// wire protocol until SIGINT/SIGTERM. Out-of-process clients connect
+// with net::remote_client (see examples/net_quickstart.cpp) or any
+// implementation of the framing in src/net/protocol.h.
+//
+// Usage (key=value arguments, common/config.h conventions):
+//   pim_serverd port=7321 shards=4
+//   pim_serverd port=0 port_file=port.txt    # ephemeral port, written
+//                                            # to the file once bound
+//                                            # (how the CI smoke test
+//                                            # rendezvouses)
+// Keys: host, port, port_file, shards, routing (hash|range),
+//       sessions_per_shard, queue (per-session admission bound).
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "common/config.h"
+#include "net/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pim;
+
+  config cfg;
+  try {
+    cfg = config::from_args({argv + 1, argv + argc});
+  } catch (const std::exception& e) {
+    std::cerr << "pim_serverd: " << e.what() << "\n";
+    return 2;
+  }
+
+  net::server_config server_cfg;
+  server_cfg.host = cfg.get_string("host", "127.0.0.1");
+  server_cfg.port = static_cast<std::uint16_t>(cfg.get_int("port", 7321));
+  server_cfg.service.shards = static_cast<int>(cfg.get_int("shards", 4));
+  server_cfg.service.routing =
+      cfg.get_string("routing", "hash") == "range"
+          ? service::shard_routing::range
+          : service::shard_routing::hash;
+  server_cfg.service.sessions_per_shard =
+      static_cast<std::uint64_t>(cfg.get_int("sessions_per_shard", 64));
+  server_cfg.service.shard.session_queue_capacity =
+      static_cast<std::size_t>(cfg.get_int("queue", 64));
+
+  net::pim_server server(server_cfg);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "pim_serverd: " << e.what() << "\n";
+    return 1;
+  }
+
+  const std::string port_file = cfg.get_string("port_file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << "\n";
+  }
+  std::cout << "pim_serverd: listening on " << server_cfg.host << ":"
+            << server.port() << " (" << server_cfg.service.shards
+            << " shards)\n"
+            << std::flush;
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::cout << "pim_serverd: shutting down\n";
+  server.stop();
+  return 0;
+}
