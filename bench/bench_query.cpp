@@ -1,0 +1,368 @@
+// Query-engine benchmark: partitioned scans and aggregates compiled
+// into asynchronous task graphs on the sharded PIM service.
+//
+// Four scenarios, all digest-checked:
+//  - scaling: one table, 32 row-range partitions, a scan-query mix run
+//    at 1/2/4 shards. Simulated makespan (the slowest shard's clock —
+//    it only advances while tasks are in flight) should fall roughly
+//    linearly with shard count, with query results bit-identical at
+//    every width and to the synchronous db/bitweaving reference.
+//  - combine: the same scans with the cross-shard OR-reduction onto a
+//    collector session (submit_shared per partition), digests equal
+//    across shard counts.
+//  - aggregate: count + sum(y) queries verified against the scalar
+//    host reference.
+//  - net loopback: the same table and queries driven by remote_client
+//    sessions against a pim_server, vs the in-process run. Digests
+//    must match bit for bit; the wall-clock ratio is the wire tax
+//    (now with batched frame writes on both directions).
+// Results land in BENCH_query.json for cross-commit tracking.
+#include <chrono>
+#include <iostream>
+#include <memory>
+
+#include "common/config.h"
+#include "common/json_writer.h"
+#include "common/table.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "query/exec.h"
+#include "service/client.h"
+
+namespace {
+
+using namespace pim;
+
+core::pim_system_config shard_system_config() {
+  core::pim_system_config cfg;
+  cfg.org.channels = 1;
+  cfg.org.ranks = 1;
+  cfg.org.banks = 8;
+  cfg.org.subarrays = 8;
+  cfg.org.rows = 1024;
+  cfg.org.columns = 128;  // 8 KiB rows
+  return cfg;
+}
+
+service::service_config make_service_config(int shards, int sessions) {
+  service::service_config cfg;
+  cfg.shards = shards;
+  cfg.system = shard_system_config();
+  cfg.routing = service::shard_routing::range;
+  cfg.sessions_per_shard = static_cast<std::uint64_t>(
+      std::max(1, sessions / shards));
+  return cfg;
+}
+
+struct dataset {
+  query::table_schema schema{{{"x", 8}, {"y", 6}}};
+  db::column x;
+  db::column y;
+
+  explicit dataset(std::size_t rows) {
+    rng gen(424242);
+    x = db::random_column(rows, 8, gen);
+    y = db::random_column(rows, 6, gen);
+  }
+};
+
+/// The scan mix: selective and unselective single-column scans plus
+/// multi-column trees — the BitWeaving shapes the paper's E4 prices.
+std::vector<query::query_spec> scan_mix() {
+  using query::predicate_node;
+  auto leaf = [](const char* col, db::cmp_op op, std::uint32_t v,
+                 std::uint32_t v2 = 0) {
+    return predicate_node::leaf(col, {op, v, v2});
+  };
+  std::vector<query::query_spec> specs(6);
+  specs[0].where = leaf("x", db::cmp_op::lt, 32);
+  specs[1].where = leaf("x", db::cmp_op::lt, 128);
+  specs[2].where = leaf("x", db::cmp_op::between, 40, 200);
+  specs[3].where = predicate_node::land(leaf("x", db::cmp_op::lt, 100),
+                                        leaf("y", db::cmp_op::ge, 16));
+  specs[4].where = predicate_node::lor(leaf("x", db::cmp_op::eq, 7),
+                                       leaf("y", db::cmp_op::lt, 8));
+  specs[5].where = leaf("x", db::cmp_op::ne, 55);
+  return specs;
+}
+
+struct run_point {
+  int shards = 0;
+  double makespan_us = 0;
+  double wall_ms = 0;
+  double mrows_per_s = 0;  // rows scanned per simulated second, 1e6
+  std::uint64_t ops = 0;
+  std::vector<std::uint64_t> digests;
+  std::vector<std::uint64_t> gathered;
+};
+
+/// Builds the table over fresh sessions, loads the data, runs the
+/// mix. `remote` drives everything through loopback remote_clients
+/// against a pim_server instead of in-process service_clients.
+run_point run_mix(const dataset& data, int shards, int partitions,
+                  bool gather, bool remote) {
+  std::unique_ptr<net::pim_server> server;
+  std::unique_ptr<service::pim_service> svc;
+  std::vector<std::unique_ptr<service::client_api>> clients;
+  std::vector<service::client_api*> sessions;
+  const int session_count = partitions + (gather ? 1 : 0);
+  if (remote) {
+    net::server_config cfg;
+    cfg.service = make_service_config(shards, session_count);
+    server = std::make_unique<net::pim_server>(cfg);
+    server->start();
+    for (int p = 0; p < session_count; ++p) {
+      clients.push_back(std::make_unique<net::remote_client>(
+          "127.0.0.1", server->port()));
+    }
+  } else {
+    svc = std::make_unique<service::pim_service>(
+        make_service_config(shards, session_count));
+    svc->start();
+    for (int p = 0; p < session_count; ++p) {
+      clients.push_back(std::make_unique<service::service_client>(*svc));
+    }
+  }
+  for (const auto& c : clients) sessions.push_back(c.get());
+
+  std::unique_ptr<query::selection_gatherer> gatherer;
+  query::exec_options opts;
+  if (gather) {
+    gatherer = std::make_unique<query::selection_gatherer>(*sessions.back());
+    sessions.pop_back();
+    opts.gather = gatherer.get();
+  }
+  query::pim_table table(data.schema, data.x.rows(), sessions,
+                         /*scratch_vectors=*/16);
+  table.load("x", data.x);
+  table.load("y", data.y);
+
+  run_point point;
+  point.shards = shards;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (const query::query_spec& spec : scan_mix()) {
+    const query::query_result result = query::run_query(table, spec, opts);
+    point.digests.push_back(result.digest);
+    if (gather) point.gathered.push_back(result.gathered_digest);
+    point.ops += result.ops_submitted;
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+  point.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+
+  service::pim_service& live = remote ? server->service() : *svc;
+  const service::service_stats stats = live.stats();
+  point.makespan_us = static_cast<double>(stats.makespan_ps) / 1e6;
+  const double scanned =
+      static_cast<double>(data.x.rows()) * static_cast<double>(scan_mix().size());
+  if (stats.makespan_ps > 0) {
+    point.mrows_per_s =
+        scanned / (static_cast<double>(stats.makespan_ps) / 1e12) / 1e6;
+  }
+  if (remote) {
+    server->stop();
+  } else {
+    svc->stop();
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const config cfg = config::from_args({argv + 1, argv + argc});
+  const auto rows = static_cast<std::size_t>(cfg.get_int("rows", 1 << 17));
+  const int partitions = static_cast<int>(cfg.get_int("partitions", 32));
+  const int max_shards = static_cast<int>(cfg.get_int("max_shards", 4));
+  const int net_partitions = static_cast<int>(cfg.get_int("net_partitions", 8));
+
+  const dataset data(rows);
+
+  std::cout << "=== PIM-native query engine: partitioned scan scaling ===\n\n";
+  std::cout << rows << " rows x (8-bit + 6-bit) columns, " << partitions
+            << " partitions, " << scan_mix().size()
+            << " scan queries; per-shard stack = 1 ch x 8 banks\n\n";
+
+  // --- Scaling -------------------------------------------------------------
+  std::vector<run_point> points;
+  for (int shards = 1; shards <= max_shards; shards *= 2) {
+    points.push_back(run_mix(data, shards, partitions, /*gather=*/false,
+                             /*remote=*/false));
+  }
+  bool digests_match = true;
+  for (const run_point& p : points) {
+    if (p.digests != points.front().digests) digests_match = false;
+  }
+
+  // Reference: the same predicates through the synchronous BitWeaving
+  // evaluator (the same lowering, interpreted on the host).
+  bool matches_reference = true;
+  {
+    const db::bitslice_storage sx(data.x);
+    const db::bitslice_storage sy(data.y);
+    std::size_t i = 0;
+    for (const query::query_spec& spec : scan_mix()) {
+      bitvector expected;
+      if (spec.where.kind == query::predicate_node::node_kind::leaf) {
+        const db::bitslice_storage& st = spec.where.column == "x" ? sx : sy;
+        expected = db::evaluate(st, spec.where.pred).selection;
+      } else {
+        const auto& l = spec.where.children[0];
+        const auto& r = spec.where.children[1];
+        const bitvector a =
+            db::evaluate(l.column == "x" ? sx : sy, l.pred).selection;
+        const bitvector b =
+            db::evaluate(r.column == "x" ? sx : sy, r.pred).selection;
+        expected =
+            spec.where.kind == query::predicate_node::node_kind::logic_and
+                ? (a & b)
+                : (a | b);
+      }
+      if (points.front().digests[i] != fnv1a(fnv1a_basis, expected)) {
+        matches_reference = false;
+      }
+      ++i;
+    }
+  }
+
+  table t({"shards", "makespan (us)", "Mrows/s", "speedup", "wall (ms)",
+           "digests"});
+  for (const run_point& p : points) {
+    const double speedup =
+        p.makespan_us > 0 ? points.front().makespan_us / p.makespan_us : 0.0;
+    t.row()
+        .cell(p.shards)
+        .cell(p.makespan_us)
+        .cell(p.mrows_per_s)
+        .cell(speedup)
+        .cell(p.wall_ms)
+        .cell(p.digests == points.front().digests ? "match" : "DIFFER");
+  }
+  t.print(std::cout);
+  const run_point& widest = points.back();
+  const double final_speedup =
+      widest.makespan_us > 0 ? points.front().makespan_us / widest.makespan_us
+                             : 0.0;
+  std::cout << "\n" << widest.shards << "-shard scan speedup over 1 shard: "
+            << format_double(final_speedup, 2) << "x, digests "
+            << (digests_match ? "identical" : "DIFFER")
+            << ", vs synchronous reference "
+            << (matches_reference ? "identical" : "DIFFER") << "\n";
+
+  // --- Cross-shard combine -------------------------------------------------
+  std::cout << "\n=== Cross-shard combine (submit_shared OR-reduction) ===\n\n";
+  const run_point combine_one =
+      run_mix(data, 1, partitions, /*gather=*/true, /*remote=*/false);
+  const run_point combine_wide =
+      run_mix(data, max_shards, partitions, /*gather=*/true, /*remote=*/false);
+  const bool combine_match = combine_one.gathered == combine_wide.gathered &&
+                             combine_one.digests == points.front().digests;
+  std::cout << "collector-side digests across 1 vs " << max_shards
+            << " shards: " << (combine_match ? "identical" : "DIFFER") << "\n";
+
+  // --- Aggregates ----------------------------------------------------------
+  std::cout << "\n=== Aggregates (popcount on host) ===\n\n";
+  std::uint64_t agg_count = 0;
+  std::uint64_t agg_sum = 0;
+  bool agg_match = true;
+  {
+    service::pim_service svc(make_service_config(max_shards, partitions));
+    svc.start();
+    {
+      std::vector<std::unique_ptr<service::service_client>> clients;
+      std::vector<service::client_api*> sessions;
+      for (int p = 0; p < partitions; ++p) {
+        clients.push_back(std::make_unique<service::service_client>(svc));
+        sessions.push_back(clients.back().get());
+      }
+      query::pim_table table(data.schema, data.x.rows(), sessions, 16);
+      table.load("x", data.x);
+      table.load("y", data.y);
+      query::query_spec spec;
+      spec.where = query::predicate_node::leaf("x", {db::cmp_op::lt, 128, 0});
+      spec.agg = query::agg_kind::sum;
+      spec.agg_column = "y";
+      const query::query_result result = query::run_query(table, spec);
+      agg_count = result.matches;
+      agg_sum = result.sum;
+      std::uint64_t expected_count = 0;
+      std::uint64_t expected_sum = 0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (data.x.values[r] < 128) {
+          ++expected_count;
+          expected_sum += data.y.values[r];
+        }
+      }
+      agg_match = agg_count == expected_count && agg_sum == expected_sum;
+    }
+    svc.stop();
+  }
+  std::cout << "count(x < 128) = " << agg_count << ", sum(y) = " << agg_sum
+            << ", vs scalar reference "
+            << (agg_match ? "identical" : "DIFFER") << "\n";
+
+  // --- Net loopback --------------------------------------------------------
+  std::cout << "\n=== Net loopback: the same queries out of process ===\n\n";
+  const run_point net_inproc = run_mix(data, max_shards, net_partitions,
+                                       /*gather=*/false, /*remote=*/false);
+  const run_point net_loop = run_mix(data, max_shards, net_partitions,
+                                     /*gather=*/false, /*remote=*/true);
+  const bool net_match = net_loop.digests == net_inproc.digests &&
+                         net_loop.digests == points.front().digests;
+  const double wire_tax =
+      net_inproc.wall_ms > 0 ? net_loop.wall_ms / net_inproc.wall_ms : 0.0;
+  std::cout << net_partitions << " partitions, " << max_shards << " shards:\n";
+  std::cout << "  in-process : " << format_double(net_inproc.wall_ms, 1)
+            << " ms wall\n";
+  std::cout << "  loopback   : " << format_double(net_loop.wall_ms, 1)
+            << " ms wall\n";
+  std::cout << "  wire tax: " << format_double(wire_tax, 2)
+            << "x wall-clock, digests "
+            << (net_match ? "identical" : "DIFFER") << "\n";
+
+  // --- JSON trajectory -----------------------------------------------------
+  json_writer json;
+  json.begin_object();
+  json.key("bench").value("query");
+  json.key("rows").value(static_cast<std::uint64_t>(rows));
+  json.key("partitions").value(partitions);
+  json.key("queries").value(static_cast<std::uint64_t>(scan_mix().size()));
+  json.key("digests_match").value(digests_match);
+  json.key("matches_reference").value(matches_reference);
+  json.key("scaling").begin_array();
+  for (const run_point& p : points) {
+    json.begin_object();
+    json.key("shards").value(p.shards);
+    json.key("makespan_us").value(p.makespan_us);
+    json.key("scan_mrows_throughput").value(p.mrows_per_s);
+    json.key("speedup").value(
+        p.makespan_us > 0 ? points.front().makespan_us / p.makespan_us : 0.0);
+    json.key("wall_ms").value(p.wall_ms);
+    json.key("ops").value(p.ops);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("combine").begin_object();
+  json.key("digests_match").value(combine_match);
+  json.key("makespan_us").value(combine_wide.makespan_us);
+  json.end_object();
+  json.key("aggregate").begin_object();
+  json.key("matches_reference").value(agg_match);
+  json.key("count").value(agg_count);
+  json.key("sum").value(agg_sum);
+  json.end_object();
+  json.key("net_loopback").begin_object();
+  json.key("partitions").value(net_partitions);
+  json.key("digests_match").value(net_match);
+  json.key("inproc_wall_ms").value(net_inproc.wall_ms);
+  json.key("loopback_wall_ms").value(net_loop.wall_ms);
+  json.key("wire_tax").value(wire_tax);
+  json.end_object();
+  json.end_object();
+  json.write_file("BENCH_query.json");
+  std::cout << "\nwrote BENCH_query.json\n";
+
+  const bool pass = digests_match && matches_reference && combine_match &&
+                    agg_match && net_match && final_speedup >= 1.8;
+  return pass ? 0 : 1;
+}

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "db/lowering.h"
+
 namespace pim::db {
 
 column random_column(std::size_t rows, int bit_width, rng& gen) {
@@ -39,109 +41,14 @@ std::uint32_t bitslice_storage::value_at(std::size_t row) const {
   return v;
 }
 
-namespace {
-
-/// Evaluation context that both computes and tallies ops.
-struct evaluator {
-  const bitslice_storage& storage;
-  std::vector<dram::bulk_op>& ops;
-
-  bitvector and_(const bitvector& a, const bitvector& b) {
-    ops.push_back(dram::bulk_op::and_op);
-    return a & b;
-  }
-  bitvector or_(const bitvector& a, const bitvector& b) {
-    ops.push_back(dram::bulk_op::or_op);
-    return a | b;
-  }
-  bitvector not_(const bitvector& a) {
-    ops.push_back(dram::bulk_op::not_op);
-    return ~a;
-  }
-  bitvector xnor_(const bitvector& a, const bitvector& b) {
-    ops.push_back(dram::bulk_op::xnor_op);
-    return ~(a ^ b);
-  }
-
-  /// Bit-sliced comparison: returns (lt, eq) against constant `c`.
-  /// Walks from the most significant slice down, maintaining the
-  /// classic invariant: lt collects rows already decided smaller, eq
-  /// tracks rows still equal on the processed prefix.
-  std::pair<bitvector, bitvector> compare(std::uint32_t c) {
-    const std::size_t n = storage.rows();
-    bitvector lt(n, false);
-    bitvector eq(n, true);
-    for (int b = storage.width() - 1; b >= 0; --b) {
-      const bitvector& s = storage.slice(b);
-      const bool cb = (c >> b) & 1u;
-      if (cb) {
-        // Rows with slice bit 0 while the constant has 1 become less.
-        lt = or_(lt, and_(eq, not_(s)));
-        eq = and_(eq, s);
-      } else {
-        // Rows with slice bit 1 while the constant has 0 become
-        // greater: they just drop out of eq.
-        eq = and_(eq, not_(s));
-      }
-    }
-    return {std::move(lt), std::move(eq)};
-  }
-
-  /// Pure equality: one XNOR + AND per slice.
-  bitvector equal(std::uint32_t c) {
-    const std::size_t n = storage.rows();
-    bitvector eq(n, true);
-    for (int b = storage.width() - 1; b >= 0; --b) {
-      const bitvector& s = storage.slice(b);
-      const bool cb = (c >> b) & 1u;
-      eq = cb ? and_(eq, s) : and_(eq, not_(s));
-    }
-    return eq;
-  }
-};
-
-}  // namespace
-
 scan_result evaluate(const bitslice_storage& storage, const predicate& pred) {
+  // One lowering for every consumer: the same program the PIM-native
+  // query planner executes as an asynchronous task graph is interpreted
+  // here, so the op tally the latency models price can never drift from
+  // the ops a live plan actually submits.
+  const scan_program program = lower_predicate(storage.width(), pred);
   scan_result result;
-  evaluator ev{storage, result.ops};
-  switch (pred.op) {
-    case cmp_op::eq:
-      result.selection = ev.equal(pred.value);
-      break;
-    case cmp_op::ne:
-      result.selection = ev.not_(ev.equal(pred.value));
-      break;
-    case cmp_op::lt: {
-      auto [lt, eq] = ev.compare(pred.value);
-      result.selection = std::move(lt);
-      break;
-    }
-    case cmp_op::le: {
-      auto [lt, eq] = ev.compare(pred.value);
-      result.selection = ev.or_(lt, eq);
-      break;
-    }
-    case cmp_op::ge: {
-      auto [lt, eq] = ev.compare(pred.value);
-      result.selection = ev.not_(lt);
-      break;
-    }
-    case cmp_op::gt: {
-      auto [lt, eq] = ev.compare(pred.value);
-      result.selection = ev.not_(ev.or_(lt, eq));
-      break;
-    }
-    case cmp_op::between: {
-      // value <= x <= value2.
-      auto [lt_lo, eq_lo] = ev.compare(pred.value);
-      const bitvector ge_lo = ev.not_(lt_lo);
-      auto [lt_hi, eq_hi] = ev.compare(pred.value2);
-      const bitvector le_hi = ev.or_(lt_hi, eq_hi);
-      result.selection = ev.and_(ge_lo, le_hi);
-      break;
-    }
-  }
+  result.selection = run_program(program, storage, &result.ops);
   return result;
 }
 

@@ -1,0 +1,289 @@
+#include "db/lowering.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "db/bitweaving.h"
+
+namespace pim::db {
+
+namespace {
+
+/// Incremental program builder. Accumulator registers are created on
+/// first write and updated in place afterwards; the per-iteration
+/// scratch (`~slice`, `eq & ~slice`) is shared across iterations —
+/// the slice recurrence is serial anyway, so reuse costs no
+/// parallelism and keeps the scratch pool small.
+struct builder {
+  scan_program prog;
+
+  explicit builder(int width) {
+    prog.width = width;
+    prog.reg_count = width;
+  }
+
+  int temp() { return prog.reg_count++; }
+
+  int emit(dram::bulk_op op, int a, int b, int d) {
+    prog.instrs.push_back({op, a, b, d});
+    return d;
+  }
+
+  /// All-zeros / all-ones, materialized from a slice with itself
+  /// (x ^ x = 0, x xnor x = 1) — no host-written constants needed.
+  int const_false() { return emit(dram::bulk_op::xor_op, 0, 0, temp()); }
+  int const_true() { return emit(dram::bulk_op::xnor_op, 0, 0, temp()); }
+
+  /// ~s into the shared NOT scratch.
+  int not_of(int s) {
+    if (not_tmp < 0) not_tmp = temp();
+    return emit(dram::bulk_op::not_op, s, -1, not_tmp);
+  }
+
+  /// Classic bit-sliced comparison against constant `c` (which fits
+  /// the width), most significant slice first: `lt` collects rows
+  /// already decided smaller, `eq` tracks rows still equal on the
+  /// processed prefix. Returns {lt, eq}; lt == -1 encodes the constant
+  /// empty set (c had no one bits). With `need_eq` false (the caller
+  /// only consumes lt) the final slice's eq update is skipped — it
+  /// would be a dead op on every partition of every executed plan —
+  /// and the returned eq may be -1 / stale.
+  std::pair<int, int> compare(std::uint32_t c, bool need_eq = true) {
+    int lt = -1;
+    int eq = -1;
+    int lt_acc = -1;
+    int eq_acc = -1;
+    for (int b = prog.width - 1; b >= 0; --b) {
+      const int s = b;
+      const bool cb = (c >> b) & 1u;
+      if (cb) {
+        // Rows with slice bit 0 while the constant has 1 become less:
+        // lt |= eq & ~s, then eq &= s.
+        if (lt < 0) {
+          lt_acc = temp();
+          if (eq < 0) {
+            emit(dram::bulk_op::not_op, s, -1, lt_acc);
+          } else {
+            emit(dram::bulk_op::and_op, eq, not_of(s), lt_acc);
+          }
+          lt = lt_acc;
+        } else {
+          // lt >= 0 implies an earlier cb==1 iteration ran, and every
+          // iteration leaves eq assigned — so eq >= 0 here.
+          if (contrib_tmp < 0) contrib_tmp = temp();
+          const int contrib =
+              emit(dram::bulk_op::and_op, eq, not_of(s), contrib_tmp);
+          emit(dram::bulk_op::or_op, lt, contrib, lt_acc);
+        }
+        if (b == 0 && !need_eq) continue;
+        if (eq < 0) {
+          eq = s;  // all-ones & s = s: read the slice directly
+        } else {
+          if (eq_acc < 0) eq_acc = temp();
+          eq = emit(dram::bulk_op::and_op, eq, s, eq_acc);
+        }
+      } else {
+        // Rows with slice bit 1 while the constant has 0 become
+        // greater: they just drop out of eq.
+        if (b == 0 && !need_eq) continue;
+        if (eq < 0) {
+          eq_acc = temp();
+          eq = emit(dram::bulk_op::not_op, s, -1, eq_acc);
+        } else {
+          if (eq_acc < 0) eq_acc = temp();
+          eq = emit(dram::bulk_op::and_op, eq, not_of(s), eq_acc);
+        }
+      }
+    }
+    return {lt, eq};
+  }
+
+  /// Pure equality: one AND (plus NOT for zero bits) per slice.
+  int equal(std::uint32_t c) {
+    int eq = -1;
+    int eq_acc = -1;
+    for (int b = prog.width - 1; b >= 0; --b) {
+      const int s = b;
+      const bool cb = (c >> b) & 1u;
+      if (cb) {
+        if (eq < 0) {
+          eq = s;
+        } else {
+          if (eq_acc < 0) eq_acc = temp();
+          eq = emit(dram::bulk_op::and_op, eq, s, eq_acc);
+        }
+      } else {
+        if (eq < 0) {
+          eq_acc = temp();
+          eq = emit(dram::bulk_op::not_op, s, -1, eq_acc);
+        } else {
+          if (eq_acc < 0) eq_acc = temp();
+          eq = emit(dram::bulk_op::and_op, eq, not_of(s), eq_acc);
+        }
+      }
+    }
+    return eq;
+  }
+
+  /// ge = ~lt, honoring the lt == -1 empty-set encoding.
+  int not_lt(int lt) {
+    if (lt < 0) return const_true();
+    return emit(dram::bulk_op::not_op, lt, -1, lt);
+  }
+
+  /// le = lt | eq.
+  int lt_or_eq(int lt, int eq) {
+    if (lt < 0) return eq;
+    return emit(dram::bulk_op::or_op, lt, eq, lt);
+  }
+
+  int not_tmp = -1;
+  int contrib_tmp = -1;
+};
+
+/// True when `value` does not fit a `width`-bit column — the
+/// comparison is then decided by the constant's high bits alone.
+bool overflows(std::uint32_t value, int width) {
+  return width < 32 && (value >> width) != 0;
+}
+
+}  // namespace
+
+scan_program lower_predicate(int width, const predicate& pred) {
+  if (width <= 0 || width > 32) {
+    throw std::invalid_argument("lower_predicate: bad column width");
+  }
+  builder b(width);
+  switch (pred.op) {
+    case cmp_op::eq:
+      b.prog.result = overflows(pred.value, width) ? b.const_false()
+                                                   : b.equal(pred.value);
+      break;
+    case cmp_op::ne: {
+      if (overflows(pred.value, width)) {
+        b.prog.result = b.const_true();
+        break;
+      }
+      const int eq = b.equal(pred.value);
+      b.prog.result = b.emit(dram::bulk_op::not_op, eq, -1, b.temp());
+      break;
+    }
+    case cmp_op::lt: {
+      if (overflows(pred.value, width)) {
+        b.prog.result = b.const_true();
+        break;
+      }
+      const auto [lt, eq] = b.compare(pred.value, /*need_eq=*/false);
+      (void)eq;
+      b.prog.result = lt < 0 ? b.const_false() : lt;
+      break;
+    }
+    case cmp_op::le: {
+      if (overflows(pred.value, width)) {
+        b.prog.result = b.const_true();
+        break;
+      }
+      const auto [lt, eq] = b.compare(pred.value);
+      b.prog.result = b.lt_or_eq(lt, eq);
+      break;
+    }
+    case cmp_op::ge: {
+      if (overflows(pred.value, width)) {
+        b.prog.result = b.const_false();
+        break;
+      }
+      const auto [lt, eq] = b.compare(pred.value, /*need_eq=*/false);
+      (void)eq;
+      b.prog.result = b.not_lt(lt);
+      break;
+    }
+    case cmp_op::gt: {
+      if (overflows(pred.value, width)) {
+        b.prog.result = b.const_false();
+        break;
+      }
+      const auto [lt, eq] = b.compare(pred.value);
+      const int le = b.lt_or_eq(lt, eq);
+      b.prog.result = b.emit(dram::bulk_op::not_op, le, -1,
+                             le < width ? b.temp() : le);
+      break;
+    }
+    case cmp_op::between: {
+      // value <= x <= value2.
+      if (overflows(pred.value, width)) {
+        // The lower bound alone is unreachable.
+        b.prog.result = b.const_false();
+        break;
+      }
+      // ge_lo first: its register survives the second compare because
+      // accumulators are per-compare temps.
+      const auto [lt_lo, eq_lo] = b.compare(pred.value, /*need_eq=*/false);
+      (void)eq_lo;
+      const int ge_lo = b.not_lt(lt_lo);
+      if (overflows(pred.value2, width)) {
+        // Upper bound above the domain: between degenerates to >= lo.
+        b.prog.result = ge_lo;
+        break;
+      }
+      const auto [lt_hi, eq_hi] = b.compare(pred.value2);
+      const int le_hi = b.lt_or_eq(lt_hi, eq_hi);
+      // ge_lo is a scratch register whenever compare(lo) produced lt
+      // ops; with lo == 0 it is the const_true temp. Either way it is
+      // writable in place.
+      b.prog.result = b.emit(dram::bulk_op::and_op, ge_lo, le_hi,
+                             ge_lo < width ? b.temp() : ge_lo);
+      break;
+    }
+  }
+  return b.prog;
+}
+
+bitvector run_program(const scan_program& prog, const bitslice_storage& storage,
+                      std::vector<dram::bulk_op>* ops) {
+  if (prog.width != storage.width()) {
+    throw std::invalid_argument("run_program: program/storage width mismatch");
+  }
+  std::vector<bitvector> scratch(
+      static_cast<std::size_t>(prog.scratch_count()));
+  auto reg = [&](int r) -> const bitvector& {
+    return r < prog.width ? storage.slice(r)
+                          : scratch[static_cast<std::size_t>(r - prog.width)];
+  };
+  for (const scan_instr& instr : prog.instrs) {
+    const bitvector& a = reg(instr.a);
+    bitvector out;
+    switch (instr.op) {
+      case dram::bulk_op::not_op: out = ~a; break;
+      case dram::bulk_op::and_op: out = a & reg(instr.b); break;
+      case dram::bulk_op::or_op: out = a | reg(instr.b); break;
+      case dram::bulk_op::nand_op: out = ~(a & reg(instr.b)); break;
+      case dram::bulk_op::nor_op: out = ~(a | reg(instr.b)); break;
+      case dram::bulk_op::xor_op: out = a ^ reg(instr.b); break;
+      case dram::bulk_op::xnor_op: out = ~(a ^ reg(instr.b)); break;
+    }
+    scratch[static_cast<std::size_t>(instr.d - prog.width)] = std::move(out);
+    if (ops != nullptr) ops->push_back(instr.op);
+  }
+  if (prog.result < 0) {
+    throw std::logic_error("run_program: program has no result register");
+  }
+  return reg(prog.result);
+}
+
+std::string to_string(const scan_program& prog) {
+  auto reg_name = [&](int r) {
+    return (r < prog.width ? "s" : "t") +
+           std::to_string(r < prog.width ? r : r - prog.width);
+  };
+  std::ostringstream out;
+  for (const scan_instr& instr : prog.instrs) {
+    out << reg_name(instr.d) << " = " << dram::to_string(instr.op) << " "
+        << reg_name(instr.a);
+    if (instr.b >= 0) out << ", " << reg_name(instr.b);
+    out << "\n";
+  }
+  out << "result = " << reg_name(prog.result) << "\n";
+  return out.str();
+}
+
+}  // namespace pim::db

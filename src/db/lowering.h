@@ -1,0 +1,74 @@
+// Predicate -> bulk-op lowering shared by the analytic scan models and
+// the PIM-native query planner.
+//
+// A comparison predicate over a w-bit bit-sliced column lowers to a
+// short straight-line program of bulk Boolean ops over *registers*:
+// registers [0, w) are the column's bit slices (read-only), registers
+// [w, reg_count) are scratch vectors. The same program is consumed two
+// ways — interpreted over host bitvectors by db::evaluate (which also
+// tallies the ops the latency models price), and mapped onto allocated
+// DRAM vectors by query::plan_query (which submits each instruction as
+// an asynchronous task to the sharded service). One lowering, two
+// consumers: the analytically priced op sequence and the executed task
+// graph cannot drift apart.
+//
+// Unlike the historical in-line evaluator, the lowering clamps
+// constants that do not fit the column width (e.g. `x == 5000` on a
+// 10-bit column): the comparison is decided by the constant's high
+// bits alone, so the program materializes the constant answer instead
+// of silently comparing only the low bits.
+#ifndef PIM_DB_LOWERING_H
+#define PIM_DB_LOWERING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "dram/ambit.h"
+
+namespace pim::db {
+
+struct predicate;
+class bitslice_storage;
+
+/// One bulk Boolean op over program registers: d = op(a[, b]).
+/// `b` is -1 for unary ops. `d` always names a scratch register;
+/// slice registers are never written.
+struct scan_instr {
+  dram::bulk_op op = dram::bulk_op::not_op;
+  int a = 0;
+  int b = -1;
+  int d = 0;
+};
+
+/// A lowered predicate: straight-line bulk-op program plus the
+/// register holding the final selection. The result register may be a
+/// bare slice register when the predicate degenerates to one slice
+/// (e.g. `x >= 2` on a 2-bit column reads slice 1 directly).
+struct scan_program {
+  int width = 0;      // slice registers: [0, width)
+  int reg_count = 0;  // total registers; scratch = [width, reg_count)
+  int result = -1;    // register holding the selection
+  std::vector<scan_instr> instrs;
+
+  int scratch_count() const { return reg_count - width; }
+};
+
+/// Lowers `pred` for a `width`-bit column. Throws std::invalid_argument
+/// for width outside [1, 32].
+scan_program lower_predicate(int width, const predicate& pred);
+
+/// Interprets `prog` over the column's bit slices, appending one
+/// dram::bulk_op per executed instruction to `ops` when non-null — the
+/// tally the scan latency models price per backend.
+bitvector run_program(const scan_program& prog, const bitslice_storage& storage,
+                      std::vector<dram::bulk_op>* ops = nullptr);
+
+/// Human-readable dump ("t0 = and s3, t1" per line) — the golden form
+/// the planner tests compare against.
+std::string to_string(const scan_program& prog);
+
+}  // namespace pim::db
+
+#endif  // PIM_DB_LOWERING_H

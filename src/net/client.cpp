@@ -48,52 +48,127 @@ remote_client::remote_client(const std::string& host, std::uint16_t port,
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
   reader_ = std::thread([this] { reader_loop(); });
+  writer_ = std::thread([this] { writer_loop(); });
 
-  // Handshake: open the session synchronously. On failure the
-  // destructor will not run, so tear the half-built connection down
-  // here.
+  // Handshake: negotiate the protocol version, then open the session,
+  // both synchronously. On failure the destructor will not run, so
+  // tear the half-built connection down here.
   try {
-    auto reply = std::make_shared<net_message>();
-    open_session_req req;
-    req.weight = weight;
-    send_request(req, reply).get();
-    const auto* opened = std::get_if<opened_resp>(reply.get());
-    if (opened == nullptr) {
-      throw std::runtime_error("remote_client: unexpected open response");
-    }
-    session_ = opened->session;
-    shard_ = opened->shard;
+    negotiate(weight);
   } catch (...) {
-    ::shutdown(fd_, SHUT_RDWR);
-    reader_.join();
+    shutdown_threads();
     ::close(fd_);
     fd_ = -1;
     throw;
   }
 }
 
-remote_client::~remote_client() {
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+void remote_client::negotiate(double weight) {
+  {
+    // The hello goes out at the floor version: a server that cannot
+    // parse our preferred framing can still read the offer and answer.
+    auto reply = std::make_shared<net_message>();
+    send_request(hello_req{wire_version}, reply, wire_version_min).get();
+    const auto* hello = std::get_if<hello_resp>(reply.get());
+    if (hello == nullptr) {
+      throw std::runtime_error("remote_client: unexpected hello response");
+    }
+    if (hello->version < wire_version_min || hello->version > wire_version) {
+      throw std::runtime_error(
+          "remote_client: server negotiated unsupported version " +
+          std::to_string(hello->version));
+    }
+    version_ = hello->version;
+  }
+  auto reply = std::make_shared<net_message>();
+  open_session_req req;
+  req.weight = weight;
+  send_request(req, reply).get();
+  const auto* opened = std::get_if<opened_resp>(reply.get());
+  if (opened == nullptr) {
+    throw std::runtime_error("remote_client: unexpected open response");
+  }
+  session_ = opened->session;
+  shard_ = opened->shard;
+}
+
+void remote_client::shutdown_threads() {
+  {
+    // Give the writer a bounded window to flush what is queued, then
+    // shut the socket down regardless: a peer that stopped reading
+    // (writer parked inside send on a full socket buffer) must not
+    // wedge the destructor, and shutdown() is what unblocks that send.
+    std::unique_lock<std::mutex> lock(mu_);
+    closing_ = true;
+    out_cv_.notify_all();
+    out_cv_.wait_for(lock, std::chrono::seconds(1),
+                     [&] { return outbox_.empty() && !sending_; });
+  }
+  ::shutdown(fd_, SHUT_RDWR);
+  if (writer_.joinable()) writer_.join();
   if (reader_.joinable()) reader_.join();
-  if (fd_ >= 0) ::close(fd_);
+}
+
+remote_client::~remote_client() {
+  if (fd_ >= 0) {
+    shutdown_threads();
+    ::close(fd_);
+  }
   fail_pending("client destroyed");
 }
 
 service::request_future remote_client::send_request(
-    const net_message& msg, std::shared_ptr<net_message> reply) {
+    const net_message& msg, std::shared_ptr<net_message> reply,
+    std::uint8_t version) {
   auto state = std::make_shared<service::request_state>();
   service::request_future future(state);
   const std::uint64_t id = next_id_++;
-  std::vector<std::uint8_t> frame = encode_frame(id, msg);
+  std::vector<std::uint8_t> frame =
+      encode_frame(id, msg, version == 0 ? version_ : version);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    pending_.emplace(id, pending_entry{state, std::move(reply)});
-    if (!send_all(fd_, frame)) {
-      pending_.erase(id);
+    if (send_failed_ || closing_) {
       throw std::runtime_error("remote_client: connection lost on send");
     }
+    pending_.emplace(id, pending_entry{state, std::move(reply)});
+    outbox_.push_back(std::move(frame));
   }
+  out_cv_.notify_all();
   return future;
+}
+
+void remote_client::writer_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    out_cv_.wait(lock, [&] { return closing_ || !outbox_.empty(); });
+    if (outbox_.empty()) break;  // closing with nothing left to flush
+    // Coalesce everything queued into one send: a pipelined submission
+    // storm enqueues frames faster than a send syscall completes, so
+    // the batch grows while the previous send is in flight.
+    std::vector<std::uint8_t> batch = std::move(outbox_.front());
+    outbox_.pop_front();
+    while (!outbox_.empty()) {
+      const std::vector<std::uint8_t>& next = outbox_.front();
+      batch.insert(batch.end(), next.begin(), next.end());
+      outbox_.pop_front();
+    }
+    sending_ = true;
+    lock.unlock();
+    const bool ok = send_all(fd_, batch);
+    lock.lock();
+    sending_ = false;
+    if (!ok) {
+      send_failed_ = true;
+      outbox_.clear();
+      lock.unlock();
+      // Every request already registered would wait forever on a dead
+      // socket; fail them now (responses can no longer be solicited).
+      fail_pending("remote_client: connection lost on send");
+      lock.lock();
+    }
+    if (outbox_.empty()) out_cv_.notify_all();  // teardown flush gate
+    if (closing_ && outbox_.empty()) break;
+  }
 }
 
 void remote_client::fail_pending(const std::string& why) {

@@ -214,6 +214,10 @@ void encode_body(std::vector<std::uint8_t>& out, const net_message& msg) {
                              std::is_same_v<T, closed_resp> ||
                              std::is_same_v<T, waited_resp>) {
           // Empty body.
+        } else if constexpr (std::is_same_v<T, hello_req>) {
+          put_u8(out, m.max_version);
+        } else if constexpr (std::is_same_v<T, hello_resp>) {
+          put_u8(out, m.version);
         } else if constexpr (std::is_same_v<T, opened_resp>) {
           put_u64(out, m.session);
           put_i32(out, m.shard);
@@ -287,6 +291,16 @@ net_message decode_body(opcode op, reader& in) {
       return wait_req{};
     case opcode::stats:
       return stats_req{};
+    case opcode::hello: {
+      hello_req m;
+      m.max_version = in.u8();
+      return m;
+    }
+    case opcode::hello_ack: {
+      hello_resp m;
+      m.version = in.u8();
+      return m;
+    }
     case opcode::opened: {
       opened_resp m;
       m.session = in.u64();
@@ -336,17 +350,19 @@ opcode opcode_of(const net_message& msg) {
       opcode::open_session, opcode::close_session, opcode::allocate,
       opcode::write,        opcode::read,          opcode::submit,
       opcode::submit_shared, opcode::wait,         opcode::stats,
-      opcode::opened,       opcode::closed,        opcode::vectors,
-      opcode::data,         opcode::done,          opcode::waited,
-      opcode::stats_report, opcode::error};
+      opcode::hello,        opcode::opened,        opcode::closed,
+      opcode::vectors,      opcode::data,          opcode::done,
+      opcode::waited,       opcode::stats_report,  opcode::error,
+      opcode::hello_ack};
   static_assert(std::size(table) == std::variant_size_v<net_message>);
   return table[msg.index()];
 }
 
 std::vector<std::uint8_t> encode_frame(std::uint64_t id,
-                                       const net_message& msg) {
+                                       const net_message& msg,
+                                       std::uint8_t version) {
   std::vector<std::uint8_t> payload;
-  put_u8(payload, wire_version);
+  put_u8(payload, version);
   put_u64(payload, id);
   put_u8(payload, static_cast<std::uint8_t>(opcode_of(msg)));
   encode_body(payload, msg);
@@ -389,7 +405,9 @@ std::optional<net_frame> frame_splitter::next() {
   pos_ += 8 + length;
 
   const std::uint8_t version = in.u8();
-  if (version != wire_version) throw protocol_error("unsupported version");
+  if (version < wire_version_min || version > wire_version) {
+    throw protocol_error("unsupported version");
+  }
   net_frame frame;
   frame.id = in.u64();
   last_id_ = frame.id;

@@ -40,7 +40,14 @@
 namespace pim::net {
 
 inline constexpr std::uint32_t wire_magic = 0x50494D31;  // "1MIP" on the wire
-inline constexpr std::uint8_t wire_version = 1;
+/// Highest protocol version this build speaks. Version 2 added the
+/// hello negotiation exchange; the message grammar is otherwise
+/// unchanged from 1.
+inline constexpr std::uint8_t wire_version = 2;
+/// Oldest version still parseable. A peer whose highest version is
+/// below this floor is a major-version mismatch: the server answers a
+/// clean error frame and closes.
+inline constexpr std::uint8_t wire_version_min = 1;
 /// Upper bound on one frame's payload: comfortably above any realistic
 /// bulk vector, far below anything that could exhaust server memory.
 inline constexpr std::uint32_t max_frame_bytes = 1u << 26;  // 64 MiB
@@ -64,6 +71,7 @@ enum class opcode : std::uint8_t {
   submit_shared = 7,
   wait = 8,
   stats = 9,
+  hello = 10,
   // Responses.
   opened = 64,
   closed = 65,
@@ -73,6 +81,7 @@ enum class opcode : std::uint8_t {
   waited = 69,
   stats_report = 70,
   error = 71,
+  hello_ack = 72,
 };
 
 // --- request bodies --------------------------------------------------------
@@ -129,6 +138,18 @@ struct wait_req {};
 
 struct stats_req {};
 
+/// Version negotiation, sent by the client as its first frame (and
+/// encoded at wire_version_min so any compatible server can parse
+/// it): "the highest version I speak". The server answers hello_resp
+/// with the agreed version — min(client max, server max) — and both
+/// sides frame at that version from then on. A client max below the
+/// server's wire_version_min is a major-version mismatch: the server
+/// answers an error frame and closes the connection. Clients that
+/// skip the exchange are framed at the server's current version.
+struct hello_req {
+  std::uint8_t max_version = wire_version;
+};
+
 // --- response bodies -------------------------------------------------------
 
 struct opened_resp {
@@ -165,11 +186,16 @@ struct error_resp {
   std::string message;
 };
 
+/// The version both sides agreed to frame at.
+struct hello_resp {
+  std::uint8_t version = wire_version;
+};
+
 using net_message =
     std::variant<open_session_req, close_session_req, allocate_req, write_req,
                  read_req, submit_req, submit_shared_req, wait_req, stats_req,
-                 opened_resp, closed_resp, vectors_resp, data_resp, done_resp,
-                 waited_resp, stats_resp, error_resp>;
+                 hello_req, opened_resp, closed_resp, vectors_resp, data_resp,
+                 done_resp, waited_resp, stats_resp, error_resp, hello_resp>;
 
 /// Opcode of a message (the tag byte its frame carries).
 opcode opcode_of(const net_message& msg);
@@ -181,9 +207,10 @@ struct net_frame {
 };
 
 /// Serializes a complete frame (header + payload) for `msg` under
-/// request id `id`.
+/// request id `id`, stamping the given (negotiated) protocol version.
 std::vector<std::uint8_t> encode_frame(std::uint64_t id,
-                                       const net_message& msg);
+                                       const net_message& msg,
+                                       std::uint8_t version = wire_version);
 
 /// Incremental frame decoder over a byte stream. Feed whatever the
 /// socket produced; next() pops complete frames one at a time,

@@ -44,6 +44,14 @@ struct connection_demux {
   std::condition_variable cv;
   bool closing = false;
 
+  /// Protocol version frames leave this connection with. Starts at the
+  /// floor — a client that never sends hello is, by definition, older
+  /// than the hello opcode, and the floor is the one version every
+  /// supported peer parses — and is raised to the agreed version by
+  /// the client's hello. Written by the reader (before any response
+  /// that follows the hello), read by both threads under `mu`.
+  std::uint8_t version = wire_version_min;
+
   /// Encoded frames awaiting the writer thread (responses built on the
   /// reader thread for synchronous calls, by the writer for async
   /// completions).
@@ -175,7 +183,12 @@ namespace {
 
 void enqueue_frame(connection_demux& dx, std::uint64_t id,
                    const net_message& msg) {
-  std::vector<std::uint8_t> frame = encode_frame(id, msg);
+  std::uint8_t version;
+  {
+    std::lock_guard<std::mutex> lock(dx.mu);
+    version = dx.version;
+  }
+  std::vector<std::uint8_t> frame = encode_frame(id, msg, version);
   {
     std::lock_guard<std::mutex> lock(dx.mu);
     dx.outgoing.push_back(std::move(frame));
@@ -212,23 +225,34 @@ void writer_loop(int fd, std::shared_ptr<connection_demux> dx) {
       if (it == dx->inflight.end()) continue;  // answered by an error path
       connection_demux::pending p = std::move(it->second);
       dx->inflight.erase(it);
+      const std::uint8_t version = dx->version;
       lock.unlock();
-      std::vector<std::uint8_t> frame = encode_frame(id, build_response(p));
+      std::vector<std::uint8_t> frame =
+          encode_frame(id, build_response(p), version);
       lock.lock();
       dx->outgoing.push_back(std::move(frame));
     }
     // A drained pipeline releases parked wait barriers.
     if (dx->inflight.empty() && !dx->waiting.empty()) {
       for (const std::uint64_t id : dx->waiting) {
-        dx->outgoing.push_back(encode_frame(id, waited_resp{}));
+        dx->outgoing.push_back(encode_frame(id, waited_resp{}, dx->version));
       }
       dx->waiting.clear();
     }
+    // Coalesce everything queued into one send: under a pipelined
+    // client, dozens of small response frames pile up while the
+    // previous send syscall is in flight, and batching them cuts the
+    // per-frame syscall tax off the wire path.
     while (!dx->outgoing.empty()) {
-      std::vector<std::uint8_t> frame = std::move(dx->outgoing.front());
+      std::vector<std::uint8_t> batch = std::move(dx->outgoing.front());
       dx->outgoing.pop_front();
+      while (!dx->outgoing.empty()) {
+        const std::vector<std::uint8_t>& next = dx->outgoing.front();
+        batch.insert(batch.end(), next.begin(), next.end());
+        dx->outgoing.pop_front();
+      }
       lock.unlock();
-      const bool ok = send_all(fd, frame);
+      const bool ok = send_all(fd, batch);
       lock.lock();
       if (!ok) {
         dx->closing = true;
@@ -374,6 +398,24 @@ void pim_server::accept_loop(const int listen_fd) {
                     }
                   }
                   if (drained) enqueue_frame(*dx, id, waited_resp{});
+                } else if constexpr (std::is_same_v<T, hello_req>) {
+                  // Version negotiation. A client whose highest
+                  // version predates our floor is a major-version
+                  // mismatch: protocol_error sends one clean error
+                  // frame and closes this connection.
+                  if (m.max_version < wire_version_min) {
+                    throw protocol_error(
+                        "incompatible protocol version: client max " +
+                        std::to_string(m.max_version) + " below server min " +
+                        std::to_string(wire_version_min));
+                  }
+                  const std::uint8_t agreed =
+                      std::min(wire_version, m.max_version);
+                  {
+                    std::lock_guard<std::mutex> l(dx->mu);
+                    dx->version = agreed;
+                  }
+                  enqueue_frame(*dx, id, hello_resp{agreed});
                 } else if constexpr (std::is_same_v<T, stats_req>) {
                   json_writer json;
                   json.begin_object();

@@ -1,0 +1,211 @@
+#include "query/plan.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace pim::query {
+
+predicate_node predicate_node::leaf(std::string column, db::predicate pred) {
+  predicate_node n;
+  n.kind = node_kind::leaf;
+  n.column = std::move(column);
+  n.pred = pred;
+  return n;
+}
+
+predicate_node predicate_node::land(predicate_node a, predicate_node b) {
+  predicate_node n;
+  n.kind = node_kind::logic_and;
+  n.children.push_back(std::move(a));
+  n.children.push_back(std::move(b));
+  return n;
+}
+
+predicate_node predicate_node::lor(predicate_node a, predicate_node b) {
+  predicate_node n;
+  n.kind = node_kind::logic_or;
+  n.children.push_back(std::move(a));
+  n.children.push_back(std::move(b));
+  return n;
+}
+
+predicate_node predicate_node::lnot(predicate_node a) {
+  predicate_node n;
+  n.kind = node_kind::logic_not;
+  n.children.push_back(std::move(a));
+  return n;
+}
+
+namespace {
+
+/// Build-space register encoding: scratch registers count up from 0,
+/// column-slice reads are encoded as values below -1 (-1 stays the
+/// "no operand" sentinel) so the final numbering (inputs first, in
+/// first-use order, then scratch) can be assigned once the whole
+/// program is known.
+int encode_input(int column, int bit) { return -(column * 33 + bit) - 2; }
+
+struct planner {
+  const table_schema& schema;
+  std::vector<plan_step> steps;
+  int scratch = 0;
+
+  int width_of(int column) const {
+    return schema.columns[static_cast<std::size_t>(column)].bit_width;
+  }
+
+  int emit(dram::bulk_op op, int a, int b, int d) {
+    steps.push_back({op, a, b, d});
+    return d;
+  }
+
+  int lower(const predicate_node& node) {
+    switch (node.kind) {
+      case predicate_node::node_kind::leaf: {
+        if (!node.children.empty()) {
+          throw std::invalid_argument("plan_query: leaf with children");
+        }
+        const int column = schema.index_of(node.column);
+        const int width = width_of(column);
+        const db::scan_program prog = db::lower_predicate(width, node.pred);
+        const int base = scratch;
+        scratch += prog.scratch_count();
+        auto remap = [&](int r) {
+          if (r < 0) return r;
+          return r < width ? encode_input(column, r) : base + (r - width);
+        };
+        for (const db::scan_instr& instr : prog.instrs) {
+          emit(instr.op, remap(instr.a), remap(instr.b), remap(instr.d));
+        }
+        return remap(prog.result);
+      }
+      case predicate_node::node_kind::logic_and:
+      case predicate_node::node_kind::logic_or: {
+        if (node.children.size() < 2) {
+          throw std::invalid_argument(
+              "plan_query: AND/OR needs at least two children");
+        }
+        const dram::bulk_op op =
+            node.kind == predicate_node::node_kind::logic_and
+                ? dram::bulk_op::and_op
+                : dram::bulk_op::or_op;
+        // Fold left. Each combine gets a fresh scratch register so the
+        // children's programs stay write-independent — the hazard
+        // scheduler then runs the subtrees bank-parallel. The child is
+        // lowered before the combine register is numbered (both mutate
+        // the scratch counter, so the order must not be left to
+        // argument evaluation).
+        int acc = lower(node.children[0]);
+        for (std::size_t i = 1; i < node.children.size(); ++i) {
+          const int rhs = lower(node.children[i]);
+          acc = emit(op, acc, rhs, scratch++);
+        }
+        return acc;
+      }
+      case predicate_node::node_kind::logic_not: {
+        if (node.children.size() != 1) {
+          throw std::invalid_argument(
+              "plan_query: NOT needs exactly one child");
+        }
+        const int child = lower(node.children[0]);
+        return emit(dram::bulk_op::not_op, child, -1, scratch++);
+      }
+    }
+    throw std::logic_error("plan_query: unknown node kind");
+  }
+};
+
+}  // namespace
+
+query_plan plan_query(const table_schema& schema, const query_spec& spec) {
+  planner p{schema, {}, 0};
+
+  int sel = p.lower(spec.where);
+  if (sel < 0) {
+    // The whole predicate degenerated to one bare slice read (e.g.
+    // `x >= 2` on a 2-bit column). The selection must live in scratch —
+    // the executor reads and combines it as a real vector — so
+    // materialize a copy (x | x = x).
+    sel = p.emit(dram::bulk_op::or_op, sel, sel, p.scratch++);
+  }
+
+  query_plan plan;
+  plan.agg = spec.agg;
+  std::vector<int> sum_build;
+  if (spec.agg == agg_kind::sum) {
+    if (spec.agg_column.empty()) {
+      throw std::invalid_argument("plan_query: sum needs agg_column");
+    }
+    plan.agg_column = schema.index_of(spec.agg_column);
+    // sum(col) = sum_b 2^b * popcount(selection & slice_b): the masks
+    // are independent bulk ops (bank-parallel), the popcounts happen on
+    // the host over the read-back masks.
+    for (int b = 0; b < p.width_of(plan.agg_column); ++b) {
+      sum_build.push_back(p.emit(dram::bulk_op::and_op, sel,
+                                 encode_input(plan.agg_column, b),
+                                 p.scratch++));
+    }
+  }
+
+  // Final numbering: inputs first, in first-use order, then scratch.
+  std::map<int, int> input_index;
+  for (const plan_step& step : p.steps) {
+    for (const int r : {step.a, step.b}) {
+      if (r >= -1) continue;
+      if (input_index.emplace(r, static_cast<int>(plan.inputs.size()))
+              .second) {
+        const int v = -r - 2;
+        plan.inputs.push_back({v / 33, v % 33});
+      }
+    }
+  }
+  const int base = plan.input_count();
+  auto remap = [&](int r) {
+    if (r == -1) return -1;
+    return r >= 0 ? base + r : input_index.at(r);
+  };
+  for (const plan_step& step : p.steps) {
+    plan.steps.push_back({step.op, remap(step.a), remap(step.b),
+                          remap(step.d)});
+  }
+  plan.scratch_count = p.scratch;
+  plan.selection = remap(sel);
+  for (const int r : sum_build) plan.sum_regs.push_back(remap(r));
+  return plan;
+}
+
+std::string to_string(const query_plan& plan) {
+  auto reg_name = [&](int r) {
+    if (r < plan.input_count()) {
+      const slice_ref& in = plan.inputs[static_cast<std::size_t>(r)];
+      return "c" + std::to_string(in.column) + "[" + std::to_string(in.bit) +
+             "]";
+    }
+    return "t" + std::to_string(r - plan.input_count());
+  };
+  std::ostringstream out;
+  for (const plan_step& step : plan.steps) {
+    out << reg_name(step.d) << " = " << dram::to_string(step.op) << " "
+        << reg_name(step.a);
+    if (step.b >= 0) out << ", " << reg_name(step.b);
+    out << "\n";
+  }
+  out << "selection = " << reg_name(plan.selection) << "\n";
+  switch (plan.agg) {
+    case agg_kind::none:
+      break;
+    case agg_kind::count:
+      out << "count = popcount(selection)\n";
+      break;
+    case agg_kind::sum:
+      for (std::size_t b = 0; b < plan.sum_regs.size(); ++b) {
+        out << "sum += popcount(" << reg_name(plan.sum_regs[b]) << ") << " << b
+            << "\n";
+      }
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace pim::query

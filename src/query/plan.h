@@ -1,0 +1,102 @@
+// Query planner: declarative predicate trees and aggregates lowered
+// into per-partition bulk-op task graphs.
+//
+// A query_spec names columns symbolically (a predicate tree of
+// comparison leaves combined with AND/OR/NOT, plus an optional
+// count/sum aggregate). plan_query lowers it into a query_plan — a
+// partition-shape-independent register program: registers below
+// input_count() read column bit slices, the rest are scratch vectors,
+// and every step is one bulk Boolean op d = op(a[, b]). Comparison
+// leaves lower through db::lower_predicate, the *same* lowering the
+// analytic scan models interpret, so the priced op sequence and the
+// executed task graph are one artifact.
+//
+// The executor maps the same plan onto every partition (slice
+// registers resolve to that partition's vectors) and submits the steps
+// in program order; the runtime's row-granular hazard tracking turns
+// the order into the dependence DAG, so independent subtrees — the
+// two sides of an AND, the per-bit masks of a sum — run bank-parallel
+// within a shard while partitions fan out across shards.
+//
+// Aggregates stay "popcount on host": count pops the selection,
+// sum(col) = sum_b 2^b * popcount(selection & slice_b) — the per-bit
+// AND masks are in-DRAM bulk ops recorded in sum_regs, only the final
+// population counts cross the channel.
+#ifndef PIM_QUERY_PLAN_H
+#define PIM_QUERY_PLAN_H
+
+#include <string>
+#include <vector>
+
+#include "db/lowering.h"
+#include "query/table.h"
+
+namespace pim::query {
+
+/// Boolean combination tree over named-column comparison leaves.
+struct predicate_node {
+  enum class node_kind { leaf, logic_and, logic_or, logic_not };
+
+  node_kind kind = node_kind::leaf;
+  std::string column;  // leaf only
+  db::predicate pred;  // leaf only
+  std::vector<predicate_node> children;
+
+  static predicate_node leaf(std::string column, db::predicate pred);
+  static predicate_node land(predicate_node a, predicate_node b);
+  static predicate_node lor(predicate_node a, predicate_node b);
+  static predicate_node lnot(predicate_node a);
+};
+
+enum class agg_kind { none, count, sum };
+
+/// A declarative query: WHERE tree plus aggregate.
+struct query_spec {
+  predicate_node where;
+  agg_kind agg = agg_kind::count;
+  std::string agg_column;  // sum only
+};
+
+/// A slice register's binding: bit `bit` of schema column `column`.
+struct slice_ref {
+  int column = 0;
+  int bit = 0;
+};
+
+/// One bulk op over plan registers: d = op(a[, b]); b = -1 for unary.
+/// d always names a scratch register.
+struct plan_step {
+  dram::bulk_op op = dram::bulk_op::not_op;
+  int a = 0;
+  int b = -1;
+  int d = 0;
+};
+
+struct query_plan {
+  /// Registers [0, inputs.size()) read these column slices.
+  std::vector<slice_ref> inputs;
+  /// Scratch registers: [inputs.size(), inputs.size() + scratch_count).
+  int scratch_count = 0;
+  std::vector<plan_step> steps;
+  /// Register holding the final selection (always scratch).
+  int selection = -1;
+
+  agg_kind agg = agg_kind::count;
+  int agg_column = -1;  // sum only
+  /// For sum: register holding selection & agg-slice b, b ascending.
+  std::vector<int> sum_regs;
+
+  int input_count() const { return static_cast<int>(inputs.size()); }
+};
+
+/// Lowers `spec` against `schema`. Throws std::invalid_argument for
+/// unknown columns, malformed trees, or a sum without agg_column.
+query_plan plan_query(const table_schema& schema, const query_spec& spec);
+
+/// Human-readable program dump ("t2 = AND c0[3], t1" per line) — the
+/// golden form the planner tests pin down.
+std::string to_string(const query_plan& plan);
+
+}  // namespace pim::query
+
+#endif  // PIM_QUERY_PLAN_H

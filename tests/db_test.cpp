@@ -47,6 +47,30 @@ INSTANTIATE_TEST_SUITE_P(AllOps, PredicateTest,
                                            cmp_op::le, cmp_op::gt, cmp_op::ge,
                                            cmp_op::between));
 
+TEST(PredicateTest, ClampsConstantsOutsideTheColumnWidth) {
+  // A constant that does not fit the column width is decided by its
+  // high bits alone: the lowering materializes the constant answer
+  // instead of silently comparing only the low bits (which would
+  // diverge from the scalar reference).
+  rng gen(11);
+  const column col = random_column(2048, 6, gen);
+  const bitslice_storage st(col);
+  for (cmp_op op : {cmp_op::eq, cmp_op::ne, cmp_op::lt, cmp_op::le,
+                    cmp_op::gt, cmp_op::ge}) {
+    const predicate pred{op, 600, 0};  // 600 >= 2^6
+    const scan_result got = evaluate(st, pred);
+    EXPECT_EQ(got.selection, evaluate_reference(col, pred))
+        << "op=" << static_cast<int>(op);
+    EXPECT_FALSE(got.ops.empty());
+  }
+  // between with an oversized upper bound degenerates to >= lo.
+  const predicate range{cmp_op::between, 20, 999};
+  EXPECT_EQ(evaluate(st, range).selection, evaluate_reference(col, range));
+  // between with an unreachable lower bound is empty.
+  const predicate none{cmp_op::between, 600, 999};
+  EXPECT_EQ(evaluate(st, none).selection, evaluate_reference(col, none));
+}
+
 TEST(PredicateTest, EqUsesLinearOpsInWidth) {
   rng gen(4);
   const column col = random_column(256, 16, gen);

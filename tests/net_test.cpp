@@ -132,6 +132,10 @@ TEST(protocol, round_trips_every_request_type) {
   }
   roundtrip(9, wait_req{});
   roundtrip(10, stats_req{});
+  {
+    const auto f = roundtrip(11, hello_req{7});
+    EXPECT_EQ(std::get<hello_req>(f.msg).max_version, 7);
+  }
 }
 
 TEST(protocol, round_trips_every_response_type) {
@@ -181,6 +185,28 @@ TEST(protocol, round_trips_every_response_type) {
   {
     const auto f = roundtrip(27, error_resp{"boom"});
     EXPECT_EQ(std::get<error_resp>(f.msg).message, "boom");
+  }
+  {
+    const auto f = roundtrip(28, hello_resp{wire_version});
+    EXPECT_EQ(std::get<hello_resp>(f.msg).version, wire_version);
+  }
+}
+
+TEST(protocol, accepts_the_whole_supported_version_range) {
+  // Frames stamped anywhere in [wire_version_min, wire_version] parse;
+  // outside the range is a protocol error.
+  for (std::uint8_t v = wire_version_min; v <= wire_version; ++v) {
+    const auto wire = encode_frame(1, wait_req{}, v);
+    frame_splitter splitter;
+    splitter.feed(wire.data(), wire.size());
+    EXPECT_TRUE(splitter.next().has_value()) << int(v);
+  }
+  for (const std::uint8_t v : {std::uint8_t{0},
+                               static_cast<std::uint8_t>(wire_version + 1)}) {
+    const auto wire = encode_frame(1, wait_req{}, v);
+    frame_splitter splitter;
+    splitter.feed(wire.data(), wire.size());
+    EXPECT_THROW(splitter.next(), protocol_error) << int(v);
   }
 }
 
@@ -439,6 +465,84 @@ TEST(pim_server, rejects_requests_for_foreign_sessions) {
   ASSERT_TRUE(opened.has_value());
   EXPECT_TRUE(std::holds_alternative<opened_resp>(opened->msg));
   ::close(fd);
+  server.stop();
+}
+
+TEST(pim_server, negotiates_protocol_version_on_open) {
+  pim_server server(small_server_config());
+  server.start();
+
+  {
+    // remote_client's hello lands on the current version.
+    remote_client client("127.0.0.1", server.port());
+    EXPECT_EQ(client.negotiated_version(), wire_version);
+    EXPECT_EQ(client.allocate(8192, 1).size(), 1u);
+  }
+  {
+    // A client from the future offers more than we speak: the server
+    // answers with its own maximum.
+    const int fd = connect_raw(server.port());
+    const auto wire = encode_frame(1, hello_req{99}, wire_version_min);
+    ASSERT_GT(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL), 0);
+    std::uint8_t buf[512];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    frame_splitter splitter;
+    splitter.feed(buf, static_cast<std::size_t>(n));
+    const auto frame = splitter.next();
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_TRUE(std::holds_alternative<hello_resp>(frame->msg));
+    EXPECT_EQ(std::get<hello_resp>(frame->msg).version, wire_version);
+    ::close(fd);
+  }
+  server.stop();
+}
+
+TEST(pim_server, frames_legacy_clients_at_the_floor_version) {
+  // A client that never sends hello is older than the hello opcode:
+  // the server must answer with frames stamped at the floor version —
+  // the one framing every supported peer parses.
+  pim_server server(small_server_config());
+  server.start();
+  const int fd = connect_raw(server.port());
+  const auto wire = encode_frame(1, open_session_req{}, wire_version_min);
+  ASSERT_GT(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL), 0);
+  std::uint8_t buf[512];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  ASSERT_GT(n, 8 + 1);
+  EXPECT_EQ(buf[8], wire_version_min);  // version byte after the header
+  frame_splitter splitter;
+  splitter.feed(buf, static_cast<std::size_t>(n));
+  const auto frame = splitter.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(std::holds_alternative<opened_resp>(frame->msg));
+  ::close(fd);
+  server.stop();
+}
+
+TEST(pim_server, rejects_mismatched_major_version_with_error_frame) {
+  pim_server server(small_server_config());
+  server.start();
+
+  // A hello below the server's floor: one clean error frame, then the
+  // connection closes (drain_socket sees EOF after the frame).
+  const int fd = connect_raw(server.port());
+  const auto wire = encode_frame(1, hello_req{0}, wire_version_min);
+  ASSERT_GT(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL), 0);
+  const std::vector<std::uint8_t> reply = drain_socket(fd);
+  ::close(fd);
+  frame_splitter splitter;
+  splitter.feed(reply.data(), reply.size());
+  const auto frame = splitter.next();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_TRUE(std::holds_alternative<error_resp>(frame->msg));
+  EXPECT_NE(std::get<error_resp>(frame->msg).message.find("version"),
+            std::string::npos);
+  EXPECT_FALSE(splitter.next().has_value());
+
+  // Other connections are unaffected.
+  remote_client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.allocate(8192, 1).size(), 1u);
   server.stop();
 }
 
