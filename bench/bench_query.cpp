@@ -26,6 +26,7 @@
 #include "common/table.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/trace.h"
 #include "query/exec.h"
 #include "service/client.h"
 
@@ -92,6 +93,8 @@ struct run_point {
   double wall_ms = 0;
   double mrows_per_s = 0;  // rows scanned per simulated second, 1e6
   std::uint64_t ops = 0;
+  std::uint64_t total_ticks = 0;      // simulated clock: machine-independent
+  std::uint64_t busy_bank_ticks = 0;
   std::vector<std::uint64_t> digests;
   std::vector<std::uint64_t> gathered;
 };
@@ -153,6 +156,8 @@ run_point run_mix(const dataset& data, int shards, int partitions,
   service::pim_service& live = remote ? server->service() : *svc;
   const service::service_stats stats = live.stats();
   point.makespan_us = static_cast<double>(stats.makespan_ps) / 1e6;
+  point.total_ticks = stats.total_ticks;
+  point.busy_bank_ticks = stats.busy_bank_ticks;
   const double scanned =
       static_cast<double>(data.x.rows()) * static_cast<double>(scan_mix().size());
   if (stats.makespan_ps > 0) {
@@ -320,6 +325,37 @@ int main(int argc, char** argv) {
             << "x wall-clock, digests "
             << (net_match ? "identical" : "DIFFER") << "\n";
 
+  // --- Traced run ----------------------------------------------------------
+  // Re-run the loopback mix with the tracer on: every query flows
+  // client submit -> wire encode -> shard admission -> simulated bank
+  // lanes, stitched by flow ids. The trace must be well-formed and
+  // Perfetto-loadable, and tracing must not perturb results — digests
+  // bit-identical to the untraced run.
+  std::cout << "\n=== Traced run (Chrome trace_event JSON) ===\n\n";
+  obs::tracer& tracer = obs::tracer::instance();
+  tracer.enable();
+  const run_point traced = run_mix(data, max_shards, net_partitions,
+                                   /*gather=*/false, /*remote=*/true);
+  tracer.disable();
+  const std::size_t trace_events = tracer.event_count();
+  const std::string trace_error = obs::validate(tracer.snapshot());
+  std::uint64_t trace_flows = 0;
+  for (const obs::trace_event& e : tracer.snapshot()) {
+    if (e.kind == obs::event_kind::flow_begin) ++trace_flows;
+  }
+  tracer.write_chrome_json("TRACE_query.json");
+  tracer.clear();
+  const bool trace_match = traced.digests == net_loop.digests;
+  const bool trace_ok =
+      trace_match && trace_error.empty() && trace_events > 0 && trace_flows > 0;
+  std::cout << trace_events << " events, " << trace_flows
+            << " request flows, trace "
+            << (trace_error.empty() ? "well-formed"
+                                    : ("INVALID: " + trace_error))
+            << ", digests vs untraced "
+            << (trace_match ? "identical" : "DIFFER") << "\n";
+  std::cout << "wrote TRACE_query.json (load in Perfetto / chrome://tracing)\n";
+
   // --- JSON trajectory -----------------------------------------------------
   json_writer json;
   json.begin_object();
@@ -339,6 +375,10 @@ int main(int argc, char** argv) {
         p.makespan_us > 0 ? points.front().makespan_us / p.makespan_us : 0.0);
     json.key("wall_ms").value(p.wall_ms);
     json.key("ops").value(p.ops);
+    // Simulated-clock metrics: machine-independent, so cross-machine
+    // bench_diff comparisons can ignore the wall-clock fields.
+    json.key("total_ticks").value(p.total_ticks);
+    json.key("busy_bank_ticks").value(p.busy_bank_ticks);
     json.end_object();
   }
   json.end_array();
@@ -358,11 +398,17 @@ int main(int argc, char** argv) {
   json.key("loopback_wall_ms").value(net_loop.wall_ms);
   json.key("wire_tax").value(wire_tax);
   json.end_object();
+  json.key("trace").begin_object();
+  json.key("events").value(static_cast<std::uint64_t>(trace_events));
+  json.key("flows").value(trace_flows);
+  json.key("well_formed").value(trace_error.empty());
+  json.key("digests_match").value(trace_match);
+  json.end_object();
   json.end_object();
   json.write_file("BENCH_query.json");
   std::cout << "\nwrote BENCH_query.json\n";
 
   const bool pass = digests_match && matches_reference && combine_match &&
-                    agg_match && net_match && final_speedup >= 1.8;
+                    agg_match && net_match && final_speedup >= 1.8 && trace_ok;
   return pass ? 0 : 1;
 }

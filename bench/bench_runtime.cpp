@@ -224,6 +224,10 @@ int main() {
   json.key("digests_match").value(digests_match);
   json.key("avg_busy_banks").value(batched_r.stats.sched.avg_busy_banks());
   json.key("hazard_deferred").value(batched_r.stats.sched.hazard_deferred);
+  // Simulated-clock metrics: machine-independent, so cross-machine
+  // bench_diff comparisons can ignore the wall-clock fields.
+  json.key("total_ticks").value(batched_r.stats.sched.ticks);
+  json.key("busy_bank_ticks").value(batched_r.stats.sched.busy_bank_ticks);
   json.key("backends").begin_object();
   for (const auto& [backend, stats] : batched_r.stats.backends) {
     json.key(runtime::to_string(backend)).begin_object();

@@ -26,6 +26,7 @@
 #include "common/table.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/trace.h"
 #include "service/synthetic.h"
 
 namespace {
@@ -421,6 +422,62 @@ int main(int argc, char** argv) {
             << "x wall-clock, digests "
             << (net_match ? "identical" : "DIFFER") << "\n";
 
+  // --- Tracing overhead guard ----------------------------------------------
+  // The observability layer must be free when off and cheap when on.
+  // Same scenario three times per mode, best-of-three wall clock (the
+  // minimum filters scheduler noise); digests must be bit-identical
+  // in both modes — tracing observes the simulation, never steers it.
+  std::cout << "\n=== Tracing overhead guard ===\n\n";
+  obs::tracer& tracer = obs::tracer::instance();
+  const auto guard_population = client_population(std::min(clients, 16), ops);
+  double off_wall = 0.0;
+  std::vector<std::uint64_t> off_digests;
+  for (int rep = 0; rep < 3; ++rep) {
+    const scale_point p = run_at(max_shards, guard_population, /*burst=*/false);
+    if (rep == 0 || p.wall_ms < off_wall) off_wall = p.wall_ms;
+    off_digests = p.digests;
+  }
+  // Disabled tracing must record nothing at all: the ~0% claim is
+  // structural, not statistical.
+  const bool off_silent = tracer.event_count() == 0;
+
+  tracer.enable();
+  double on_wall = 0.0;
+  std::vector<std::uint64_t> on_digests;
+  for (int rep = 0; rep < 3; ++rep) {
+    tracer.clear();
+    const scale_point p = run_at(max_shards, guard_population, /*burst=*/false);
+    if (rep == 0 || p.wall_ms < on_wall) on_wall = p.wall_ms;
+    on_digests = p.digests;
+  }
+  tracer.disable();
+  const std::size_t traced_events = tracer.event_count();
+  const std::string trace_error = obs::validate(tracer.snapshot());
+  tracer.write_chrome_json("TRACE_service.json");
+  tracer.clear();
+
+  const bool trace_digests_match = on_digests == off_digests;
+  const double overhead = off_wall > 0 ? on_wall / off_wall : 0.0;
+  // <5% wall-clock regression traced, plus 1 ms absolute slack so a
+  // timer hiccup on a tens-of-ms run cannot fail the gate spuriously.
+  const bool overhead_ok = on_wall <= off_wall * 1.05 + 1.0;
+  const bool trace_ok = off_silent && trace_digests_match && overhead_ok &&
+                        trace_error.empty() && traced_events > 0;
+  std::cout << guard_population.size() << " clients x " << ops << " ops, "
+            << max_shards << " shards, best of 3 runs per mode:\n";
+  std::cout << "  tracing off: " << format_double(off_wall, 2)
+            << " ms wall, events recorded: " << (off_silent ? "0" : "SOME")
+            << "\n";
+  std::cout << "  tracing on : " << format_double(on_wall, 2) << " ms wall, "
+            << traced_events << " events, trace "
+            << (trace_error.empty() ? "well-formed"
+                                    : ("INVALID: " + trace_error))
+            << "\n";
+  std::cout << "  overhead: " << format_double(overhead, 3) << "x (gate 1.05), "
+            << "digests " << (trace_digests_match ? "identical" : "DIFFER")
+            << "\n";
+  std::cout << "  wrote TRACE_service.json\n";
+
   // Machine-readable trajectory record: the scaling curve plus the full
   // per-shard telemetry of the widest configuration.
   json_writer json;
@@ -440,6 +497,10 @@ int main(int argc, char** argv) {
     json.key("avg_busy_banks").value(p.avg_busy_banks);
     json.key("wall_ms").value(p.wall_ms);
     json.key("tasks").value(p.tasks);
+    // Simulated-clock metrics: machine-independent, so cross-machine
+    // bench_diff comparisons can ignore the wall-clock fields.
+    json.key("total_ticks").value(p.stats.total_ticks);
+    json.key("busy_bank_ticks").value(p.stats.busy_bank_ticks);
     json.end_object();
   }
   json.end_array();
@@ -468,6 +529,15 @@ int main(int argc, char** argv) {
   json.key("gain").value(skew_gain);
   json.key("migrations").value(skew_reb.stats.migrations);
   json.end_object();
+  json.key("tracing_overhead").begin_object();
+  json.key("off_wall_ms").value(off_wall);
+  json.key("on_wall_ms").value(on_wall);
+  json.key("overhead").value(overhead);
+  json.key("events").value(static_cast<std::uint64_t>(traced_events));
+  json.key("off_silent").value(off_silent);
+  json.key("digests_match").value(trace_digests_match);
+  json.key("well_formed").value(trace_error.empty());
+  json.end_object();
   json.key("service").begin_object();
   last.stats.to_json(json);
   json.end_object();
@@ -476,6 +546,6 @@ int main(int argc, char** argv) {
   std::cout << "\nwrote BENCH_service.json\n";
 
   const bool pass = digests_match && cross_match && skew_match && net_match &&
-                    final_speedup >= 2.0 && skew_gain > 1.05;
+                    final_speedup >= 2.0 && skew_gain > 1.05 && trace_ok;
   return pass ? 0 : 1;
 }

@@ -1,0 +1,82 @@
+// Geometric (power-of-two bucket) histogram — the one mergeable
+// percentile accumulator shared by the service front-end, the net
+// layer, the query engine, and the observability metrics registry.
+//
+// Samples are unsigned integers in whatever unit the call site uses
+// (the service records nanoseconds); bucket b holds samples whose
+// bit_width is b, i.e. the range [2^(b-1), 2^b). That makes the
+// histogram O(64 counters) regardless of sample count, deterministic,
+// and mergeable by plain bucket addition — exactly what percentile
+// aggregation across shards (and across processes, over the wire)
+// needs. Percentiles report the upper bound of the bucket containing
+// the target rank: conservative within a factor of two, which is the
+// right fidelity for an SLO signal (the shape and the outliers are
+// what matter, not the third digit).
+#ifndef PIM_COMMON_HISTOGRAM_H
+#define PIM_COMMON_HISTOGRAM_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace pim {
+
+class geo_histogram {
+ public:
+  /// One bucket per possible bit_width of a u64 sample (0..64).
+  static constexpr std::size_t bucket_count = 65;
+
+  void record(std::uint64_t sample, std::uint64_t weight = 1) {
+    buckets_[bucket_of(sample)] += weight;
+    count_ += weight;
+  }
+
+  void merge(const geo_histogram& other) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+  /// Which bucket `sample` lands in.
+  static std::size_t bucket_of(std::uint64_t sample) {
+    return static_cast<std::size_t>(std::bit_width(sample));  // 0 -> bucket 0
+  }
+
+  /// Upper bound of bucket `b`'s sample range, as a double (the top
+  /// bucket's bound is 2^64, which does not fit a u64).
+  static double bucket_upper(std::size_t b) {
+    return b >= 64 ? 1.8446744073709552e19
+                   : static_cast<double>(1ull << b);
+  }
+
+  /// Upper bound of the bucket holding the p-th percentile
+  /// observation, p in [0, 1]. Zero when empty.
+  double percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(p * static_cast<double>(count_));
+    if (rank >= count_) rank = count_ - 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > rank) return bucket_upper(i);
+    }
+    return bucket_upper(buckets_.size() - 1);
+  }
+
+  bool operator==(const geo_histogram& other) const {
+    return count_ == other.count_ && buckets_ == other.buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, bucket_count> buckets_{};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace pim
+
+#endif  // PIM_COMMON_HISTOGRAM_H

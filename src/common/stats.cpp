@@ -41,38 +41,6 @@ double summary::variance() const {
 
 double summary::stddev() const { return std::sqrt(variance()); }
 
-histogram::histogram(double lo, double hi, std::size_t buckets)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
-      counts_(buckets, 0) {
-  if (buckets == 0 || hi <= lo) {
-    throw std::invalid_argument("histogram: bad bucket configuration");
-  }
-}
-
-void histogram::add(double x, std::uint64_t weight) {
-  total_ += weight;
-  if (x < lo_) {
-    underflow_ += weight;
-  } else if (x >= hi_) {
-    overflow_ += weight;
-  } else {
-    auto index = static_cast<std::size_t>((x - lo_) / width_);
-    counts_[std::min(index, counts_.size() - 1)] += weight;
-  }
-}
-
-double histogram::quantile(double q) const {
-  if (total_ == 0) return lo_;
-  const double target = q * static_cast<double>(total_);
-  double seen = static_cast<double>(underflow_);
-  if (seen >= target) return lo_;
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    seen += static_cast<double>(counts_[i]);
-    if (seen >= target) return lo_ + (static_cast<double>(i) + 0.5) * width_;
-  }
-  return hi_;
-}
-
 double geometric_mean(const std::vector<double>& values) {
   if (values.empty()) return 0.0;
   double log_sum = 0.0;

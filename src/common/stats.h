@@ -4,6 +4,9 @@
 // counters after a run and feed them to the energy model and the table
 // printers. Counters are plain named integers — there is deliberately
 // no global registry, so two systems can be simulated side by side.
+// (The process-wide obs::metrics_registry is a different animal: it
+// aggregates across systems on purpose. Percentile tracking lives in
+// common/histogram.h's geo_histogram.)
 #ifndef PIM_COMMON_STATS_H
 #define PIM_COMMON_STATS_H
 
@@ -54,33 +57,6 @@ class summary {
   double min_ = 0.0;
   double max_ = 0.0;
   double total_ = 0.0;
-};
-
-/// Fixed-width linear histogram over [lo, hi); out-of-range samples go
-/// to saturating underflow/overflow buckets.
-class histogram {
- public:
-  histogram(double lo, double hi, std::size_t buckets);
-
-  void add(double x, std::uint64_t weight = 1);
-
-  std::size_t bucket_count() const { return counts_.size(); }
-  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
-  std::uint64_t underflow() const { return underflow_; }
-  std::uint64_t overflow() const { return overflow_; }
-  std::uint64_t total() const { return total_; }
-
-  /// Approximate quantile (0 <= q <= 1) from bucket midpoints.
-  double quantile(double q) const;
-
- private:
-  double lo_;
-  double hi_;
-  double width_;
-  std::vector<std::uint64_t> counts_;
-  std::uint64_t underflow_ = 0;
-  std::uint64_t overflow_ = 0;
-  std::uint64_t total_ = 0;
 };
 
 /// Geometric mean of a series of ratios; the aggregation the paper's

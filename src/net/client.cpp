@@ -9,6 +9,8 @@
 #include <cstring>
 
 #include "common/digest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pim::net {
 
@@ -122,9 +124,22 @@ service::request_future remote_client::send_request(
     std::uint8_t version) {
   auto state = std::make_shared<service::request_state>();
   service::request_future future(state);
-  const std::uint64_t id = next_id_++;
+  // Request ids come from the process-wide flow counter (never zero,
+  // monotonic): when tracing, the id IS the flow id, so a loopback
+  // trace stitches the client's send to the server's dispatch and the
+  // shard's simulated spans.
+  const std::uint64_t id = obs::new_flow();
+  const bool flowing = obs::on() && msg.index() >= 3 && msg.index() <= 6;
+  obs::span sp("send", "net", flowing ? id : 0);
+  if (flowing) {
+    state->flow = id;
+    obs::emit_flow_begin(id, "request", "client");
+  }
   std::vector<std::uint8_t> frame =
       encode_frame(id, msg, version == 0 ? version_ : version);
+  static std::atomic<std::uint64_t>& tx_bytes =
+      obs::metrics_registry::instance().counter("net.client.tx_bytes");
+  tx_bytes.fetch_add(frame.size(), std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (send_failed_ || closing_) {
@@ -184,12 +199,17 @@ void remote_client::fail_pending(const std::string& why) {
 }
 
 void remote_client::reader_loop() {
+  obs::tracer::instance().name_thread("pim-net", "client reader");
+  auto& rx_bytes =
+      obs::metrics_registry::instance().counter("net.client.rx_bytes");
   frame_splitter splitter;
   std::vector<std::uint8_t> buf(1 << 16);
   std::string reason = "connection closed by server";
   for (;;) {
     const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
     if (n <= 0) break;
+    rx_bytes.fetch_add(static_cast<std::uint64_t>(n),
+                       std::memory_order_relaxed);
     try {
       splitter.feed(buf.data(), static_cast<std::size_t>(n));
       while (auto f = splitter.next()) {
@@ -318,6 +338,49 @@ std::string remote_client::stats_json() {
 
 void remote_client::close_session() {
   send_request(close_session_req{session_}, nullptr).get();
+}
+
+std::string remote_client::metrics_json() {
+  auto reply = std::make_shared<net_message>();
+  send_request(get_metrics_req{}, reply).get();
+  const auto* metrics = std::get_if<metrics_resp>(reply.get());
+  if (metrics == nullptr) {
+    throw std::runtime_error("remote_client: unexpected metrics response");
+  }
+  return metrics->json;
+}
+
+std::uint64_t remote_client::trace_ctl(std::uint8_t action,
+                                       const std::string& path,
+                                       std::string* json) {
+  auto reply = std::make_shared<net_message>();
+  trace_ctl_req req;
+  req.action = action;
+  req.path = path;
+  send_request(req, reply).get();
+  const auto* ack = std::get_if<trace_ack_resp>(reply.get());
+  if (ack == nullptr) {
+    throw std::runtime_error("remote_client: unexpected trace_ctl response");
+  }
+  if (json != nullptr) *json = ack->json;
+  return ack->events;
+}
+
+std::uint64_t remote_client::trace_enable() {
+  return trace_ctl(trace_ctl_req::enable, "", nullptr);
+}
+
+std::uint64_t remote_client::trace_disable() {
+  return trace_ctl(trace_ctl_req::disable, "", nullptr);
+}
+
+std::uint64_t remote_client::trace_clear() {
+  return trace_ctl(trace_ctl_req::clear, "", nullptr);
+}
+
+std::uint64_t remote_client::trace_dump(const std::string& path,
+                                        std::string* json) {
+  return trace_ctl(trace_ctl_req::dump, path, json);
 }
 
 }  // namespace pim::net

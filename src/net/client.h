@@ -71,6 +71,20 @@ class remote_client final : public service::client_api {
   /// Service-wide telemetry as the server's JSON document.
   std::string stats_json();
 
+  /// Server-process metrics snapshot (obs registry + service stats) as
+  /// one JSON document (the wire `get_metrics` op).
+  std::string metrics_json();
+
+  /// Remote tracer control (the wire `trace_ctl` op). Each call
+  /// returns the server's buffered event count after the action.
+  /// trace_dump with an empty path returns the Chrome trace JSON via
+  /// `json`; with a path the server writes the file on its side.
+  std::uint64_t trace_enable();
+  std::uint64_t trace_disable();
+  std::uint64_t trace_clear();
+  std::uint64_t trace_dump(const std::string& path,
+                           std::string* json = nullptr);
+
   /// Connection-level close of this client's session on the server.
   void close_session();
 
@@ -93,6 +107,8 @@ class remote_client final : public service::client_api {
                                        std::shared_ptr<net_message> reply,
                                        std::uint8_t version = 0);
   void negotiate(double weight);
+  std::uint64_t trace_ctl(std::uint8_t action, const std::string& path,
+                          std::string* json);
   void reader_loop();
   void writer_loop();
   void shutdown_threads();
@@ -102,7 +118,6 @@ class remote_client final : public service::client_api {
   service::session_id session_ = 0;
   int shard_ = -1;
   std::uint8_t version_ = wire_version;
-  std::uint64_t next_id_ = 1;  // driving thread only
 
   std::mutex mu_;  // pending_, outbox_, and the connection flags
   std::condition_variable out_cv_;

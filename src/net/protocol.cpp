@@ -211,9 +211,18 @@ void encode_body(std::vector<std::uint8_t>& out, const net_message& msg) {
           put_shared(out, m.d);
         } else if constexpr (std::is_same_v<T, wait_req> ||
                              std::is_same_v<T, stats_req> ||
+                             std::is_same_v<T, get_metrics_req> ||
                              std::is_same_v<T, closed_resp> ||
                              std::is_same_v<T, waited_resp>) {
           // Empty body.
+        } else if constexpr (std::is_same_v<T, trace_ctl_req>) {
+          put_u8(out, m.action);
+          put_string(out, m.path);
+        } else if constexpr (std::is_same_v<T, metrics_resp>) {
+          put_string(out, m.json);
+        } else if constexpr (std::is_same_v<T, trace_ack_resp>) {
+          put_u64(out, m.events);
+          put_string(out, m.json);
         } else if constexpr (std::is_same_v<T, hello_req>) {
           put_u8(out, m.max_version);
         } else if constexpr (std::is_same_v<T, hello_resp>) {
@@ -291,6 +300,28 @@ net_message decode_body(opcode op, reader& in) {
       return wait_req{};
     case opcode::stats:
       return stats_req{};
+    case opcode::get_metrics:
+      return get_metrics_req{};
+    case opcode::trace_ctl: {
+      trace_ctl_req m;
+      m.action = in.u8();
+      if (m.action > trace_ctl_req::clear) {
+        throw protocol_error("unknown trace_ctl action");
+      }
+      m.path = in.str();
+      return m;
+    }
+    case opcode::metrics_report: {
+      metrics_resp m;
+      m.json = in.str();
+      return m;
+    }
+    case opcode::trace_ack: {
+      trace_ack_resp m;
+      m.events = in.u64();
+      m.json = in.str();
+      return m;
+    }
     case opcode::hello: {
       hello_req m;
       m.max_version = in.u8();
@@ -350,10 +381,11 @@ opcode opcode_of(const net_message& msg) {
       opcode::open_session, opcode::close_session, opcode::allocate,
       opcode::write,        opcode::read,          opcode::submit,
       opcode::submit_shared, opcode::wait,         opcode::stats,
-      opcode::hello,        opcode::opened,        opcode::closed,
-      opcode::vectors,      opcode::data,          opcode::done,
-      opcode::waited,       opcode::stats_report,  opcode::error,
-      opcode::hello_ack};
+      opcode::hello,        opcode::get_metrics,   opcode::trace_ctl,
+      opcode::opened,       opcode::closed,        opcode::vectors,
+      opcode::data,         opcode::done,          opcode::waited,
+      opcode::stats_report, opcode::error,         opcode::hello_ack,
+      opcode::metrics_report, opcode::trace_ack};
   static_assert(std::size(table) == std::variant_size_v<net_message>);
   return table[msg.index()];
 }

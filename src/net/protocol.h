@@ -72,6 +72,8 @@ enum class opcode : std::uint8_t {
   wait = 8,
   stats = 9,
   hello = 10,
+  get_metrics = 11,
+  trace_ctl = 12,
   // Responses.
   opened = 64,
   closed = 65,
@@ -82,6 +84,8 @@ enum class opcode : std::uint8_t {
   stats_report = 70,
   error = 71,
   hello_ack = 72,
+  metrics_report = 73,
+  trace_ack = 74,
 };
 
 // --- request bodies --------------------------------------------------------
@@ -150,6 +154,19 @@ struct hello_req {
   std::uint8_t max_version = wire_version;
 };
 
+/// Snapshot of the server process's obs::metrics_registry (counters,
+/// gauges, histograms) plus the service's aggregate stats, as JSON.
+struct get_metrics_req {};
+
+/// Runtime control of the server's tracer. `dump` with an empty path
+/// returns the Chrome trace JSON inline in the trace_ack; with a path
+/// the server writes the file locally and returns only the count.
+struct trace_ctl_req {
+  enum : std::uint8_t { enable = 0, disable = 1, dump = 2, clear = 3 };
+  std::uint8_t action = enable;
+  std::string path;  // dump only; empty = return JSON inline
+};
+
 // --- response bodies -------------------------------------------------------
 
 struct opened_resp {
@@ -191,11 +208,26 @@ struct hello_resp {
   std::uint8_t version = wire_version;
 };
 
+/// Answer to get_metrics: one JSON document with "metrics" (registry
+/// snapshot) and "service" (aggregate service stats) members.
+struct metrics_resp {
+  std::string json;
+};
+
+/// Answer to trace_ctl: buffered event count at the time of the
+/// action, plus the trace JSON for an inline dump (empty otherwise).
+struct trace_ack_resp {
+  std::uint64_t events = 0;
+  std::string json;
+};
+
 using net_message =
     std::variant<open_session_req, close_session_req, allocate_req, write_req,
                  read_req, submit_req, submit_shared_req, wait_req, stats_req,
-                 hello_req, opened_resp, closed_resp, vectors_resp, data_resp,
-                 done_resp, waited_resp, stats_resp, error_resp, hello_resp>;
+                 hello_req, get_metrics_req, trace_ctl_req, opened_resp,
+                 closed_resp, vectors_resp, data_resp, done_resp, waited_resp,
+                 stats_resp, error_resp, hello_resp, metrics_resp,
+                 trace_ack_resp>;
 
 /// Opcode of a message (the tag byte its frame carries).
 opcode opcode_of(const net_message& msg);

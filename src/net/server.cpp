@@ -13,6 +13,8 @@
 #include <unordered_map>
 
 #include "common/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/task.h"
 
 namespace pim::net {
@@ -212,6 +214,9 @@ net_message build_response(connection_demux::pending& p) {
 }
 
 void writer_loop(int fd, std::shared_ptr<connection_demux> dx) {
+  obs::tracer::instance().name_thread("pim-net", "server writer");
+  auto& tx_bytes =
+      obs::metrics_registry::instance().counter("net.server.tx_bytes");
   std::unique_lock<std::mutex> lock(dx->mu);
   for (;;) {
     dx->cv.wait(lock, [&] {
@@ -253,6 +258,7 @@ void writer_loop(int fd, std::shared_ptr<connection_demux> dx) {
       }
       lock.unlock();
       const bool ok = send_all(fd, batch);
+      if (ok) tx_bytes.fetch_add(batch.size(), std::memory_order_relaxed);
       lock.lock();
       if (!ok) {
         dx->closing = true;
@@ -298,6 +304,9 @@ void pim_server::accept_loop(const int listen_fd) {
           [&](std::uint64_t id, opcode reply,
               auto&& do_submit) {
             auto state = std::make_shared<service::request_state>();
+            // Flow id = wire request id: the client minted it from the
+            // same flow counter, so loopback traces stitch both halves.
+            if (obs::on()) state->flow = id;
             state->on_done = [dx, id] {
               {
                 std::lock_guard<std::mutex> l(dx->mu);
@@ -330,6 +339,13 @@ void pim_server::accept_loop(const int listen_fd) {
 
       auto dispatch = [&](net_frame& f) {
         const std::uint64_t id = f.id;
+        // The wire request id doubles as the flow id for async
+        // requests (both sides mint from obs::new_flow()); non-flow
+        // requests just get a labeled span.
+        const bool flowing =
+            obs::on() && f.msg.index() >= 3 && f.msg.index() <= 6;
+        obs::span sp("dispatch", "net", flowing ? id : 0);
+        if (flowing) obs::emit_flow_step(id, "request", "net");
         try {
           std::visit(
               [&](auto& m) {
@@ -424,6 +440,42 @@ void pim_server::accept_loop(const int listen_fd) {
                   json.end_object();
                   json.end_object();
                   enqueue_frame(*dx, id, stats_resp{json.str()});
+                } else if constexpr (std::is_same_v<T, get_metrics_req>) {
+                  json_writer json;
+                  json.begin_object();
+                  json.key("metrics").begin_object();
+                  obs::metrics_registry::instance().to_json(json);
+                  json.end_object();
+                  json.key("service").begin_object();
+                  svc_.stats().to_json(json);
+                  json.end_object();
+                  json.end_object();
+                  enqueue_frame(*dx, id, metrics_resp{json.str()});
+                } else if constexpr (std::is_same_v<T, trace_ctl_req>) {
+                  obs::tracer& t = obs::tracer::instance();
+                  trace_ack_resp resp;
+                  switch (m.action) {
+                    case trace_ctl_req::enable:
+                      t.enable();
+                      break;
+                    case trace_ctl_req::disable:
+                      t.disable();
+                      break;
+                    case trace_ctl_req::dump:
+                      if (m.path.empty()) {
+                        resp.json = t.chrome_json();
+                      } else {
+                        t.write_chrome_json(m.path);
+                      }
+                      break;
+                    case trace_ctl_req::clear:
+                      t.clear();
+                      break;
+                    default:
+                      throw protocol_error("unknown trace_ctl action");
+                  }
+                  resp.events = t.event_count();
+                  enqueue_frame(*dx, id, std::move(resp));
                 } else {
                   // A response opcode arriving at the server is a
                   // protocol violation, not a failed request.
@@ -440,15 +492,25 @@ void pim_server::accept_loop(const int listen_fd) {
         }
       };
 
+      obs::tracer::instance().name_thread("pim-net", "server reader");
+      auto& rx_bytes =
+          obs::metrics_registry::instance().counter("net.server.rx_bytes");
+      auto& rx_frames =
+          obs::metrics_registry::instance().counter("net.server.rx_frames");
       frame_splitter splitter;
       std::vector<std::uint8_t> buf(1 << 16);
       for (;;) {
         const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
         if (n <= 0) break;
+        rx_bytes.fetch_add(static_cast<std::uint64_t>(n),
+                           std::memory_order_relaxed);
         bool fatal = false;
         try {
           splitter.feed(buf.data(), static_cast<std::size_t>(n));
-          while (auto f = splitter.next()) dispatch(*f);
+          while (auto f = splitter.next()) {
+            rx_frames.fetch_add(1, std::memory_order_relaxed);
+            dispatch(*f);
+          }
         } catch (const protocol_error& e) {
           // Malformed input: one error frame, then hang up. The id is
           // best-effort (a frame broken before its id echoes 0).

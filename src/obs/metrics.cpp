@@ -1,0 +1,84 @@
+#include "obs/metrics.h"
+
+#include "common/json_writer.h"
+
+namespace pim::obs {
+
+metrics_registry& metrics_registry::instance() {
+  static metrics_registry r;
+  return r;
+}
+
+std::atomic<std::uint64_t>& metrics_registry::counter(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<std::atomic<std::uint64_t>>(0);
+  return *slot;
+}
+
+std::atomic<std::int64_t>& metrics_registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<std::atomic<std::int64_t>>(0);
+  return *slot;
+}
+
+void metrics_registry::record(const std::string& name, std::uint64_t sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].record(sample);
+}
+
+geo_histogram metrics_registry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? geo_histogram{} : it->second;
+}
+
+void metrics_registry::to_json(json_writer& json) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : counters_) {
+    json.key(name).value(value->load(std::memory_order_relaxed));
+  }
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges_) {
+    json.key(name).value(value->load(std::memory_order_relaxed));
+  }
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    json.key(name).begin_object();
+    json.key("count").value(h.count());
+    json.key("p50").value(h.percentile(0.50));
+    json.key("p95").value(h.percentile(0.95));
+    json.key("p99").value(h.percentile(0.99));
+    json.end_object();
+  }
+  json.end_object();
+}
+
+std::string metrics_registry::json() const {
+  json_writer out;
+  out.begin_object();
+  to_json(out);
+  out.end_object();
+  return out.str();
+}
+
+void metrics_registry::reset() {
+  // Zero in place: counter()/gauge() hand out cached references, so
+  // the atomics must survive a reset. Histograms are only ever named,
+  // never cached, and may be dropped outright.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, value] : counters_) {
+    value->store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, value] : gauges_) {
+    value->store(0, std::memory_order_relaxed);
+  }
+  histograms_.clear();
+}
+
+}  // namespace pim::obs

@@ -1,0 +1,75 @@
+// Process-wide metrics registry: counters, gauges, and geometric
+// histograms under stable names, snapshotted as one JSON document.
+//
+// This is the unified telemetry surface the wire `get_metrics` opcode
+// serves: the net layer accounts wire-tax bytes here, shards publish
+// queue-depth and busy-fraction gauges, and the query engine counts
+// submitted ops. Unlike counter_set (per-component, deliberately
+// unshared), the registry aggregates across every live component on
+// purpose — it answers "what is this process doing", not "what did
+// this simulated system do".
+//
+// Concurrency: counter()/gauge() return a reference to an atomic with
+// stable address (callers cache the pointer and update lock-free on
+// hot paths); creation and histogram recording take the registry
+// mutex. All of it is TSan-clean by construction.
+#ifndef PIM_OBS_METRICS_H
+#define PIM_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace pim {
+class json_writer;
+}
+
+namespace pim::obs {
+
+class metrics_registry {
+ public:
+  static metrics_registry& instance();
+
+  /// Monotonic counter `name`, created at zero on first use.
+  std::atomic<std::uint64_t>& counter(const std::string& name);
+
+  /// Point-in-time gauge `name`, created at zero on first use.
+  std::atomic<std::int64_t>& gauge(const std::string& name);
+
+  /// Records one sample into the geometric histogram `name`.
+  void record(const std::string& name, std::uint64_t sample);
+
+  /// Copy of histogram `name` (empty if never recorded).
+  geo_histogram histogram(const std::string& name) const;
+
+  /// Emits {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, p50, p95, p99}}} into an open JSON object.
+  void to_json(json_writer& json) const;
+
+  /// The snapshot as a standalone JSON document.
+  std::string json() const;
+
+  /// Zeroes every counter and gauge in place (cached references stay
+  /// valid) and drops all histograms — tests and benches isolating
+  /// scenarios.
+  void reset();
+
+ private:
+  metrics_registry() = default;
+
+  mutable std::mutex mu_;
+  // Node-based maps: atomics never move once created.
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>>
+      counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> gauges_;
+  std::map<std::string, geo_histogram> histograms_;
+};
+
+}  // namespace pim::obs
+
+#endif  // PIM_OBS_METRICS_H

@@ -1,7 +1,11 @@
 #include "query/exec.h"
 
 #include <stdexcept>
+#include <string>
 #include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pim::query {
 
@@ -100,18 +104,30 @@ query_result execute(pim_table& table, const query_plan& plan,
   for (int p = 0; p < table.partitions(); ++p) {
     workers.emplace_back([&table, &plan, &outcomes, &errors, p] {
       try {
+        if (obs::on()) {
+          obs::tracer::instance().name_thread(
+              "pim-query", "partition " + std::to_string(p));
+        }
+        obs::span part_span("partition", "query");
         service::client_api& client = table.session(p);
         auto reg = [&](int r) -> const dram::bulk_vector& {
           return executor::reg_of(table, plan, p, r);
         };
         partition_outcome& out = outcomes[static_cast<std::size_t>(p)];
-        for (const plan_step& step : plan.steps) {
-          client.submit_bulk(step.op, reg(step.a),
-                             step.b < 0 ? nullptr : &reg(step.b),
-                             reg(step.d));
-          ++out.ops;
+        {
+          obs::span steps_span("submit_steps", "query");
+          for (const plan_step& step : plan.steps) {
+            client.submit_bulk(step.op, reg(step.a),
+                               step.b < 0 ? nullptr : &reg(step.b),
+                               reg(step.d));
+            ++out.ops;
+          }
         }
-        client.wait_all();
+        {
+          obs::span wait_span("wait_all", "query");
+          client.wait_all();
+        }
+        obs::span read_span("read_back", "query");
         out.selection = client.read(reg(plan.selection));
         for (const int r : plan.sum_regs) {
           out.sum_pops.push_back(client.read(reg(r)).popcount());
@@ -144,6 +160,12 @@ query_result execute(pim_table& table, const query_plan& plan,
   }
   result.matches = result.selection.popcount();
   result.digest = fnv1a(fnv1a_basis, result.selection);
+  obs::metrics_registry::instance()
+      .counter("query.ops_submitted")
+      .fetch_add(result.ops_submitted, std::memory_order_relaxed);
+  obs::metrics_registry::instance()
+      .counter("query.executed")
+      .fetch_add(1, std::memory_order_relaxed);
 
   if (opts.gather != nullptr) {
     executor::gather(table, plan, *opts.gather, result);

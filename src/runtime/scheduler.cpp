@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace pim::runtime {
 
 scheduler::scheduler(dram::memory_system& mem, dram::ambit_engine& ambit,
@@ -329,10 +331,85 @@ void scheduler::apply_host_result(const node& n) {
   }
 }
 
+std::uint32_t scheduler::trace_lane(const node& n) {
+  obs::tracer& t = obs::tracer::instance();
+  if (trace_pid_ == 0) trace_pid_ = t.alloc_sim_pid();
+
+  // Host/NDP work has no DRAM destination; it shares one executor
+  // lane. Everything else lands on the lane of its output row.
+  const dram::address* dst = nullptr;
+  switch (n.task.kind()) {
+    case task_kind::bulk_bool: {
+      const auto& args = std::get<bulk_bool_args>(n.task.payload);
+      if (!args.d.rows.empty()) dst = &args.d.rows.front();
+      break;
+    }
+    case task_kind::row_copy:
+      dst = &std::get<row_copy_args>(n.task.payload).dst;
+      break;
+    case task_kind::row_memset:
+      dst = &std::get<row_memset_args>(n.task.payload).dst;
+      break;
+    case task_kind::host_kernel:
+      break;
+  }
+  if (dst == nullptr) {
+    if (trace_exec_lane_ == UINT32_MAX) {
+      trace_exec_lane_ = t.register_track(trace_pid_, 0, trace_name_,
+                                          "executors", obs::clock_domain::sim);
+    }
+    return trace_exec_lane_;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(dst->channel))
+                             << 32) |
+                            static_cast<std::uint32_t>(dst->bank);
+  auto it = trace_lanes_.find(key);
+  if (it != trace_lanes_.end()) return it->second;
+  const std::uint32_t lane = t.register_track(
+      trace_pid_, 1 + static_cast<int>(trace_lanes_.size()), trace_name_,
+      "ch " + std::to_string(dst->channel) + " bank " +
+          std::to_string(dst->bank),
+      obs::clock_domain::sim);
+  trace_lanes_.emplace(key, lane);
+  return lane;
+}
+
 void scheduler::complete(task_id id) {
   node& n = active_.at(id);
   n.future->report.complete_ps = mem_.now_ps();
   n.future->done = true;
+  if (obs::on()) {
+    const task_report& r = n.future->report;
+    const std::uint32_t lane = trace_lane(n);
+    static const char* const backend_names[] = {"ambit", "rowclone",
+                                                "ndp_logic", "host"};
+    obs::emit_complete(lane, backend_names[static_cast<int>(n.where)], "task",
+                       r.start_ps, r.complete_ps - r.start_ps, n.task.flow,
+                       "output_bytes",
+                       static_cast<std::int64_t>(r.output_bytes));
+    if (n.task.flow != 0) {
+      // The flow point shares the X event's track and start time so
+      // Perfetto binds the arrow to the slice.
+      obs::trace_event e;
+      e.kind = obs::event_kind::flow_step;
+      e.track = lane;
+      e.name = "request";
+      e.cat = "flow";
+      e.ts = r.start_ps;
+      e.flow = n.task.flow;
+      obs::tracer::instance().record(e);
+    }
+    // Busy-fraction timeline on the simulated clock: one sample at
+    // every completion edge (busy_banks only changes at task edges).
+    obs::trace_event c;
+    c.kind = obs::event_kind::counter;
+    c.track = lane;
+    c.name = "busy_banks";
+    c.ts = mem_.now_ps();
+    c.arg = static_cast<std::int64_t>(mem_.busy_banks());
+    obs::tracer::instance().record(c);
+  }
   if (completion_hook_) completion_hook_(n.future->report);
   // The per-task callback must run before dependents release: a
   // dependent ordered behind this task by a row hazard may read rows

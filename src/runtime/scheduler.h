@@ -16,8 +16,10 @@
 #ifndef PIM_RUNTIME_SCHEDULER_H
 #define PIM_RUNTIME_SCHEDULER_H
 
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -95,6 +97,11 @@ class scheduler {
 
   const scheduler_stats& stats() const { return stats_; }
 
+  /// Names this scheduler's simulated-time trace process (one per
+  /// shard: "shard N sim"). Without it the first traced task
+  /// allocates an anonymous sim pid lazily.
+  void set_trace_process(std::string name) { trace_name_ = std::move(name); }
+
  private:
   struct executor_pool {
     int slots = 1;
@@ -146,6 +153,17 @@ class scheduler {
   std::unordered_map<int, double> stream_weight_;
   std::unordered_map<int, double> stream_pass_;
   double virtual_pass_ = 0.0;
+
+  /// Trace lane for one task: the (channel, bank) its output lands
+  /// in, or the executor lane for host/ndp work. Lanes register
+  /// lazily under this scheduler's sim pid the first time a traced
+  /// task completes on them.
+  std::uint32_t trace_lane(const node& n);
+
+  std::string trace_name_ = "pim sim";
+  int trace_pid_ = 0;  // 0 = not yet allocated
+  std::unordered_map<std::uint64_t, std::uint32_t> trace_lanes_;
+  std::uint32_t trace_exec_lane_ = UINT32_MAX;
 
   executor_pool host_pool_;
   executor_pool ndp_pool_;

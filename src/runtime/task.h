@@ -72,6 +72,10 @@ struct pim_task {
   std::optional<backend_kind> forced_backend;
   /// Tenant stream this task belongs to (workload driver bookkeeping).
   int stream = 0;
+  /// Trace flow id stitching this task to the client request that
+  /// spawned it (obs/trace.h). Zero when tracing is off or the task
+  /// is service-internal.
+  std::uint64_t flow = 0;
   /// Invoked exactly once, on the submitting thread, at the simulated
   /// instant the task completes — after its functional result has been
   /// applied to the row store and before any hazard-dependent task is

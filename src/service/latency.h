@@ -2,20 +2,19 @@
 //
 // Every completed request charges its submit→complete wall-clock
 // latency to the owning session's histogram on its shard; snapshots
-// are merged service-wide by pim_service::stats(). The histogram is
-// geometric (one bucket per power of two of nanoseconds), so it is
-// O(64 counters) per session, deterministic, and mergeable — exactly
-// what percentile aggregation across shards needs. Percentiles report
-// the upper bound of the bucket containing the target rank, i.e. they
-// are conservative within a factor of two, which is the right fidelity
-// for an SLO signal (the absolute numbers are host wall-clock and vary
-// with the machine; the shape and the outliers are what matter).
+// are merged service-wide by pim_service::stats(). The accumulator is
+// the shared geometric histogram from common/histogram.h recording
+// nanoseconds; this adapter only adds the microsecond reporting the
+// telemetry tree emits. Percentiles are conservative within a factor
+// of two, which is the right fidelity for an SLO signal (the absolute
+// numbers are host wall-clock and vary with the machine; the shape
+// and the outliers are what matter).
 #ifndef PIM_SERVICE_LATENCY_H
 #define PIM_SERVICE_LATENCY_H
 
-#include <array>
-#include <bit>
 #include <cstdint>
+
+#include "common/histogram.h"
 
 namespace pim::service {
 
@@ -27,53 +26,15 @@ struct latency_stats {
   double p99_us = 0;
 };
 
-class latency_histogram {
+/// Nanosecond-sample geo_histogram reporting microsecond percentiles.
+class latency_histogram : public geo_histogram {
  public:
-  void record(std::uint64_t nanoseconds) {
-    buckets_[bucket_of(nanoseconds)] += 1;
-    ++count_;
-  }
-
-  void merge(const latency_histogram& other) {
-    for (std::size_t i = 0; i < buckets_.size(); ++i) {
-      buckets_[i] += other.buckets_[i];
-    }
-    count_ += other.count_;
-  }
-
-  std::uint64_t count() const { return count_; }
-
-  /// Upper bound (in microseconds) of the bucket holding the p-th
-  /// percentile observation, p in [0, 1].
-  double percentile_us(double p) const {
-    if (count_ == 0) return 0.0;
-    std::uint64_t rank = static_cast<std::uint64_t>(p * static_cast<double>(count_));
-    if (rank >= count_) rank = count_ - 1;
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < buckets_.size(); ++i) {
-      seen += buckets_[i];
-      if (seen > rank) return bucket_upper_ns(i) / 1000.0;
-    }
-    return bucket_upper_ns(buckets_.size() - 1) / 1000.0;
-  }
+  double percentile_us(double p) const { return percentile(p) / 1000.0; }
 
   latency_stats summary() const {
-    return {count_, percentile_us(0.50), percentile_us(0.95),
+    return {count(), percentile_us(0.50), percentile_us(0.95),
             percentile_us(0.99)};
   }
-
- private:
-  static std::size_t bucket_of(std::uint64_t ns) {
-    return static_cast<std::size_t>(std::bit_width(ns));  // 0 -> bucket 0
-  }
-  static double bucket_upper_ns(std::size_t bucket) {
-    // Bucket b holds ns with bit_width == b, i.e. [2^(b-1), 2^b).
-    return bucket >= 64 ? 1.8446744073709552e19
-                        : static_cast<double>(1ull << bucket);
-  }
-
-  std::array<std::uint64_t, 65> buckets_{};
-  std::uint64_t count_ = 0;
 };
 
 }  // namespace pim::service

@@ -182,6 +182,10 @@ struct request_state {
   /// the session's percentile histogram.
   std::chrono::steady_clock::time_point submitted_at =
       std::chrono::steady_clock::now();
+  /// Trace flow id (obs/trace.h) stitching this request's spans across
+  /// client, wire, shard worker, and simulated bank lanes. Zero when
+  /// tracing is off.
+  std::uint64_t flow = 0;
   /// Invoked exactly once, after `done` is set (on the completing
   /// thread, outside the state lock). Must be installed before the
   /// request is submitted and never touched afterwards. The socket

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace pim::service {
 
 double service_stats::avg_busy_banks() const {
@@ -47,6 +49,12 @@ void service_stats::to_json(json_writer& json) const {
   json.key("makespan_us").value(static_cast<double>(makespan_ps) / 1e6);
   json.key("aggregate_gbps").value(aggregate_gbps());
   json.key("avg_busy_banks").value(avg_busy_banks());
+  json.key("sim").begin_object();
+  json.key("total_ticks").value(total_ticks);
+  json.key("busy_bank_ticks").value(busy_bank_ticks);
+  json.key("bank_overlap").value(avg_busy_banks());
+  json.key("makespan_ps").value(static_cast<std::int64_t>(makespan_ps));
+  json.end_object();
   json.key("sched_submitted").value(sched_submitted);
   json.key("sched_completed").value(sched_completed);
   json.key("hazard_deferred").value(hazard_deferred);
@@ -273,9 +281,27 @@ std::vector<dram::bulk_vector> pim_service::allocate(session_id session,
   return vectors;
 }
 
-request_future pim_service::submit(request r) { return route(r); }
+request_future pim_service::submit(request r) {
+  // Flow stitching: mint the request's flow on the submitting thread
+  // (when the caller hasn't supplied one — the socket server does,
+  // using the wire request id) so the client span is the arrow's tail.
+  const bool minted = obs::on() && r.completion == nullptr;
+  if (minted) {
+    r.completion = std::make_shared<request_state>();
+    r.completion->flow = obs::new_flow();
+  }
+  const std::uint64_t flow = r.completion ? r.completion->flow : 0;
+  obs::span sp("submit", "client", flow);
+  if (minted) obs::emit_flow_begin(flow, "request", "client");
+  return route(r);
+}
 
 std::optional<request_future> pim_service::try_submit(request r) {
+  if (obs::on() && r.completion == nullptr) {
+    r.completion = std::make_shared<request_state>();
+    r.completion->flow = obs::new_flow();
+    obs::emit_flow_begin(r.completion->flow, "request", "client");
+  }
   for (int attempts = 0; attempts <= 1000; ++attempts) {
     shard* s = nullptr;
     {
@@ -324,6 +350,11 @@ request_future pim_service::submit_cross(session_id issuer, dram::bulk_op op,
                                              completion) {
   if (dram::is_unary(op) != (b == nullptr)) {
     throw std::invalid_argument("submit_cross: operand arity mismatch");
+  }
+  if (obs::on() && completion == nullptr) {
+    completion = std::make_shared<request_state>();
+    completion->flow = obs::new_flow();
+    obs::emit_flow_begin(completion->flow, "request", "client");
   }
   const bool single_owner =
       a.owner == d.owner && (b == nullptr || b->owner == a.owner);
@@ -704,6 +735,8 @@ service_stats pim_service::stats() const {
     total.sessions += snap.sessions;
     total.output_bytes += snap.output_bytes;
     total.makespan_ps = std::max(total.makespan_ps, snap.now_ps);
+    total.total_ticks += snap.runtime.sched.ticks;
+    total.busy_bank_ticks += snap.runtime.sched.busy_bank_ticks;
     total.sched_submitted += snap.runtime.sched.submitted;
     total.sched_completed += snap.runtime.sched.completed;
     total.hazard_deferred += snap.runtime.sched.hazard_deferred;

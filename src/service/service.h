@@ -60,6 +60,11 @@ struct service_stats {
   /// Slowest shard's simulated clock — the service-level makespan when
   /// every shard starts from t=0.
   picoseconds makespan_ps = 0;
+  /// Simulated-clock aggregates (machine-independent): scheduler ticks
+  /// and busy-bank ticks summed across shards. bench_diff compares
+  /// these instead of wall-clock numbers.
+  std::uint64_t total_ticks = 0;
+  std::uint64_t busy_bank_ticks = 0;
   std::uint64_t sched_submitted = 0;
   std::uint64_t sched_completed = 0;
   std::uint64_t hazard_deferred = 0;

@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pim::service {
+
+namespace {
+
+/// Trace span names for execute(), indexed by request_payload index.
+constexpr const char* payload_span_names[] = {
+    "allocate", "write",   "read",    "run_task", "stage_run",
+    "stage_in", "install", "forget",  "reserve",  "clear"};
+
+}  // namespace
 
 shard::shard(int index, const core::pim_system_config& system_config,
              shard_config config)
@@ -14,6 +26,8 @@ shard::shard(int index, const core::pim_system_config& system_config,
   config_.session_max_inflight = std::max(1, config_.session_max_inflight);
   config_.ticks_per_slice = std::max(1, config_.ticks_per_slice);
   stats_.shard = index;
+  sys_.runtime().sched().set_trace_process("shard " + std::to_string(index) +
+                                           " sim");
 
   // Wire rows: one landing row per (channel, bank), the PSM partners
   // that price inter-shard transfers on this shard's clock. One per
@@ -313,6 +327,8 @@ bool shard::pop_next_locked(request& out) {
 }
 
 void shard::run() {
+  obs::tracer::instance().name_thread(
+      "pim-service", "shard " + std::to_string(index_) + " worker");
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
     if (paused_) {
@@ -329,7 +345,15 @@ void shard::run() {
     if (have) {
       lock.unlock();
       cv_space_.notify_all();  // admission space freed
-      const exec_result result = execute(req);
+      exec_result result;
+      {
+        const std::uint64_t flow =
+            req.completion ? req.completion->flow : 0;
+        obs::span sp(payload_span_names[req.payload.index()], "service",
+                     flow);
+        if (flow != 0) obs::emit_flow_step(flow, "request", "service");
+        result = execute(req);
+      }
       lock.lock();
       if (result == exec_result::park_session) {
         auto it = sessions_.find(req.session);
@@ -453,6 +477,7 @@ void shard::complete_tracked(session_id session,
                              const std::shared_ptr<request_state>& state,
                              request_result result, bytes output) {
   const auto elapsed = std::chrono::steady_clock::now() - state->submitted_at;
+  if (state->flow != 0) obs::emit_flow_end(state->flow, "request", "service");
   complete(*state, std::move(result));
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.requests_completed;
@@ -848,6 +873,7 @@ shard::exec_result shard::exec_run_task(request& req, run_task_args& args) {
   runtime::pim_task task = args.task;
   translate_task(req.session, task);
   task.stream = static_cast<int>(req.session);
+  task.flow = req.completion->flow;
   std::vector<std::uint64_t> keys;
   collect_task_rows(sys_.memory(), task, keys);
   if (rows_reserved(keys, 0)) return exec_result::park_session;
@@ -931,6 +957,7 @@ shard::exec_result shard::exec_stage_run(request& req, stage_run_args& args) {
       args.op, scratch[0], args.b ? &scratch[1] : nullptr,
       scratch[static_cast<std::size_t>(count - 1)]);
   ct.stream = static_cast<int>(req.session);
+  ct.flow = req.completion ? req.completion->flow : 0;
   const dram::bulk_vector scratch_d = scratch[static_cast<std::size_t>(
       count - 1)];
   auto completion = req.completion;
@@ -1108,6 +1135,22 @@ void shard::publish_stats_locked() {
   stats_.sessions = live;
   stats_.now_ps = sys_.memory().now_ps();
   stats_.runtime = sys_.runtime().stats();
+  // Registry gauges: published at the worker's idle points, so reads
+  // see a consistent snapshot without touching the hot path.
+  auto& reg = obs::metrics_registry::instance();
+  const std::string prefix = "service.shard." + std::to_string(index_) + ".";
+  reg.gauge(prefix + "queue_depth")
+      .store(static_cast<std::int64_t>(total_queued_),
+             std::memory_order_relaxed);
+  reg.gauge(prefix + "inflight_tasks")
+      .store(static_cast<std::int64_t>(inflight_tasks_),
+             std::memory_order_relaxed);
+  reg.gauge(prefix + "sessions")
+      .store(stats_.sessions, std::memory_order_relaxed);
+  reg.gauge(prefix + "busy_banks_x1000")
+      .store(static_cast<std::int64_t>(
+                 stats_.runtime.sched.avg_busy_banks() * 1000.0),
+             std::memory_order_relaxed);
 }
 
 void shard::fail_all_queued_locked() {

@@ -7,6 +7,7 @@
 
 #include "common/bitvector.h"
 #include "common/config.h"
+#include "common/histogram.h"
 #include "common/json_writer.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -299,30 +300,28 @@ TEST(SummaryTest, EmptyIsZero) {
   EXPECT_EQ(s.variance(), 0.0);
 }
 
-TEST(HistogramTest, BucketsAndOverflow) {
-  histogram h(0.0, 10.0, 10);
-  h.add(-1.0);
-  h.add(0.5);
-  h.add(9.5);
-  h.add(10.0);
-  h.add(100.0, 2);
-  EXPECT_EQ(h.underflow(), 1u);
-  EXPECT_EQ(h.overflow(), 3u);
+TEST(HistogramTest, GeometricBuckets) {
+  geo_histogram h;
+  h.record(0);    // bucket 0
+  h.record(1);    // bucket 1: [1, 2)
+  h.record(2);    // bucket 2: [2, 4)
+  h.record(3);    // bucket 2
+  h.record(1000, 2);  // bucket 10: [512, 1024)
+  EXPECT_EQ(h.count(), 6u);
   EXPECT_EQ(h.bucket(0), 1u);
-  EXPECT_EQ(h.bucket(9), 1u);
-  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(10), 2u);
 }
 
-TEST(HistogramTest, Quantile) {
-  histogram h(0.0, 100.0, 100);
-  for (int i = 0; i < 100; ++i) h.add(i + 0.1);
-  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
-  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
-}
-
-TEST(HistogramTest, RejectsBadConfig) {
-  EXPECT_THROW(histogram(0.0, 0.0, 10), std::invalid_argument);
-  EXPECT_THROW(histogram(0.0, 1.0, 0), std::invalid_argument);
+TEST(HistogramTest, PercentileIsBucketUpperBound) {
+  geo_histogram h;
+  for (int i = 0; i < 100; ++i) h.record(100);  // bucket 7: [64, 128)
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 128.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 128.0);
+  h.record(100000);  // bucket 17: (upper bound 131072)
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 128.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 131072.0);
 }
 
 TEST(GeometricMeanTest, Basics) {

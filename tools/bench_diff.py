@@ -36,10 +36,21 @@ LOWER_BETTER_SUFFIXES = (
     "latency_ns",
     "energy_pj",
 )
+# Simulated-clock metrics are deterministic for a fixed workload and
+# identical across machines: any drift at all means the simulated
+# behavior changed (scheduling, batching, pricing), never noise. They
+# are compared exactly, with no threshold.
+SIM_SUFFIXES = (
+    "total_ticks",
+    "busy_bank_ticks",
+)
 
 
 def classify(key: str):
     k = key.lower()
+    for s in SIM_SUFFIXES:
+        if k.endswith(s):
+            return "sim"
     for s in HIGHER_BETTER_SUFFIXES:
         if k.endswith(s):
             return "higher"
@@ -75,6 +86,13 @@ def diff_file(name, prev, curr, threshold):
         if p == 0 and c == 0:
             continue
         delta = (c - p) / abs(p) * 100.0 if p != 0 else float("inf")
+        if direction == "sim":
+            # Deterministic: exact comparison, no noise threshold.
+            status = "ok" if p == c else "**SIM-CHANGED**"
+            if p != c:
+                regressions += 1
+            rows.append((path, p, c, delta, status))
+            continue
         bad = delta < -threshold if direction == "higher" else delta > threshold
         good = delta > threshold if direction == "higher" else delta < -threshold
         status = "ok"
@@ -131,9 +149,11 @@ def main():
     print()
     if total:
         print(f"**{total} metric(s) regressed beyond the "
-              f"{args.threshold:.0f}% threshold.**")
+              f"{args.threshold:.0f}% threshold or drifted on the "
+              f"simulated clock.**")
     else:
-        print(f"No regressions beyond the {args.threshold:.0f}% threshold.")
+        print(f"No regressions beyond the {args.threshold:.0f}% threshold; "
+              f"simulated-clock metrics unchanged.")
     return 0
 
 

@@ -12,7 +12,10 @@
 //                                            # (how the CI smoke test
 //                                            # rendezvouses)
 // Keys: host, port, port_file, shards, routing (hash|range),
-//       sessions_per_shard, queue (per-session admission bound).
+//       sessions_per_shard, queue (per-session admission bound),
+//       trace (path: enable tracing at startup, write Chrome trace
+//       JSON there on shutdown; clients can also toggle the tracer
+//       at runtime with the trace_ctl wire op).
 #include <atomic>
 #include <csignal>
 #include <fstream>
@@ -21,6 +24,7 @@
 
 #include "common/config.h"
 #include "net/server.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -54,6 +58,9 @@ int main(int argc, char** argv) {
   server_cfg.service.shard.session_queue_capacity =
       static_cast<std::size_t>(cfg.get_int("queue", 64));
 
+  const std::string trace_path = cfg.get_string("trace", "");
+  if (!trace_path.empty()) obs::tracer::instance().enable();
+
   net::pim_server server(server_cfg);
   try {
     server.start();
@@ -80,5 +87,14 @@ int main(int argc, char** argv) {
 
   std::cout << "pim_serverd: shutting down\n";
   server.stop();
+  if (!trace_path.empty()) {
+    try {
+      obs::tracer::instance().write_chrome_json(trace_path);
+      std::cout << "pim_serverd: trace written to " << trace_path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "pim_serverd: trace dump failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
   return 0;
 }
