@@ -20,6 +20,7 @@
 #include <chrono>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "common/config.h"
 #include "common/json_writer.h"
@@ -28,6 +29,7 @@
 #include "net/server.h"
 #include "obs/trace.h"
 #include "query/exec.h"
+#include "query/explain.h"
 #include "service/client.h"
 
 namespace {
@@ -170,6 +172,83 @@ run_point run_mix(const dataset& data, int shards, int partitions,
     svc->stop();
   }
   return point;
+}
+
+/// Profiled run of one query (explain_analyze) on a fresh service:
+/// the per-op tick attribution plus the scheduler's own tick delta
+/// for the exactness cross-check.
+query::explain_result run_profile(const dataset& data, int shards,
+                                  int partitions, bool remote) {
+  std::unique_ptr<net::pim_server> server;
+  std::unique_ptr<service::pim_service> svc;
+  std::vector<std::unique_ptr<service::client_api>> clients;
+  std::vector<service::client_api*> sessions;
+  if (remote) {
+    net::server_config cfg;
+    cfg.service = make_service_config(shards, partitions);
+    server = std::make_unique<net::pim_server>(cfg);
+    server->start();
+    for (int p = 0; p < partitions; ++p) {
+      clients.push_back(std::make_unique<net::remote_client>(
+          "127.0.0.1", server->port()));
+    }
+  } else {
+    svc = std::make_unique<service::pim_service>(
+        make_service_config(shards, partitions));
+    svc->start();
+    for (int p = 0; p < partitions; ++p) {
+      clients.push_back(std::make_unique<service::service_client>(*svc));
+    }
+  }
+  for (const auto& c : clients) sessions.push_back(c.get());
+
+  query::pim_table table(data.schema, data.x.rows(), sessions, 16);
+  table.load("x", data.x);
+  table.load("y", data.y);
+
+  service::pim_service& live = remote ? server->service() : *svc;
+  query::explain_options opts;
+  opts.total_ticks = [&live] { return live.stats().total_ticks; };
+  const query::explain_result ex =
+      query::explain_query(table, scan_mix()[3], opts);
+  if (remote) {
+    server->stop();
+  } else {
+    svc->stop();
+  }
+  return ex;
+}
+
+/// The shard-count-invariant projection of a profile: per plan op its
+/// task count, output bytes, and backend mix, plus the result digest.
+/// Tick splits legitimately differ across shard counts (each width
+/// schedules a different overlap), but WHAT ran — and where — must
+/// not.
+std::string profile_invariant(const query::explain_result& ex) {
+  std::ostringstream out;
+  for (const query::explained_op& op : ex.ops) {
+    out << op.step << ":tasks=" << op.cost.tasks << ":bytes=" << op.cost.bytes;
+    for (const auto& [backend, tasks] : op.backend_tasks) {
+      out << ":" << backend << "x" << tasks;
+    }
+    out << ";";
+  }
+  out << "digest=" << ex.result.digest;
+  return out.str();
+}
+
+/// The lane projection of a profile with the tick fields dropped:
+/// which (channel, bank) lanes ran how many tasks moving how many
+/// bytes. Like profile_invariant, this is scheduling-independent —
+/// tick splits shift with request arrival timing (measurably so over
+/// the loopback transport), but task placement must not.
+std::string lane_invariant(const query::explain_result& ex) {
+  std::ostringstream out;
+  for (const auto& [lane, cost] : ex.profile.by_lane) {
+    out << lane.first << "." << lane.second << ":tasks=" << cost.tasks
+        << ":bytes=" << cost.bytes << ";";
+  }
+  return out.str();
 }
 
 }  // namespace
@@ -356,6 +435,91 @@ int main(int argc, char** argv) {
             << (trace_match ? "identical" : "DIFFER") << "\n";
   std::cout << "wrote TRACE_query.json (load in Perfetto / chrome://tracing)\n";
 
+  // --- Profile (explain_analyze) -------------------------------------------
+  // The tick-attribution profiler must be exact (per-op attributed
+  // ticks sum to the scheduler's own tick delta at every shard count
+  // and over both transports) and deterministic in WHAT it charges:
+  // the per-op work attribution (tasks, bytes, backend mix) and the
+  // per-lane task placement are bit-identical across shard counts and
+  // transports. The tick SPLITS are not gated across configs — they
+  // depend on request arrival timing (overlap differs at each shard
+  // width and over the wire) — which is exactly why the per-config
+  // exactness cross-check against the scheduler's clock matters.
+  std::cout << "\n=== Profile (explain_analyze tick attribution) ===\n\n";
+  std::vector<query::explain_result> profiles;
+  for (int shards = 1; shards <= max_shards; shards *= 2) {
+    profiles.push_back(run_profile(data, shards, net_partitions,
+                                   /*remote=*/false));
+  }
+  const query::explain_result profile_remote =
+      run_profile(data, max_shards, net_partitions, /*remote=*/true);
+
+  bool profile_exact = profile_remote.exact;
+  for (const query::explain_result& ex : profiles) {
+    if (!ex.exact) profile_exact = false;
+  }
+  bool profile_invariant_match = true;
+  for (const query::explain_result& ex : profiles) {
+    if (profile_invariant(ex) != profile_invariant(profiles.front())) {
+      profile_invariant_match = false;
+    }
+  }
+  const bool profile_transport_match =
+      profile_invariant(profiles.back()) == profile_invariant(profile_remote) &&
+      lane_invariant(profiles.back()) == lane_invariant(profile_remote);
+  const bool profile_ok =
+      profile_exact && profile_invariant_match && profile_transport_match;
+
+  std::cout << profiles.back().to_string();
+  {
+    int shards = 1;
+    for (const query::explain_result& ex : profiles) {
+      std::cout << "  " << shards << " shard(s): attributed "
+                << ex.profile.total_attributed_ticks << " ticks, scheduler "
+                << ex.scheduler_ticks_delta << " -> "
+                << (ex.exact ? "exact" : "MISMATCH") << "\n";
+      shards *= 2;
+    }
+  }
+  std::cout << "  loopback (" << max_shards << " shards): attributed "
+            << profile_remote.profile.total_attributed_ticks
+            << " ticks, scheduler " << profile_remote.scheduler_ticks_delta
+            << " -> " << (profile_remote.exact ? "exact" : "MISMATCH") << "\n";
+  std::cout << "  per-op work attribution across shard counts: "
+            << (profile_invariant_match ? "identical" : "DIFFER")
+            << ", in-process vs loopback (ops + lanes): "
+            << (profile_transport_match ? "identical" : "DIFFER") << "\n";
+
+  {
+    json_writer pj;
+    pj.begin_object();
+    pj.key("bench").value("query_profile");
+    pj.key("rows").value(static_cast<std::uint64_t>(rows));
+    pj.key("partitions").value(net_partitions);
+    pj.key("exact").value(profile_exact);
+    pj.key("invariant_across_shards").value(profile_invariant_match);
+    pj.key("transport_identical").value(profile_transport_match);
+    pj.key("configs").begin_array();
+    int shards = 1;
+    for (const query::explain_result& ex : profiles) {
+      pj.begin_object();
+      pj.key("shards").value(shards);
+      pj.key("remote").value(false);
+      ex.to_json(pj);
+      pj.end_object();
+      shards *= 2;
+    }
+    pj.begin_object();
+    pj.key("shards").value(max_shards);
+    pj.key("remote").value(true);
+    profile_remote.to_json(pj);
+    pj.end_object();
+    pj.end_array();
+    pj.end_object();
+    pj.write_file("PROFILE_query.json");
+  }
+  std::cout << "wrote PROFILE_query.json\n";
+
   // --- JSON trajectory -----------------------------------------------------
   json_writer json;
   json.begin_object();
@@ -404,11 +568,17 @@ int main(int argc, char** argv) {
   json.key("well_formed").value(trace_error.empty());
   json.key("digests_match").value(trace_match);
   json.end_object();
+  json.key("profile").begin_object();
+  json.key("exact").value(profile_exact);
+  json.key("invariant_across_shards").value(profile_invariant_match);
+  json.key("transport_identical").value(profile_transport_match);
+  json.end_object();
   json.end_object();
   json.write_file("BENCH_query.json");
   std::cout << "\nwrote BENCH_query.json\n";
 
   const bool pass = digests_match && matches_reference && combine_match &&
-                    agg_match && net_match && final_speedup >= 1.8 && trace_ok;
+                    agg_match && net_match && final_speedup >= 1.8 &&
+                    trace_ok && profile_ok;
   return pass ? 0 : 1;
 }

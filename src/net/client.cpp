@@ -191,7 +191,13 @@ void remote_client::fail_pending(const std::string& why) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     orphans.swap(pending_);
+    // A dead connection also ends any telemetry watch: no more pushes
+    // can arrive, so release an unwatch_stats() parked on the final
+    // one.
+    watch_cb_ = nullptr;
+    watch_id_ = 0;
   }
+  watch_cv_.notify_all();
   for (auto& [id, p] : orphans) {
     (void)id;
     fail(*p.state, why);
@@ -213,6 +219,24 @@ void remote_client::reader_loop() {
     try {
       splitter.feed(buf.data(), static_cast<std::size_t>(n));
       while (auto f = splitter.next()) {
+        // Server-initiated telemetry pushes are not responses: they
+        // re-use the watch request's id for demux but never complete a
+        // pending future. Dispatch to the watch callback (outside the
+        // lock — it is user code) and keep reading.
+        if (const auto* push = std::get_if<stats_push_resp>(&f->msg)) {
+          std::function<void(const stats_push_resp&)> cb;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (f->id == watch_id_) cb = watch_cb_;
+            if (push->last != 0 && f->id == watch_id_) {
+              watch_cb_ = nullptr;
+              watch_id_ = 0;
+            }
+          }
+          if (cb) cb(*push);
+          if (push->last != 0) watch_cv_.notify_all();
+          continue;
+        }
         pending_entry entry;
         {
           std::lock_guard<std::mutex> lock(mu_);
@@ -348,6 +372,57 @@ std::string remote_client::metrics_json() {
     throw std::runtime_error("remote_client: unexpected metrics response");
   }
   return metrics->json;
+}
+
+void remote_client::watch_stats(
+    std::uint32_t interval_ms,
+    std::function<void(const stats_push_resp&)> on_push,
+    std::int64_t slow_threshold_ns) {
+  watch_stats_req req;
+  req.interval_ms = interval_ms;
+  req.slow_threshold_ns = slow_threshold_ns;
+  // Not send_request: pushes echo this id many times, so it must not
+  // live in pending_ (the first push would pop it and orphan the
+  // rest). The frame goes straight onto the outbox.
+  const std::uint64_t id = obs::new_flow();
+  std::vector<std::uint8_t> frame = encode_frame(id, req, version_);
+  static std::atomic<std::uint64_t>& tx_bytes =
+      obs::metrics_registry::instance().counter("net.client.tx_bytes");
+  tx_bytes.fetch_add(frame.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (send_failed_ || closing_) {
+      throw std::runtime_error("remote_client: connection lost on send");
+    }
+    watch_id_ = id;
+    watch_cb_ = std::move(on_push);
+    outbox_.push_back(std::move(frame));
+  }
+  out_cv_.notify_all();
+}
+
+void remote_client::unwatch_stats() {
+  watch_stats_req req;
+  req.interval_ms = 0;  // cancel
+  const std::uint64_t id = obs::new_flow();
+  std::vector<std::uint8_t> frame = encode_frame(id, req, version_);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (watch_cb_ == nullptr) return;  // no active watch
+  if (send_failed_ || closing_) {
+    watch_cb_ = nullptr;
+    watch_id_ = 0;
+    return;
+  }
+  // The final push answers under the cancel's id.
+  watch_id_ = id;
+  outbox_.push_back(std::move(frame));
+  out_cv_.notify_all();
+  // Bounded: a server that dies mid-cancel must not wedge the caller;
+  // fail_pending clears the watch and notifies on connection loss.
+  watch_cv_.wait_for(lock, std::chrono::seconds(5),
+                     [&] { return watch_cb_ == nullptr; });
+  watch_cb_ = nullptr;
+  watch_id_ = 0;
 }
 
 std::uint64_t remote_client::trace_ctl(std::uint8_t action,

@@ -24,7 +24,10 @@
 #ifndef PIM_NET_CLIENT_H
 #define PIM_NET_CLIENT_H
 
+#include <condition_variable>
 #include <deque>
+#include <functional>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -85,6 +88,23 @@ class remote_client final : public service::client_api {
   std::uint64_t trace_dump(const std::string& path,
                            std::string* json = nullptr);
 
+  /// Subscribes to the server's streaming telemetry (the wire
+  /// `watch_stats` op): `on_push` runs on this client's reader thread
+  /// for every server-initiated stats_push frame — seq 0 is a full
+  /// snapshot, later pushes carry only changed entries (fold them into
+  /// a cumulative view). The first push doubles as the subscription
+  /// ack. `slow_threshold_ns >= 0` also sets the server's slow-request
+  /// log threshold (-1 leaves it untouched). A second call replaces
+  /// the active watch (the stream restarts at seq 0).
+  void watch_stats(std::uint32_t interval_ms,
+                   std::function<void(const stats_push_resp&)> on_push,
+                   std::int64_t slow_threshold_ns = -1);
+
+  /// Cancels the active watch and waits (bounded) for the server's
+  /// final push — delivered to the callback with `last` set — so no
+  /// push callback runs after this returns on an orderly cancel.
+  void unwatch_stats();
+
   /// Connection-level close of this client's session on the server.
   void close_session();
 
@@ -126,6 +146,13 @@ class remote_client final : public service::client_api {
   bool sending_ = false;  // writer is inside a send syscall
   bool send_failed_ = false;
   std::unordered_map<std::uint64_t, pending_entry> pending_;
+  /// Active telemetry watch: the request id stats_push frames echo and
+  /// the callback the reader hands them to. Both under mu_; watch_cv_
+  /// signals the final (last=1) push or connection loss to
+  /// unwatch_stats.
+  std::uint64_t watch_id_ = 0;
+  std::function<void(const stats_push_resp&)> watch_cb_;
+  std::condition_variable watch_cv_;
   std::thread reader_;
   std::thread writer_;
 

@@ -73,6 +73,8 @@ void put_report(std::vector<std::uint8_t>& out,
   put_i64(out, r.start_ps);
   put_i64(out, r.complete_ps);
   put_u64(out, r.output_bytes);
+  put_i32(out, r.channel);
+  put_i32(out, r.bank);
 }
 
 // --- primitive decoding (bounds-checked against the frame) -----------------
@@ -164,6 +166,8 @@ struct reader {
     r.start_ps = i64();
     r.complete_ps = i64();
     r.output_bytes = u64();
+    r.channel = i32();
+    r.bank = i32();
     return r;
   }
 
@@ -218,6 +222,30 @@ void encode_body(std::vector<std::uint8_t>& out, const net_message& msg) {
         } else if constexpr (std::is_same_v<T, trace_ctl_req>) {
           put_u8(out, m.action);
           put_string(out, m.path);
+        } else if constexpr (std::is_same_v<T, watch_stats_req>) {
+          put_u32(out, m.interval_ms);
+          put_i64(out, m.slow_threshold_ns);
+        } else if constexpr (std::is_same_v<T, stats_push_resp>) {
+          put_u64(out, m.seq);
+          put_u8(out, m.last);
+          put_u32(out, static_cast<std::uint32_t>(m.counters.size()));
+          for (const auto& [name, value] : m.counters) {
+            put_string(out, name);
+            put_u64(out, value);
+          }
+          put_u32(out, static_cast<std::uint32_t>(m.gauges.size()));
+          for (const auto& [name, value] : m.gauges) {
+            put_string(out, name);
+            put_i64(out, value);
+          }
+          put_u32(out, static_cast<std::uint32_t>(m.hists.size()));
+          for (const auto& h : m.hists) {
+            put_string(out, h.name);
+            put_u64(out, h.count);
+            put_f64(out, h.p50);
+            put_f64(out, h.p95);
+            put_f64(out, h.p99);
+          }
         } else if constexpr (std::is_same_v<T, metrics_resp>) {
           put_string(out, m.json);
         } else if constexpr (std::is_same_v<T, trace_ack_resp>) {
@@ -311,6 +339,40 @@ net_message decode_body(opcode op, reader& in) {
       m.path = in.str();
       return m;
     }
+    case opcode::watch_stats: {
+      watch_stats_req m;
+      m.interval_ms = in.u32();
+      m.slow_threshold_ns = in.i64();
+      return m;
+    }
+    case opcode::stats_push: {
+      stats_push_resp m;
+      m.seq = in.u64();
+      m.last = in.u8();
+      const std::uint32_t nc = in.u32();
+      for (std::uint32_t i = 0; i < nc; ++i) {
+        std::string name = in.str();
+        const std::uint64_t value = in.u64();
+        m.counters.emplace_back(std::move(name), value);
+      }
+      const std::uint32_t ng = in.u32();
+      for (std::uint32_t i = 0; i < ng; ++i) {
+        std::string name = in.str();
+        const std::int64_t value = in.i64();
+        m.gauges.emplace_back(std::move(name), value);
+      }
+      const std::uint32_t nh = in.u32();
+      for (std::uint32_t i = 0; i < nh; ++i) {
+        stats_push_resp::hist_entry h;
+        h.name = in.str();
+        h.count = in.u64();
+        h.p50 = in.f64();
+        h.p95 = in.f64();
+        h.p99 = in.f64();
+        m.hists.push_back(std::move(h));
+      }
+      return m;
+    }
     case opcode::metrics_report: {
       metrics_resp m;
       m.json = in.str();
@@ -382,10 +444,11 @@ opcode opcode_of(const net_message& msg) {
       opcode::write,        opcode::read,          opcode::submit,
       opcode::submit_shared, opcode::wait,         opcode::stats,
       opcode::hello,        opcode::get_metrics,   opcode::trace_ctl,
-      opcode::opened,       opcode::closed,        opcode::vectors,
-      opcode::data,         opcode::done,          opcode::waited,
-      opcode::stats_report, opcode::error,         opcode::hello_ack,
-      opcode::metrics_report, opcode::trace_ack};
+      opcode::watch_stats,  opcode::opened,        opcode::closed,
+      opcode::vectors,      opcode::data,          opcode::done,
+      opcode::waited,       opcode::stats_report,  opcode::error,
+      opcode::hello_ack,    opcode::metrics_report, opcode::trace_ack,
+      opcode::stats_push};
   static_assert(std::size(table) == std::variant_size_v<net_message>);
   return table[msg.index()];
 }

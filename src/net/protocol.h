@@ -74,6 +74,7 @@ enum class opcode : std::uint8_t {
   hello = 10,
   get_metrics = 11,
   trace_ctl = 12,
+  watch_stats = 13,
   // Responses.
   opened = 64,
   closed = 65,
@@ -86,6 +87,7 @@ enum class opcode : std::uint8_t {
   hello_ack = 72,
   metrics_report = 73,
   trace_ack = 74,
+  stats_push = 75,
 };
 
 // --- request bodies --------------------------------------------------------
@@ -167,6 +169,19 @@ struct trace_ctl_req {
   std::string path;  // dump only; empty = return JSON inline
 };
 
+/// Subscribes this connection to streaming telemetry: the server
+/// pushes stats_push frames (echoing this request's id) every
+/// `interval_ms` until the watch is replaced, cancelled, or the
+/// connection closes. interval_ms == 0 cancels the watch; either way
+/// the server answers with one immediate push (the cancel's push has
+/// `last` set). `slow_threshold_ns >= 0` also sets the server's
+/// slow-request log threshold (-1 leaves it untouched) — the runtime
+/// knob for tail-based span retention.
+struct watch_stats_req {
+  std::uint32_t interval_ms = 1000;
+  std::int64_t slow_threshold_ns = -1;
+};
+
 // --- response bodies -------------------------------------------------------
 
 struct opened_resp {
@@ -221,13 +236,37 @@ struct trace_ack_resp {
   std::string json;
 };
 
+/// One server-initiated telemetry frame, echoing the watch_stats
+/// request id so pipelined clients demux it like any response. The
+/// payload is a *delta* encoding of the metrics registry: seq 0
+/// carries every counter/gauge/histogram, later pushes only entries
+/// whose value changed since the previous push — the consumer folds
+/// them into its cumulative view (tools/pim_top renders that view and
+/// re-exposes it as OpenMetrics). Per-shard gauges ride along under
+/// their registry names ("service.shard.N.queue_depth", ...), and the
+/// server injects service-level aggregates (latency percentiles, top
+/// sessions) as synthetic "service.*" entries.
+struct stats_push_resp {
+  struct hist_entry {
+    std::string name;
+    std::uint64_t count = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+  };
+
+  std::uint64_t seq = 0;
+  std::uint8_t last = 0;  // 1 = final push of a cancelled watch
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<hist_entry> hists;
+};
+
 using net_message =
     std::variant<open_session_req, close_session_req, allocate_req, write_req,
                  read_req, submit_req, submit_shared_req, wait_req, stats_req,
-                 hello_req, get_metrics_req, trace_ctl_req, opened_resp,
-                 closed_resp, vectors_resp, data_resp, done_resp, waited_resp,
-                 stats_resp, error_resp, hello_resp, metrics_resp,
-                 trace_ack_resp>;
+                 hello_req, get_metrics_req, trace_ctl_req, watch_stats_req,
+                 opened_resp, closed_resp, vectors_resp, data_resp, done_resp,
+                 waited_resp, stats_resp, error_resp, hello_resp, metrics_resp,
+                 trace_ack_resp, stats_push_resp>;
 
 /// Opcode of a message (the tag byte its frame carries).
 opcode opcode_of(const net_message& msg);

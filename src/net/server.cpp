@@ -6,14 +6,18 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <set>
 #include <unordered_map>
 
 #include "common/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "runtime/task.h"
 
@@ -73,6 +77,19 @@ struct connection_demux {
   std::deque<std::uint64_t> completed;
   /// Parked wait barriers, answered when inflight drains to empty.
   std::vector<std::uint64_t> waiting;
+
+  // --- streaming telemetry (watch_stats) -----------------------------------
+  // The reader records the watch parameters; the writer produces the
+  // pushes (it already owns the socket's send side). watch_epoch bumps
+  // on every watch_stats request, telling the writer to restart its
+  // delta baseline (seq 0 = full snapshot) and acknowledge with an
+  // immediate push. Non-watching connections never touch any of this
+  // past the writer's wait predicate — the stream costs them nothing.
+  bool watching = false;
+  std::uint64_t watch_id = 0;       // request id pushes echo
+  std::uint64_t watch_epoch = 0;    // bumps per watch_stats request
+  std::uint32_t watch_interval_ms = 0;
+  bool watch_cancel = false;  // next push carries last=1, then stop
 };
 
 struct pim_server::connection {
@@ -213,15 +230,165 @@ net_message build_response(connection_demux::pending& p) {
   }
 }
 
-void writer_loop(int fd, std::shared_ptr<connection_demux> dx) {
+/// The watcher-side view a delta push diffs against: every entry the
+/// previous pushes carried, by name. Reset when a new watch starts.
+struct watch_baseline {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, stats_push_resp::hist_entry> hists;
+};
+
+/// Builds one stats_push frame: registry snapshot + synthetic
+/// "service.*" aggregates, delta-encoded against `base` (seq 0 sends
+/// everything). Updates `base` to the new cumulative view.
+stats_push_resp build_stats_push(service::pim_service& svc,
+                                 watch_baseline& base, std::uint64_t seq,
+                                 bool last) {
+  // stats() walks every shard's stats(), which refreshes the fast-
+  // moving per-shard registry gauges — so the snapshot below is
+  // current even mid-burst.
+  const service::service_stats st = svc.stats();
+  obs::metrics_snapshot snap = obs::metrics_registry::instance().snapshot();
+
+  // Synthetic service-level aggregates ride along under "service.*"
+  // names the registry itself never defines.
+  snap.counters["service.requests_enqueued"] = st.requests_enqueued;
+  snap.counters["service.requests_completed"] = st.requests_completed;
+  snap.counters["service.requests_failed"] = st.requests_failed;
+  snap.counters["service.output_bytes"] = st.output_bytes;
+  snap.counters["service.tasks_submitted"] = st.tasks_submitted;
+  snap.counters["service.total_ticks"] = st.total_ticks;
+  snap.counters["service.busy_bank_ticks"] = st.busy_bank_ticks;
+  snap.counters["service.slow_requests_observed"] =
+      obs::slow_request_log::instance().observed();
+  snap.gauges["service.sessions"] = st.sessions;
+  snap.gauges["service.makespan_ps"] = st.makespan_ps;
+  snap.gauges["service.avg_busy_banks_x1000"] =
+      static_cast<std::int64_t>(st.avg_busy_banks() * 1000.0);
+
+  // Top sessions by completed requests (latency sample count): the
+  // "who is hot" panel. Fixed at 5 slots so slot names are stable.
+  std::vector<std::pair<service::session_id, const service::latency_histogram*>>
+      top;
+  top.reserve(st.session_latency.size());
+  for (const auto& [sid, h] : st.session_latency) top.emplace_back(sid, &h);
+  std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+    if (a.second->count() != b.second->count()) {
+      return a.second->count() > b.second->count();
+    }
+    return a.first < b.first;
+  });
+  for (std::size_t k = 0; k < top.size() && k < 5; ++k) {
+    const std::string slot = "service.top." + std::to_string(k);
+    snap.gauges[slot + ".session"] =
+        static_cast<std::int64_t>(top[k].first);
+    snap.gauges[slot + ".requests"] =
+        static_cast<std::int64_t>(top[k].second->count());
+    snap.gauges[slot + ".p99_ns"] =
+        static_cast<std::int64_t>(top[k].second->percentile(0.99));
+  }
+
+  stats_push_resp push;
+  push.seq = seq;
+  push.last = last ? 1 : 0;
+  for (const auto& [name, v] : snap.counters) {
+    auto it = base.counters.find(name);
+    if (seq == 0 || it == base.counters.end() || it->second != v) {
+      push.counters.emplace_back(name, v);
+      base.counters[name] = v;
+    }
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    auto it = base.gauges.find(name);
+    if (seq == 0 || it == base.gauges.end() || it->second != v) {
+      push.gauges.emplace_back(name, v);
+      base.gauges[name] = v;
+    }
+  }
+  auto hist_changed = [](const stats_push_resp::hist_entry& a,
+                         const stats_push_resp::hist_entry& b) {
+    return a.count != b.count || a.p50 != b.p50 || a.p95 != b.p95 ||
+           a.p99 != b.p99;
+  };
+  auto add_hist = [&](const std::string& name, std::uint64_t count,
+                      double p50, double p95, double p99) {
+    stats_push_resp::hist_entry e{name, count, p50, p95, p99};
+    auto it = base.hists.find(name);
+    if (seq == 0 || it == base.hists.end() || hist_changed(it->second, e)) {
+      base.hists[name] = e;
+      push.hists.push_back(std::move(e));
+    }
+  };
+  for (const auto& [name, h] : snap.histograms) {
+    add_hist(name, h.count(), h.percentile(0.50), h.percentile(0.95),
+             h.percentile(0.99));
+  }
+  add_hist("service.latency_ns", st.latency.count(),
+           st.latency.percentile(0.50), st.latency.percentile(0.95),
+           st.latency.percentile(0.99));
+  return push;
+}
+
+void writer_loop(int fd, std::shared_ptr<connection_demux> dx,
+                 service::pim_service* svc) {
   obs::tracer::instance().name_thread("pim-net", "server writer");
   auto& tx_bytes =
       obs::metrics_registry::instance().counter("net.server.tx_bytes");
+
+  // Watch production state, all writer-local: the delta baseline, the
+  // push sequence, and the next deadline. epoch_seen trails
+  // dx->watch_epoch; a mismatch means a new watch_stats request
+  // arrived and the stream restarts from a full snapshot.
+  watch_baseline baseline;
+  std::uint64_t epoch_seen = 0;
+  std::uint64_t seq = 0;
+  auto next_push = std::chrono::steady_clock::time_point::max();
+
   std::unique_lock<std::mutex> lock(dx->mu);
   for (;;) {
-    dx->cv.wait(lock, [&] {
-      return dx->closing || !dx->outgoing.empty() || !dx->completed.empty();
-    });
+    const auto ready = [&] {
+      return dx->closing || !dx->outgoing.empty() || !dx->completed.empty() ||
+             dx->watch_epoch != epoch_seen;
+    };
+    if (dx->watching) {
+      dx->cv.wait_until(lock, next_push, ready);
+    } else {
+      // Non-watching connections take the original untimed wait: the
+      // watch machinery costs them one boolean test per wakeup.
+      dx->cv.wait(lock, ready);
+    }
+
+    if (dx->watch_epoch != epoch_seen) {
+      epoch_seen = dx->watch_epoch;
+      baseline = watch_baseline{};
+      seq = 0;
+      next_push = std::chrono::steady_clock::now();  // immediate ack push
+    }
+    if (dx->watching && !dx->closing &&
+        std::chrono::steady_clock::now() >= next_push) {
+      const std::uint64_t watch_id = dx->watch_id;
+      const bool final_push = dx->watch_cancel;
+      const std::uint8_t version = dx->version;
+      const auto interval = std::chrono::milliseconds(dx->watch_interval_ms);
+      lock.unlock();
+      stats_push_resp push = build_stats_push(*svc, baseline, seq, final_push);
+      std::vector<std::uint8_t> frame =
+          encode_frame(watch_id, std::move(push), version);
+      lock.lock();
+      // A new watch may have replaced this one while the snapshot was
+      // being built; its own epoch turn will acknowledge it.
+      if (dx->watch_epoch == epoch_seen) {
+        dx->outgoing.push_back(std::move(frame));
+        ++seq;
+        if (final_push) {
+          dx->watching = false;
+          dx->watch_cancel = false;
+          next_push = std::chrono::steady_clock::time_point::max();
+        } else {
+          next_push = std::chrono::steady_clock::now() + interval;
+        }
+      }
+    }
     // Turn completions into response frames, in completion order.
     while (!dx->completed.empty()) {
       const std::uint64_t id = dx->completed.front();
@@ -285,8 +452,8 @@ void pim_server::accept_loop(const int listen_fd) {
     auto conn = std::make_unique<connection>();
     conn->fd = fd;
     connection* c = conn.get();
-    c->writer = std::thread([fd, dx = c->dx, c] {
-      writer_loop(fd, dx);
+    c->writer = std::thread([this, fd, dx = c->dx, c] {
+      writer_loop(fd, dx, &svc_);
       // A dead writer (peer stopped reading, or protocol error already
       // flushed) means the connection is over: wake the reader off its
       // blocking recv too.
@@ -449,8 +616,27 @@ void pim_server::accept_loop(const int listen_fd) {
                   json.key("service").begin_object();
                   svc_.stats().to_json(json);
                   json.end_object();
+                  json.key("slow_requests").begin_object();
+                  obs::slow_request_log::instance().to_json(json);
+                  json.end_object();
                   json.end_object();
                   enqueue_frame(*dx, id, metrics_resp{json.str()});
+                } else if constexpr (std::is_same_v<T, watch_stats_req>) {
+                  // The runtime knob for tail-based span retention
+                  // rides on the watch request; -1 leaves it alone.
+                  if (m.slow_threshold_ns >= 0) {
+                    obs::slow_request_log::instance().set_threshold_ns(
+                        m.slow_threshold_ns);
+                  }
+                  {
+                    std::lock_guard<std::mutex> l(dx->mu);
+                    dx->watch_id = id;
+                    dx->watch_interval_ms = m.interval_ms;
+                    dx->watch_cancel = m.interval_ms == 0;
+                    dx->watching = true;
+                    ++dx->watch_epoch;
+                  }
+                  dx->cv.notify_all();
                 } else if constexpr (std::is_same_v<T, trace_ctl_req>) {
                   obs::tracer& t = obs::tracer::instance();
                   trace_ack_resp resp;

@@ -1,5 +1,8 @@
 #include "obs/metrics.h"
 
+#include <cctype>
+#include <cstdio>
+
 #include "common/json_writer.h"
 
 namespace pim::obs {
@@ -24,31 +27,52 @@ std::atomic<std::int64_t>& metrics_registry::gauge(const std::string& name) {
   return *slot;
 }
 
-void metrics_registry::record(const std::string& name, std::uint64_t sample) {
+histogram_cell& metrics_registry::hist(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  histograms_[name].record(sample);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<histogram_cell>();
+  return *slot;
+}
+
+void metrics_registry::record(const std::string& name, std::uint64_t sample) {
+  hist(name).record(sample);
 }
 
 geo_histogram metrics_registry::histogram(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
-  return it == histograms_.end() ? geo_histogram{} : it->second;
+  return it == histograms_.end() ? geo_histogram{} : it->second->snapshot();
+}
+
+metrics_snapshot metrics_registry::snapshot() const {
+  metrics_snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : counters_) {
+    snap.counters[name] = value->load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, value] : gauges_) {
+    snap.gauges[name] = value->load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, cell] : histograms_) {
+    snap.histograms[name] = cell->snapshot();
+  }
+  return snap;
 }
 
 void metrics_registry::to_json(json_writer& json) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  metrics_snapshot snap = snapshot();
   json.key("counters").begin_object();
-  for (const auto& [name, value] : counters_) {
-    json.key(name).value(value->load(std::memory_order_relaxed));
+  for (const auto& [name, value] : snap.counters) {
+    json.key(name).value(value);
   }
   json.end_object();
   json.key("gauges").begin_object();
-  for (const auto& [name, value] : gauges_) {
-    json.key(name).value(value->load(std::memory_order_relaxed));
+  for (const auto& [name, value] : snap.gauges) {
+    json.key(name).value(value);
   }
   json.end_object();
   json.key("histograms").begin_object();
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : snap.histograms) {
     json.key(name).begin_object();
     json.key("count").value(h.count());
     json.key("p50").value(h.percentile(0.50));
@@ -68,9 +92,8 @@ std::string metrics_registry::json() const {
 }
 
 void metrics_registry::reset() {
-  // Zero in place: counter()/gauge() hand out cached references, so
-  // the atomics must survive a reset. Histograms are only ever named,
-  // never cached, and may be dropped outright.
+  // Zero in place: counter()/gauge()/hist() hand out cached
+  // references, so the slots must survive a reset.
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, value] : counters_) {
     value->store(0, std::memory_order_relaxed);
@@ -78,7 +101,57 @@ void metrics_registry::reset() {
   for (auto& [name, value] : gauges_) {
     value->store(0, std::memory_order_relaxed);
   }
-  histograms_.clear();
+  for (auto& [name, cell] : histograms_) {
+    cell->reset();
+  }
+}
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string openmetrics(const metrics_snapshot& snap,
+                        const std::string& prefix) {
+  std::string out;
+  auto emit_number = [](std::string& dst, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    dst += buf;
+  };
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prefix + "_" + sanitize_metric_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + "_total " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = prefix + "_" + sanitize_metric_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prefix + "_" + sanitize_metric_name(name);
+    out += "# TYPE " + n + " summary\n";
+    for (auto [q, p] : {std::pair<const char*, double>{"0.5", 0.50},
+                        {"0.95", 0.95},
+                        {"0.99", 0.99}}) {
+      out += n + "{quantile=\"" + q + "\"} ";
+      emit_number(out, h.percentile(p));
+      out += "\n";
+    }
+    out += n + "_count " + std::to_string(h.count()) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
 }
 
 }  // namespace pim::obs

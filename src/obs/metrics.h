@@ -10,9 +10,10 @@
 // this simulated system do".
 //
 // Concurrency: counter()/gauge() return a reference to an atomic with
-// stable address (callers cache the pointer and update lock-free on
-// hot paths); creation and histogram recording take the registry
-// mutex. All of it is TSan-clean by construction.
+// stable address, and hist() returns a reference to a histogram cell
+// with stable address and its own lock (callers cache the pointer and
+// record without touching the registry mutex on hot paths); creation
+// takes the registry mutex. All of it is TSan-clean by construction.
 #ifndef PIM_OBS_METRICS_H
 #define PIM_OBS_METRICS_H
 
@@ -31,6 +32,41 @@ class json_writer;
 
 namespace pim::obs {
 
+/// One named histogram slot. The cell's address is stable for the
+/// process lifetime (the registry never destroys cells, reset() zeroes
+/// them in place), so call sites cache `&registry.hist(name)` exactly
+/// like they cache counter() references. Recording takes the cell's
+/// own mutex, not the registry's.
+class histogram_cell {
+ public:
+  void record(std::uint64_t sample, std::uint64_t weight = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    h_.record(sample, weight);
+  }
+
+  geo_histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return h_;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    h_ = geo_histogram{};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  geo_histogram h_;
+};
+
+/// Point-in-time copy of the whole registry — the unit the streaming
+/// telemetry channel diffs and the OpenMetrics exposition renders.
+struct metrics_snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, geo_histogram> histograms;
+};
+
 class metrics_registry {
  public:
   static metrics_registry& instance();
@@ -41,11 +77,21 @@ class metrics_registry {
   /// Point-in-time gauge `name`, created at zero on first use.
   std::atomic<std::int64_t>& gauge(const std::string& name);
 
-  /// Records one sample into the geometric histogram `name`.
+  /// Histogram cell `name`, created empty on first use. Same contract
+  /// as counter(): the returned reference is stable for the process
+  /// lifetime and survives reset(), so hot paths cache it and skip the
+  /// per-sample registry lookup.
+  histogram_cell& hist(const std::string& name);
+
+  /// Records one sample into the geometric histogram `name`
+  /// (conveniences for cold paths; hot paths cache hist()).
   void record(const std::string& name, std::uint64_t sample);
 
   /// Copy of histogram `name` (empty if never recorded).
   geo_histogram histogram(const std::string& name) const;
+
+  /// Point-in-time copy of every counter, gauge, and histogram.
+  metrics_snapshot snapshot() const;
 
   /// Emits {"counters": {...}, "gauges": {...}, "histograms":
   /// {name: {count, p50, p95, p99}}} into an open JSON object.
@@ -54,21 +100,36 @@ class metrics_registry {
   /// The snapshot as a standalone JSON document.
   std::string json() const;
 
-  /// Zeroes every counter and gauge in place (cached references stay
-  /// valid) and drops all histograms — tests and benches isolating
-  /// scenarios.
+  /// Zeroes every counter, gauge, and histogram in place (cached
+  /// references stay valid) — tests and benches isolating scenarios.
   void reset();
 
  private:
   metrics_registry() = default;
 
   mutable std::mutex mu_;
-  // Node-based maps: atomics never move once created.
+  // Node-based maps: atomics and cells never move once created.
   std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>>
       counters_;
   std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> gauges_;
-  std::map<std::string, geo_histogram> histograms_;
+  std::map<std::string, std::unique_ptr<histogram_cell>> histograms_;
 };
+
+/// Renders a snapshot in Prometheus / OpenMetrics text exposition
+/// format: every metric name is prefixed with `prefix_` and sanitized
+/// to [a-zA-Z0-9_:], counters become `counter` samples with a `_total`
+/// suffix, gauges become `gauge` samples, histograms become `summary`
+/// quantile samples (p50/p95/p99 + _count). Ends with `# EOF` per the
+/// OpenMetrics spec.
+std::string openmetrics(const metrics_snapshot& snap,
+                        const std::string& prefix = "pim");
+
+/// Maps a registry name onto the Prometheus name grammar
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): dots and other outsiders become
+/// underscores, a leading digit gets one prepended. Exposed so
+/// remote expositions (tools/pim_top rebuilding OpenMetrics from the
+/// watch_stats stream) match the in-process rendering exactly.
+std::string sanitize_metric_name(const std::string& name);
 
 }  // namespace pim::obs
 

@@ -1,0 +1,249 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/json_writer.h"
+
+namespace pim::obs {
+
+namespace {
+
+/// Deterministic blame order: earliest-submitted first, then program
+/// position (op, sub) — "the op that has been waiting longest owns
+/// the clock".
+struct blame_key {
+  std::int64_t submit_ps;
+  int op;
+  int sub;
+  std::size_t idx;
+
+  bool operator<(const blame_key& o) const {
+    if (submit_ps != o.submit_ps) return submit_ps < o.submit_ps;
+    if (op != o.op) return op < o.op;
+    if (sub != o.sub) return sub < o.sub;
+    return idx < o.idx;
+  }
+};
+
+void charge(tick_profile& p, const sim_op_sample& s, std::uint64_t ticks) {
+  p.by_op[s.op].attributed_ticks += ticks;
+  p.by_backend[s.backend].attributed_ticks += ticks;
+  p.by_lane[{s.channel, s.bank}].attributed_ticks += ticks;
+  p.total_attributed_ticks += ticks;
+}
+
+}  // namespace
+
+tick_profile fold_samples(const std::vector<sim_op_sample>& samples,
+                          std::int64_t tick_ps) {
+  tick_profile p;
+  p.tick_ps = tick_ps;
+  if (tick_ps <= 0) return p;
+
+  // Per-task sums, independent of overlap.
+  for (const sim_op_sample& s : samples) {
+    const std::uint64_t queue = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, s.start_ps - s.submit_ps) / tick_ps);
+    const std::uint64_t exec = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, s.complete_ps - s.start_ps) / tick_ps);
+    for (op_cost* c : {&p.by_op[s.op], &p.by_backend[s.backend],
+                       &p.by_lane[{s.channel, s.bank}]}) {
+      c->tasks += 1;
+      c->bytes += s.output_bytes;
+      c->queue_ticks += queue;
+      c->exec_ticks += exec;
+    }
+    p.total_tasks += 1;
+    p.total_bytes += s.output_bytes;
+  }
+
+  // Exact busy-union attribution, one sweep per simulated clock.
+  std::map<int, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].complete_ps > samples[i].submit_ps) {
+      groups[samples[i].group].push_back(i);
+    }
+  }
+  for (const auto& [group, members] : groups) {
+    // Boundary points of every member's [submit, complete) interval.
+    std::vector<std::int64_t> points;
+    points.reserve(members.size() * 2);
+    for (std::size_t i : members) {
+      points.push_back(samples[i].submit_ps);
+      points.push_back(samples[i].complete_ps);
+    }
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+
+    // Sweep: at each point close expired intervals, open new ones,
+    // then blame the elementary interval up to the next point on the
+    // minimum-key active member.
+    std::vector<std::size_t> by_submit = members;
+    std::sort(by_submit.begin(), by_submit.end(),
+              [&](std::size_t a, std::size_t b) {
+                return samples[a].submit_ps < samples[b].submit_ps;
+              });
+    std::size_t opened = 0;
+    std::vector<blame_key> active;  // heap, min at front via pop order
+    auto cmp = [](const blame_key& a, const blame_key& b) { return b < a; };
+    std::uint64_t group_ticks = 0;
+    for (std::size_t pi = 0; pi + 1 < points.size(); ++pi) {
+      const std::int64_t lo = points[pi];
+      const std::int64_t hi = points[pi + 1];
+      while (opened < by_submit.size() &&
+             samples[by_submit[opened]].submit_ps <= lo) {
+        const sim_op_sample& s = samples[by_submit[opened]];
+        active.push_back({s.submit_ps, s.op, s.sub, by_submit[opened]});
+        std::push_heap(active.begin(), active.end(), cmp);
+        ++opened;
+      }
+      // Lazily drop expired blame candidates.
+      while (!active.empty() &&
+             samples[active.front().idx].complete_ps <= lo) {
+        std::pop_heap(active.begin(), active.end(), cmp);
+        active.pop_back();
+      }
+      if (active.empty()) continue;  // idle gap: the clock stood still
+      const std::uint64_t ticks =
+          static_cast<std::uint64_t>((hi - lo) / tick_ps);
+      charge(p, samples[active.front().idx], ticks);
+      group_ticks += ticks;
+    }
+    p.group_ticks[group] = group_ticks;
+  }
+  return p;
+}
+
+std::vector<sim_op_sample> samples_from_trace(
+    const std::vector<trace_event>& events,
+    const std::vector<track_info>& tracks) {
+  // Track id -> (group, channel, bank) for simulated lanes.
+  struct lane_id {
+    int group;
+    int channel;
+    int bank;
+  };
+  std::map<std::uint32_t, lane_id> lanes;
+  for (const track_info& t : tracks) {
+    if (t.domain != clock_domain::sim) continue;
+    lane_id lane{t.pid, -1, -1};
+    // Lane names are "ch <channel> bank <bank>" (scheduler::trace_lane)
+    // or "executors" for host/NDP work.
+    if (std::sscanf(t.thread.c_str(), "ch %d bank %d", &lane.channel,
+                    &lane.bank) != 2) {
+      lane.channel = -1;
+      lane.bank = -1;
+    }
+    lanes.emplace(t.id, lane);
+  }
+  static const char* const backend_names[] = {"ambit", "rowclone",
+                                              "ndp_logic", "host"};
+  std::vector<sim_op_sample> samples;
+  for (const trace_event& e : events) {
+    if (e.kind != event_kind::complete || e.cat == nullptr ||
+        std::strcmp(e.cat, "task") != 0) {
+      continue;
+    }
+    auto it = lanes.find(e.track);
+    if (it == lanes.end()) continue;
+    sim_op_sample s;
+    s.group = it->second.group;
+    s.channel = it->second.channel;
+    s.bank = it->second.bank;
+    for (int b = 0; b < 4; ++b) {
+      if (e.name != nullptr && std::strcmp(e.name, backend_names[b]) == 0) {
+        s.backend = b;
+      }
+    }
+    s.output_bytes = e.arg_name != nullptr && std::strcmp(e.arg_name,
+                                                          "output_bytes") == 0
+                         ? static_cast<std::uint64_t>(e.arg)
+                         : 0;
+    // The trace records execution only: queueing folds to zero.
+    s.submit_ps = e.ts;
+    s.start_ps = e.ts;
+    s.complete_ps = e.ts + e.dur;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+// --- slow-request log ------------------------------------------------------
+
+slow_request_log& slow_request_log::instance() {
+  static slow_request_log log;
+  return log;
+}
+
+void slow_request_log::set_capacity(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = n;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::size_t slow_request_log::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void slow_request_log::observe(slow_request r) {
+  observed_.fetch_add(1, std::memory_order_relaxed);
+  if (r.spans.empty() && tracer::instance().enabled() && r.flow != 0) {
+    // Tail-based capture: only requests that already proved slow pay
+    // for a buffer scan.
+    for (const trace_event& e : tracer::instance().snapshot()) {
+      if (e.flow == r.flow) r.spans.push_back(e);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  while (ring_.size() >= capacity_) ring_.pop_front();
+  ring_.push_back(std::move(r));
+}
+
+std::vector<slow_request> slow_request_log::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+void slow_request_log::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+void slow_request_log::to_json(json_writer& json) const {
+  json.key("threshold_ns").value(static_cast<std::int64_t>(threshold_ns()));
+  json.key("observed").value(observed());
+  std::vector<slow_request> snap = entries();
+  json.key("entries").begin_array();
+  for (const slow_request& r : snap) {
+    json.begin_object();
+    json.key("flow").value(r.flow);
+    json.key("session").value(r.session);
+    json.key("shard").value(r.shard);
+    json.key("kind").value(r.kind);
+    json.key("latency_ns").value(r.latency_ns);
+    json.key("backend").value(r.backend);
+    json.key("output_bytes").value(r.output_bytes);
+    json.key("submit_ps").value(r.submit_ps);
+    json.key("start_ps").value(r.start_ps);
+    json.key("complete_ps").value(r.complete_ps);
+    json.key("spans").begin_array();
+    for (const trace_event& e : r.spans) {
+      json.begin_object();
+      json.key("name").value(e.name != nullptr ? e.name : "");
+      json.key("cat").value(e.cat != nullptr ? e.cat : "");
+      json.key("kind").value(static_cast<int>(e.kind));
+      json.key("ts").value(e.ts);
+      json.key("dur").value(e.dur);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+}
+
+}  // namespace pim::obs

@@ -15,6 +15,7 @@ struct partition_outcome {
   bitvector selection;
   std::vector<std::size_t> sum_pops;  // popcount per sum register
   std::uint64_t ops = 0;
+  std::vector<obs::sim_op_sample> samples;  // collect_samples only
 };
 
 }  // namespace
@@ -101,8 +102,9 @@ query_result execute(pim_table& table, const query_plan& plan,
       static_cast<std::size_t>(table.partitions()));
   std::vector<std::exception_ptr> errors(outcomes.size());
   std::vector<std::thread> workers;
+  const bool collect = opts.collect_samples;
   for (int p = 0; p < table.partitions(); ++p) {
-    workers.emplace_back([&table, &plan, &outcomes, &errors, p] {
+    workers.emplace_back([&table, &plan, &outcomes, &errors, collect, p] {
       try {
         if (obs::on()) {
           obs::tracer::instance().name_thread(
@@ -114,18 +116,45 @@ query_result execute(pim_table& table, const query_plan& plan,
           return executor::reg_of(table, plan, p, r);
         };
         partition_outcome& out = outcomes[static_cast<std::size_t>(p)];
+        std::vector<service::request_future> step_futures;
+        if (collect) step_futures.reserve(plan.steps.size());
         {
           obs::span steps_span("submit_steps", "query");
           for (const plan_step& step : plan.steps) {
-            client.submit_bulk(step.op, reg(step.a),
-                               step.b < 0 ? nullptr : &reg(step.b),
-                               reg(step.d));
+            service::request_future f =
+                client.submit_bulk(step.op, reg(step.a),
+                                   step.b < 0 ? nullptr : &reg(step.b),
+                                   reg(step.d));
+            if (collect) step_futures.push_back(std::move(f));
             ++out.ops;
           }
         }
         {
           obs::span wait_span("wait_all", "query");
           client.wait_all();
+        }
+        if (collect) {
+          // Everything completed above; get() is a non-blocking read
+          // of each step's report now. The report's sim timestamps
+          // and (channel, bank) lane crossed the wire for remote
+          // sessions, so the samples are transport-independent.
+          const int group = client.shard_index();
+          out.samples.reserve(step_futures.size());
+          for (std::size_t s = 0; s < step_futures.size(); ++s) {
+            const runtime::task_report& r = step_futures[s].get().report;
+            obs::sim_op_sample sample;
+            sample.group = group;
+            sample.op = static_cast<int>(s);
+            sample.sub = p;
+            sample.backend = static_cast<int>(r.where);
+            sample.channel = r.channel;
+            sample.bank = r.bank;
+            sample.output_bytes = r.output_bytes;
+            sample.submit_ps = r.submit_ps;
+            sample.start_ps = r.start_ps;
+            sample.complete_ps = r.complete_ps;
+            out.samples.push_back(sample);
+          }
         }
         obs::span read_span("read_back", "query");
         out.selection = client.read(reg(plan.selection));
@@ -152,6 +181,8 @@ query_result execute(pim_table& table, const query_plan& plan,
       result.selection.set(base + r, out.selection.get(r));
     }
     result.ops_submitted += out.ops;
+    result.samples.insert(result.samples.end(), out.samples.begin(),
+                          out.samples.end());
     if (plan.agg == agg_kind::sum) {
       for (std::size_t b = 0; b < out.sum_pops.size(); ++b) {
         result.sum += static_cast<std::uint64_t>(out.sum_pops[b]) << b;

@@ -22,6 +22,7 @@
 #define PIM_QUERY_EXEC_H
 
 #include "common/digest.h"
+#include "obs/profile.h"
 #include "query/plan.h"
 #include "query/table.h"
 
@@ -57,6 +58,13 @@ struct exec_options {
   /// Non-null: OR-reduce per-partition selections into the gatherer's
   /// collector slots via submit_shared after the scan completes.
   selection_gatherer* gather = nullptr;
+  /// Keep every step's task report and fold it into
+  /// query_result::samples (one profiler sample per submitted step,
+  /// op = plan-step index, sub = partition, group = the partition's
+  /// home shard). This is explain_analyze's data feed; the reports
+  /// ride the normal completion path, so it works identically over
+  /// in-process and remote transports.
+  bool collect_samples = false;
 };
 
 struct query_result {
@@ -72,6 +80,9 @@ struct query_result {
   std::uint64_t gathered_digest = 0;
   /// Bulk ops submitted across all partitions.
   std::uint64_t ops_submitted = 0;
+  /// Per-step profiler samples (collect_samples only), ordered by
+  /// (partition, step) — the input to obs::fold_samples.
+  std::vector<obs::sim_op_sample> samples;
 };
 
 /// Executes `plan` over `table`. Throws when the plan needs more

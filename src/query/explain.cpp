@@ -1,0 +1,154 @@
+#include "query/explain.h"
+
+#include <sstream>
+
+#include "common/json_writer.h"
+#include "runtime/task.h"
+
+namespace pim::query {
+
+namespace {
+
+std::string step_label(const query_plan& plan, int index) {
+  const plan_step& step = plan.steps[static_cast<std::size_t>(index)];
+  std::ostringstream out;
+  out << "r" << step.d << " = " << dram::to_string(step.op) << "(r" << step.a;
+  if (step.b >= 0) out << ", r" << step.b;
+  out << ")";
+  return out.str();
+}
+
+void cost_to_json(json_writer& json, const obs::op_cost& c) {
+  json.key("tasks").value(c.tasks);
+  json.key("bytes").value(c.bytes);
+  json.key("queue_ticks").value(c.queue_ticks);
+  json.key("exec_ticks").value(c.exec_ticks);
+  json.key("attributed_ticks").value(c.attributed_ticks);
+}
+
+}  // namespace
+
+explain_result explain_analyze(pim_table& table, const query_plan& plan,
+                               const explain_options& opts) {
+  explain_result out;
+  exec_options exec = opts.exec;
+  exec.collect_samples = true;
+
+  const std::uint64_t ticks_before =
+      opts.total_ticks ? opts.total_ticks() : 0;
+  out.result = execute(table, plan, exec);
+  if (opts.total_ticks) {
+    out.scheduler_ticks_delta = opts.total_ticks() - ticks_before;
+    out.checked = true;
+  }
+
+  out.profile = obs::fold_samples(out.result.samples, opts.tick_ps);
+  out.exact =
+      out.checked &&
+      out.scheduler_ticks_delta == out.profile.total_attributed_ticks;
+
+  // Project the profile onto the plan: one entry per step, in step
+  // order, including steps no sample reached (failed partitions are
+  // rethrown by execute, so in practice every step has samples).
+  out.ops.reserve(plan.steps.size());
+  for (std::size_t s = 0; s < plan.steps.size(); ++s) {
+    explained_op op;
+    op.step = static_cast<int>(s);
+    op.label = step_label(plan, op.step);
+    auto it = out.profile.by_op.find(op.step);
+    if (it != out.profile.by_op.end()) op.cost = it->second;
+    out.ops.push_back(std::move(op));
+  }
+  for (const obs::sim_op_sample& s : out.result.samples) {
+    if (s.op >= 0 && s.op < static_cast<int>(out.ops.size())) {
+      ++out.ops[static_cast<std::size_t>(s.op)]
+            .backend_tasks[s.backend];
+    }
+  }
+  return out;
+}
+
+explain_result explain_query(pim_table& table, const query_spec& spec,
+                             const explain_options& opts) {
+  return explain_analyze(table, plan_query(table.schema(), spec), opts);
+}
+
+std::string explain_result::to_string() const {
+  std::ostringstream out;
+  out << "explain analyze: " << profile.total_tasks << " tasks, "
+      << profile.total_attributed_ticks << " attributed ticks";
+  if (checked) {
+    out << " (scheduler delta " << scheduler_ticks_delta
+        << (exact ? ", exact" : ", MISMATCH") << ")";
+  }
+  out << "\n";
+  for (const explained_op& op : ops) {
+    out << "  step " << op.step << ": " << op.label << "  tasks="
+        << op.cost.tasks << " bytes=" << op.cost.bytes
+        << " queue_ticks=" << op.cost.queue_ticks
+        << " exec_ticks=" << op.cost.exec_ticks
+        << " attributed_ticks=" << op.cost.attributed_ticks;
+    for (const auto& [backend, tasks] : op.backend_tasks) {
+      out << " "
+          << runtime::to_string(static_cast<runtime::backend_kind>(backend))
+          << "=" << tasks;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void explain_result::to_json(json_writer& json) const {
+  json.key("tick_ps").value(profile.tick_ps);
+  json.key("total_tasks").value(profile.total_tasks);
+  json.key("total_bytes").value(profile.total_bytes);
+  json.key("total_attributed_ticks").value(profile.total_attributed_ticks);
+  json.key("checked").value(checked);
+  json.key("scheduler_ticks_delta").value(scheduler_ticks_delta);
+  json.key("exact").value(exact);
+  json.key("matches").value(static_cast<std::uint64_t>(result.matches));
+  json.key("digest").value(result.digest);
+
+  json.key("group_ticks").begin_object();
+  for (const auto& [group, ticks] : profile.group_ticks) {
+    json.key(std::to_string(group)).value(ticks);
+  }
+  json.end_object();
+
+  json.key("ops").begin_array();
+  for (const explained_op& op : ops) {
+    json.begin_object();
+    json.key("step").value(op.step);
+    json.key("label").value(op.label);
+    cost_to_json(json, op.cost);
+    json.key("backends").begin_object();
+    for (const auto& [backend, tasks] : op.backend_tasks) {
+      json.key(runtime::to_string(static_cast<runtime::backend_kind>(backend)))
+          .value(tasks);
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("by_backend").begin_object();
+  for (const auto& [backend, cost] : profile.by_backend) {
+    json.key(runtime::to_string(static_cast<runtime::backend_kind>(backend)))
+        .begin_object();
+    cost_to_json(json, cost);
+    json.end_object();
+  }
+  json.end_object();
+
+  json.key("by_lane").begin_array();
+  for (const auto& [lane, cost] : profile.by_lane) {
+    json.begin_object();
+    json.key("channel").value(lane.first);
+    json.key("bank").value(lane.second);
+    cost_to_json(json, cost);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+}  // namespace pim::query

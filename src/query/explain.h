@@ -1,0 +1,88 @@
+// explain_analyze: profiled query execution.
+//
+// Runs a plan with per-step report collection on and folds the
+// completed tasks through the tick-attribution profiler
+// (obs/profile.h), producing a profiled plan tree: every plan op
+// annotated with its task count, output bytes, queueing vs execution
+// tick sums, and its share of the exact busy-tick partition — split
+// by backend (Ambit / RowClone / NDP / host) and by (channel, bank)
+// lane. The attribution is exact by construction: summed over ops it
+// reproduces the scheduler's total_ticks delta for the run, which the
+// optional `total_ticks` callback cross-checks (bench_query gates on
+// it at every shard count and over both transports).
+//
+// The samples ride the normal task-report completion path — the sim
+// timestamps and the output lane cross the wire for remote sessions —
+// so the same profile comes back bit-identical whether the table's
+// sessions are in-process service_clients or remote_clients against a
+// pim_server.
+#ifndef PIM_QUERY_EXPLAIN_H
+#define PIM_QUERY_EXPLAIN_H
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "obs/profile.h"
+#include "query/exec.h"
+
+namespace pim {
+class json_writer;
+}
+
+namespace pim::query {
+
+struct explain_options {
+  /// Simulated clock period all sample timestamps are multiples of
+  /// (the DRAM tCK; 1250 ps at the default DDR3-1600 timing).
+  std::int64_t tick_ps = 1250;
+  /// Sampled before and after execution; the delta is cross-checked
+  /// against the profile's attributed-tick total (an in-process
+  /// caller passes [&] { return svc.stats().total_ticks; }). Null
+  /// skips the check — `checked` stays false. The check assumes the
+  /// profiled query is the only load on its shards for the duration,
+  /// and is incompatible with exec.gather (the gather's cross-shard
+  /// plan burns ticks the step samples do not cover).
+  std::function<std::uint64_t()> total_ticks;
+  exec_options exec;
+};
+
+/// One plan op with its attributed cost.
+struct explained_op {
+  int step = -1;      // index into query_plan::steps
+  std::string label;  // "r5 = and(r0, r2)"
+  obs::op_cost cost;
+  /// Tasks by backend (runtime::backend_kind as int) — the offload
+  /// mix of this op across partitions.
+  std::map<int, std::uint64_t> backend_tasks;
+};
+
+struct explain_result {
+  query_result result;
+  obs::tick_profile profile;
+  /// Profile projected onto the plan: one entry per plan step, in
+  /// step order. Attributed ticks across all entries sum to
+  /// profile.total_attributed_ticks.
+  std::vector<explained_op> ops;
+  std::uint64_t scheduler_ticks_delta = 0;
+  bool checked = false;  // a total_ticks callback was provided
+  bool exact = false;    // attributed total == scheduler delta
+
+  /// Human-readable profiled plan tree (one line per op).
+  std::string to_string() const;
+  /// Full profile into an open JSON object (PROFILE_query.json
+  /// payload): totals, per-op tree, backend and lane splits.
+  void to_json(json_writer& json) const;
+};
+
+/// Executes `plan` with sample collection and folds the profile.
+explain_result explain_analyze(pim_table& table, const query_plan& plan,
+                               const explain_options& opts = {});
+
+/// Convenience: plan + explain_analyze in one call.
+explain_result explain_query(pim_table& table, const query_spec& spec,
+                             const explain_options& opts = {});
+
+}  // namespace pim::query
+
+#endif  // PIM_QUERY_EXPLAIN_H

@@ -79,6 +79,13 @@ task_future scheduler::submit(pim_task task, backend_kind where,
           std::get<host_kernel_args>(task.payload).profile.memory_traffic;
       break;
   }
+  // Per-op attribution lane: the output row's (channel, bank), the
+  // same lane the tracer draws this task on. Host/NDP work keeps the
+  // (-1, -1) default.
+  if (const dram::address* dst = output_address(task)) {
+    report.channel = dst->channel;
+    report.bank = dst->bank;
+  }
 
   // Row-granular hazards against still-active earlier tasks:
   // RAW (read a pending write), WAW (write a pending write),
@@ -331,28 +338,29 @@ void scheduler::apply_host_result(const node& n) {
   }
 }
 
+const dram::address* scheduler::output_address(const pim_task& task) {
+  switch (task.kind()) {
+    case task_kind::bulk_bool: {
+      const auto& args = std::get<bulk_bool_args>(task.payload);
+      return args.d.rows.empty() ? nullptr : &args.d.rows.front();
+    }
+    case task_kind::row_copy:
+      return &std::get<row_copy_args>(task.payload).dst;
+    case task_kind::row_memset:
+      return &std::get<row_memset_args>(task.payload).dst;
+    case task_kind::host_kernel:
+      return nullptr;
+  }
+  return nullptr;
+}
+
 std::uint32_t scheduler::trace_lane(const node& n) {
   obs::tracer& t = obs::tracer::instance();
   if (trace_pid_ == 0) trace_pid_ = t.alloc_sim_pid();
 
   // Host/NDP work has no DRAM destination; it shares one executor
   // lane. Everything else lands on the lane of its output row.
-  const dram::address* dst = nullptr;
-  switch (n.task.kind()) {
-    case task_kind::bulk_bool: {
-      const auto& args = std::get<bulk_bool_args>(n.task.payload);
-      if (!args.d.rows.empty()) dst = &args.d.rows.front();
-      break;
-    }
-    case task_kind::row_copy:
-      dst = &std::get<row_copy_args>(n.task.payload).dst;
-      break;
-    case task_kind::row_memset:
-      dst = &std::get<row_memset_args>(n.task.payload).dst;
-      break;
-    case task_kind::host_kernel:
-      break;
-  }
+  const dram::address* dst = output_address(n.task);
   if (dst == nullptr) {
     if (trace_exec_lane_ == UINT32_MAX) {
       trace_exec_lane_ = t.register_track(trace_pid_, 0, trace_name_,

@@ -160,6 +160,11 @@ class scheduler {
   /// task completes on them.
   std::uint32_t trace_lane(const node& n);
 
+  /// The output row a task lands on (null for host/NDP work) — the
+  /// per-op attribution lane stamped into its report and the track
+  /// trace_lane registers.
+  static const dram::address* output_address(const pim_task& task);
+
   std::string trace_name_ = "pim sim";
   int trace_pid_ = 0;  // 0 = not yet allocated
   std::unordered_map<std::uint64_t, std::uint32_t> trace_lanes_;

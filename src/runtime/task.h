@@ -108,6 +108,15 @@ struct task_report {
   picoseconds complete_ps = 0;  // results visible
   bytes output_bytes = 0;
 
+  /// The (channel, bank) lane the task's output landed on — the same
+  /// lane the tracer draws the task's sim span on. Host/NDP work has
+  /// no DRAM destination and reports (-1, -1). The tick-attribution
+  /// profiler (obs/profile.h) folds these into the per-lane cost
+  /// split, so lane attribution survives the wire round-trip without
+  /// needing a trace file.
+  int channel = -1;
+  int bank = -1;
+
   picoseconds latency() const { return complete_ps - submit_ps; }
   picoseconds service_time() const { return complete_ps - start_ps; }
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace pim::service {
@@ -281,11 +282,24 @@ std::vector<std::pair<session_id, std::size_t>> shard::session_backlogs()
 }
 
 shard_stats shard::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!running_) {
+    // No worker exists (never started, or stopped and joined): it is
+    // safe to read sys_ from this thread and publish inline.
+    const_cast<shard*>(this)->publish_stats_locked();
+  } else if (!stop_) {
+    // Ask the running worker for a fresh publish and wait for it:
+    // the simulated-clock counters live in worker-only state, so the
+    // last idle-time publish can be a full burst stale.
+    const std::uint64_t ticket = ++stats_pub_requested_;
+    cv_worker_.notify_all();
+    cv_stats_.wait(lock, [&] { return stop_ || stats_pub_done_ >= ticket; });
+  }
+  // stop_ while the worker drains: return its shutdown publish.
   shard_stats snap = stats_;
-  // Latency histograms are served live, not from the last idle-time
-  // publish: a monitor polling percentiles mid-burst (the SLO signal)
-  // must see current samples, and latency_ is mu_-guarded anyway.
+  // Latency histograms are served live, not from the publish we just
+  // forced: latency_ is mu_-guarded anyway, so there is no reason to
+  // serve anything but current samples.
   snap.session_latency = latency_;
   return snap;
 }
@@ -331,9 +345,14 @@ void shard::run() {
       "pim-service", "shard " + std::to_string(index_) + " worker");
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
+    // On-demand publish: a stats() caller is waiting for counters that
+    // only this thread can read (the simulated clock lives in sys_).
+    if (stats_pub_done_ < stats_pub_requested_) publish_stats_locked();
     if (paused_) {
       publish_stats_locked();
-      cv_worker_.wait(lock, [&] { return stop_ || !paused_; });
+      cv_worker_.wait(lock, [&] {
+        return stop_ || !paused_ || stats_pub_done_ < stats_pub_requested_;
+      });
       continue;
     }
     if (weights_dirty_) apply_weights_locked();
@@ -377,7 +396,8 @@ void shard::run() {
     } else {
       publish_stats_locked();
       cv_worker_.wait(lock, [&] {
-        return stop_ || paused_ || total_queued_ > 0 || weights_dirty_;
+        return stop_ || paused_ || total_queued_ > 0 || weights_dirty_ ||
+               stats_pub_done_ < stats_pub_requested_;
       });
     }
   }
@@ -475,16 +495,43 @@ void shard::bump_completed(bytes output) {
 
 void shard::complete_tracked(session_id session,
                              const std::shared_ptr<request_state>& state,
-                             request_result result, bytes output) {
+                             request_result result, bytes output,
+                             const char* kind,
+                             const runtime::task_report* report) {
   const auto elapsed = std::chrono::steady_clock::now() - state->submitted_at;
-  if (state->flow != 0) obs::emit_flow_end(state->flow, "request", "service");
+  const std::int64_t elapsed_ns = std::max<std::int64_t>(
+      0,
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  const std::uint64_t flow = state->flow;
+  if (flow != 0) obs::emit_flow_end(flow, "request", "service");
   complete(*state, std::move(result));
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.requests_completed;
-  stats_.output_bytes += output;
-  latency_[session].record(static_cast<std::uint64_t>(std::max<std::int64_t>(
-      0, std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-             .count())));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests_completed;
+    stats_.output_bytes += output;
+    latency_[session].record(static_cast<std::uint64_t>(elapsed_ns));
+  }
+  // Tail-based retention: the decision is made here, at completion,
+  // when the latency is known. Below the threshold (or with the log
+  // disabled) this is one relaxed load.
+  auto& slow = obs::slow_request_log::instance();
+  const std::int64_t threshold = slow.threshold_ns();
+  if (threshold > 0 && elapsed_ns >= threshold) {
+    obs::slow_request entry;
+    entry.flow = flow;
+    entry.session = static_cast<std::uint64_t>(session);
+    entry.shard = index_;
+    entry.kind = kind;
+    entry.latency_ns = elapsed_ns;
+    if (report != nullptr) {
+      entry.backend = static_cast<int>(report->where);
+      entry.output_bytes = report->output_bytes;
+      entry.submit_ps = report->submit_ps;
+      entry.start_ps = report->start_ps;
+      entry.complete_ps = report->complete_ps;
+    }
+    slow.observe(std::move(entry));
+  }
 }
 
 namespace {
@@ -800,14 +847,15 @@ void shard::exec_allocate(request& req, const allocate_args& args) {
     }
     res.vectors.push_back(std::move(handle));
   }
-  complete_tracked(req.session, req.completion, std::move(res), 0);
+  complete_tracked(req.session, req.completion, std::move(res), 0,
+                   "allocate");
 }
 
 void shard::exec_write(request& req, const write_args& args) {
   const dram::bulk_vector phys = translate(req.session, args.v);
   drain_if_hazard(phys);
   sys_.write(phys, args.data);
-  complete_tracked(req.session, req.completion, request_result{}, 0);
+  complete_tracked(req.session, req.completion, request_result{}, 0, "write");
 }
 
 void shard::exec_read(request& req, const read_args& args) {
@@ -826,7 +874,8 @@ void shard::exec_read(request& req, const read_args& args) {
       complete(*req.completion, std::move(res));
       bump_completed(0);
     } else {
-      complete_tracked(req.session, req.completion, std::move(res), 0);
+      complete_tracked(req.session, req.completion, std::move(res), 0,
+                       "read");
     }
     return;
   }
@@ -887,7 +936,7 @@ shard::exec_result shard::exec_run_task(request& req, run_task_args& args) {
     request_result res;
     res.report = report;
     complete_tracked(session, completion, std::move(res),
-                     report.output_bytes);
+                     report.output_bytes, "run_task", &report);
   };
   sys_.submit(std::move(task));
   ++inflight_tasks_;
@@ -1017,7 +1066,7 @@ void shard::exec_stage_in(request& req, stage_in_args& args) {
     sys_.write(phys, args.data);
     request_result res;
     res.report = args.report;
-    complete_tracked(session, completion, std::move(res), 0);
+    complete_tracked(session, completion, std::move(res), 0, "stage_in");
     std::lock_guard<std::mutex> lock(mu_);
     stats_.staged_bytes += phys.size / 8;
     return;
@@ -1030,7 +1079,7 @@ void shard::exec_stage_in(request& req, stage_in_args& args) {
                      guard = std::move(args.guard)] {
     request_result res;
     res.report = report;
-    complete_tracked(session, completion, std::move(res), 0);
+    complete_tracked(session, completion, std::move(res), 0, "stage_in");
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.staged_bytes += size / 8;
@@ -1143,7 +1192,8 @@ void shard::publish_stats_locked() {
       .store(static_cast<std::int64_t>(total_queued_),
              std::memory_order_relaxed);
   reg.gauge(prefix + "inflight_tasks")
-      .store(static_cast<std::int64_t>(inflight_tasks_),
+      .store(static_cast<std::int64_t>(
+                 inflight_tasks_.load(std::memory_order_relaxed)),
              std::memory_order_relaxed);
   reg.gauge(prefix + "sessions")
       .store(stats_.sessions, std::memory_order_relaxed);
@@ -1151,6 +1201,9 @@ void shard::publish_stats_locked() {
       .store(static_cast<std::int64_t>(
                  stats_.runtime.sched.avg_busy_banks() * 1000.0),
              std::memory_order_relaxed);
+  // Every publish satisfies any pending on-demand stats() request.
+  stats_pub_done_ = stats_pub_requested_;
+  cv_stats_.notify_all();
 }
 
 void shard::fail_all_queued_locked() {

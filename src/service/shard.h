@@ -31,6 +31,7 @@
 #ifndef PIM_SERVICE_SHARD_H
 #define PIM_SERVICE_SHARD_H
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -161,9 +162,12 @@ class shard {
   /// rebalancer's load signal and its victim shortlist.
   std::vector<std::pair<session_id, std::size_t>> session_backlogs() const;
 
-  /// Latest published snapshot. Exact whenever the shard is quiescent
-  /// (idle, paused-after-drain, or stopped); during a burst it may lag
-  /// by one worker slice.
+  /// Point-in-time snapshot. When the worker is running, stats() asks
+  /// it to publish at its next loop iteration and waits for that
+  /// publish, so the simulated-clock counters (ticks, busy banks) are
+  /// current even mid-burst — monitoring and the explain_analyze
+  /// exactness cross-check both depend on this. Blocks at most one
+  /// request execution.
   shard_stats stats() const;
 
   int index() const { return index_; }
@@ -234,10 +238,14 @@ class shard {
   void bump_completed(bytes output);
   /// Completes a client-visible request and charges its
   /// submit→complete latency to the session's histogram in one stats
-  /// update.
+  /// update. `kind` labels the request in the slow-request log;
+  /// `report` (when the request ran a sim task) contributes the
+  /// backend and simulated timestamps to the log entry.
   void complete_tracked(session_id session,
                         const std::shared_ptr<request_state>& state,
-                        request_result result, bytes output);
+                        request_result result, bytes output,
+                        const char* kind = "request",
+                        const runtime::task_report* report = nullptr);
 
   void exec_allocate(request& req, const allocate_args& args);
   void exec_write(request& req, const write_args& args);
@@ -262,8 +270,16 @@ class shard {
   core::pim_system sys_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_worker_;  // work arrived / state changed
+  // cv_worker_ is mutable so const stats() can nudge the worker into
+  // an on-demand publish.
+  mutable std::condition_variable cv_worker_;  // work arrived / state changed
   std::condition_variable cv_space_;   // queue space freed
+  mutable std::condition_variable cv_stats_;   // publish completed
+  /// Publish-on-demand handshake: stats() bumps requested_ and waits
+  /// until publish_stats_locked() (worker loop top, idle points,
+  /// shutdown) catches done_ up to it.
+  mutable std::uint64_t stats_pub_requested_ = 0;
+  std::uint64_t stats_pub_done_ = 0;
   bool running_ = false;
   bool stop_ = false;
   bool paused_ = false;
@@ -296,7 +312,11 @@ class shard {
   /// Per-channel landing rows in >= 2 distinct banks: the PSM partners
   /// that price inter-shard transfers on this shard's clock.
   std::map<int, std::vector<dram::address>> wire_;
-  int inflight_tasks_ = 0;
+  /// Runtime tasks in flight. Written only by the worker thread, but
+  /// atomic so stats() can refresh the inflight gauge from any thread
+  /// without taking the worker's locks (relaxed everywhere: the gauge
+  /// is a monitoring sample, not a synchronization edge).
+  std::atomic<int> inflight_tasks_{0};
   /// Per-session runtime tasks in flight (worker-thread data, read by
   /// pop_next_locked on the same thread).
   std::unordered_map<session_id, int> session_inflight_;

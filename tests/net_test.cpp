@@ -13,7 +13,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -689,6 +692,205 @@ TEST(remote_client, wait_barrier_drains_pipeline) {
     client.barrier();  // server answers only once all 8 completed
     // After the barrier every future must already be resolved.
     client.wait_all();
+  }
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Observability opcodes: framing, error paths, streaming telemetry
+// ---------------------------------------------------------------------------
+
+TEST(protocol, round_trips_observability_messages) {
+  roundtrip(30, get_metrics_req{});
+  {
+    trace_ctl_req req;
+    req.action = trace_ctl_req::dump;
+    req.path = "/tmp/trace.json";
+    const auto f = roundtrip(31, req);
+    const auto& m = std::get<trace_ctl_req>(f.msg);
+    EXPECT_EQ(m.action, trace_ctl_req::dump);
+    EXPECT_EQ(m.path, "/tmp/trace.json");
+  }
+  {
+    const auto f = roundtrip(32, watch_stats_req{250, 5'000'000});
+    const auto& m = std::get<watch_stats_req>(f.msg);
+    EXPECT_EQ(m.interval_ms, 250u);
+    EXPECT_EQ(m.slow_threshold_ns, 5'000'000);
+  }
+  {
+    const auto f = roundtrip(33, metrics_resp{"{\"counters\":{}}"});
+    EXPECT_EQ(std::get<metrics_resp>(f.msg).json, "{\"counters\":{}}");
+  }
+  {
+    const auto f = roundtrip(34, trace_ack_resp{12, "[]"});
+    EXPECT_EQ(std::get<trace_ack_resp>(f.msg).events, 12u);
+  }
+  {
+    stats_push_resp push;
+    push.seq = 3;
+    push.last = 1;
+    push.counters = {{"service.requests_completed", 42}};
+    push.gauges = {{"service.shard.0.queue_depth", -1}};
+    push.hists = {{"service.latency_ns", 10, 1.0, 2.0, 3.0}};
+    const auto f = roundtrip(35, push);
+    const auto& m = std::get<stats_push_resp>(f.msg);
+    EXPECT_EQ(m.seq, 3u);
+    EXPECT_EQ(m.last, 1);
+    ASSERT_EQ(m.counters.size(), 1u);
+    EXPECT_EQ(m.counters[0].first, "service.requests_completed");
+    EXPECT_EQ(m.counters[0].second, 42u);
+    ASSERT_EQ(m.gauges.size(), 1u);
+    EXPECT_EQ(m.gauges[0].second, -1);
+    ASSERT_EQ(m.hists.size(), 1u);
+    EXPECT_EQ(m.hists[0].name, "service.latency_ns");
+    EXPECT_DOUBLE_EQ(m.hists[0].p99, 3.0);
+  }
+}
+
+TEST(protocol, rejects_truncated_watch_stats_body) {
+  // A watch_stats frame whose declared length stops inside the
+  // interval field: the decoder must throw, not read out of bounds.
+  std::vector<std::uint8_t> wire = encode_frame(9, watch_stats_req{1000, -1});
+  const std::uint32_t declared = static_cast<std::uint32_t>(wire.size() - 8);
+  const std::uint32_t shorter = declared - 6;
+  std::memcpy(wire.data() + 4, &shorter, 4);
+  wire.resize(8 + shorter);
+  frame_splitter splitter;
+  splitter.feed(wire.data(), wire.size());
+  EXPECT_THROW(splitter.next(), protocol_error);
+  EXPECT_EQ(splitter.last_id(), 9u);
+}
+
+TEST(pim_server, malformed_watch_stats_body_answers_error_and_closes) {
+  // The same truncated frame over a real socket: the server must
+  // answer with an error frame and close this connection, without
+  // disturbing a healthy client on another connection.
+  pim_server server(small_server_config());
+  server.start();
+
+  remote_client healthy("127.0.0.1", server.port());
+
+  std::vector<std::uint8_t> wire = encode_frame(5, watch_stats_req{1000, -1});
+  const std::uint32_t declared = static_cast<std::uint32_t>(wire.size() - 8);
+  const std::uint32_t shorter = declared - 6;
+  std::memcpy(wire.data() + 4, &shorter, 4);
+  wire.resize(8 + shorter);
+
+  const int fd = connect_raw(server.port());
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  const std::vector<std::uint8_t> reply = drain_socket(fd);  // until EOF
+  ::close(fd);
+  frame_splitter splitter;
+  splitter.feed(reply.data(), reply.size());
+  const auto frame = splitter.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(std::holds_alternative<error_resp>(frame->msg));
+
+  EXPECT_EQ(healthy.allocate(8192, 1).size(), 1u);
+  server.stop();
+}
+
+TEST(remote_client, trace_dump_while_disabled_returns_empty_trace) {
+  // trace_ctl dump with tracing never enabled: a well-formed ack with
+  // zero events and a loadable (empty) trace document, not an error.
+  pim_server server(small_server_config());
+  server.start();
+  {
+    remote_client client("127.0.0.1", server.port());
+    std::string json;
+    const std::uint64_t events = client.trace_dump("", &json);
+    EXPECT_EQ(events, 0u);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+    // Disable without a prior enable is equally benign.
+    EXPECT_EQ(client.trace_disable(), 0u);
+  }
+  server.stop();
+}
+
+TEST(remote_client, watch_stats_streams_deltas_and_cancels) {
+  pim_server server(small_server_config());
+  server.start();
+  {
+    remote_client client("127.0.0.1", server.port());
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<stats_push_resp> pushes;
+    client.watch_stats(20, [&](const stats_push_resp& push) {
+      std::lock_guard<std::mutex> lock(mu);
+      pushes.push_back(push);
+      cv.notify_all();
+    });
+    // Generate server-side activity between pushes so deltas have
+    // something to carry.
+    const auto vs = client.allocate(8192, 2);
+    client.submit_bulk(dram::bulk_op::not_op, vs[0], nullptr, vs[1]).get();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                              [&] { return pushes.size() >= 3; }));
+    }
+    client.unwatch_stats();
+
+    std::lock_guard<std::mutex> lock(mu);
+    // Seq 0 is the full snapshot and must already carry the service
+    // aggregates and per-shard gauges the dashboard renders.
+    EXPECT_EQ(pushes.front().seq, 0u);
+    auto has_counter = [](const stats_push_resp& p, const std::string& name) {
+      for (const auto& [n, v] : p.counters) {
+        if (n == name) return true;
+      }
+      return false;
+    };
+    auto has_gauge = [](const stats_push_resp& p, const std::string& name) {
+      for (const auto& [n, v] : p.gauges) {
+        if (n == name) return true;
+      }
+      return false;
+    };
+    EXPECT_TRUE(has_counter(pushes.front(), "service.requests_completed"));
+    EXPECT_TRUE(has_gauge(pushes.front(), "service.shard.0.queue_depth"));
+    // Seq runs contiguously within the watch; the cancel is a watch
+    // replacement, so its final push starts a fresh epoch at seq 0.
+    ASSERT_GE(pushes.size(), 2u);
+    for (std::size_t i = 1; i + 1 < pushes.size(); ++i) {
+      EXPECT_EQ(pushes[i].seq, pushes[i - 1].seq + 1);
+    }
+    // The orderly cancel delivered a final push flagged `last`, and
+    // nothing after it.
+    EXPECT_EQ(pushes.back().last, 1);
+    EXPECT_EQ(pushes.back().seq, 0u);
+  }
+  server.stop();
+}
+
+TEST(remote_client, watcher_disconnect_mid_stream_leaves_server_healthy) {
+  // A watcher that vanishes without cancelling (process death): the
+  // server's writer must notice the dead socket and reap the
+  // connection, leaving the server fully serviceable.
+  pim_server server(small_server_config());
+  server.start();
+  {
+    remote_client watcher("127.0.0.1", server.port());
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pushes = 0;
+    watcher.watch_stats(10, [&](const stats_push_resp&) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++pushes;
+      cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return pushes >= 2; }));
+    // Destructor closes the socket with the watch still active.
+  }
+  {
+    remote_client client("127.0.0.1", server.port());
+    const auto vs = client.allocate(8192, 2);
+    client.submit_bulk(dram::bulk_op::not_op, vs[0], nullptr, vs[1]).get();
+    EXPECT_NE(client.digest(), 0u);
   }
   server.stop();
 }
