@@ -45,9 +45,11 @@ struct builder {
   /// already decided smaller, `eq` tracks rows still equal on the
   /// processed prefix. Returns {lt, eq}; lt == -1 encodes the constant
   /// empty set (c had no one bits). With `need_eq` false (the caller
-  /// only consumes lt) the final slice's eq update is skipped — it
-  /// would be a dead op on every partition of every executed plan —
-  /// and the returned eq may be -1 / stale.
+  /// only consumes lt) eq maintenance stops after the constant's
+  /// lowest set bit — the only later reader of eq is the next set
+  /// bit's lt contribution, so everything below it would be a dead op
+  /// on every partition of every executed plan — and the returned eq
+  /// may be -1 / stale.
   std::pair<int, int> compare(std::uint32_t c, bool need_eq = true) {
     int lt = -1;
     int eq = -1;
@@ -75,7 +77,7 @@ struct builder {
               emit(dram::bulk_op::and_op, eq, not_of(s), contrib_tmp);
           emit(dram::bulk_op::or_op, lt, contrib, lt_acc);
         }
-        if (b == 0 && !need_eq) continue;
+        if (!need_eq && (c & ((1u << b) - 1)) == 0) continue;
         if (eq < 0) {
           eq = s;  // all-ones & s = s: read the slice directly
         } else {
@@ -85,7 +87,7 @@ struct builder {
       } else {
         // Rows with slice bit 1 while the constant has 0 become
         // greater: they just drop out of eq.
-        if (b == 0 && !need_eq) continue;
+        if (!need_eq && (c & ((1u << b) - 1)) == 0) continue;
         if (eq < 0) {
           eq_acc = temp();
           eq = emit(dram::bulk_op::not_op, s, -1, eq_acc);

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "verify/verify.h"
+
 namespace pim::query {
 
 predicate_node predicate_node::leaf(std::string column, db::predicate pred) {
@@ -172,6 +174,11 @@ query_plan plan_query(const table_schema& schema, const query_spec& spec) {
   plan.scratch_count = p.scratch;
   plan.selection = remap(sel);
   for (const int r : sum_build) plan.sum_regs.push_back(remap(r));
+#if PIM_VERIFY_ENABLED
+  // Debug builds self-check every plan they hand out; release builds
+  // compile the verifier out of this path entirely.
+  verify::assert_ok(verify::check_plan(schema, plan));
+#endif
   return plan;
 }
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "obs/trace.h"
+#include "verify/verify.h"
 
 namespace pim::service {
 
@@ -359,6 +360,15 @@ request_future pim_service::submit_cross(session_id issuer, dram::bulk_op op,
   const bool single_owner =
       a.owner == d.owner && (b == nullptr || b->owner == a.owner);
   if (single_owner) {
+#if PIM_VERIFY_ENABLED
+    // Placement-free structural check (arity, operand shapes): the one
+    // owner trivially resolves, so map it to shard 0.
+    verify::cross_op vop{op, a,
+                         b != nullptr ? std::optional<shared_vector>(*b)
+                                      : std::nullopt,
+                         d};
+    verify::assert_ok(verify::check_cross_plan({vop}, {{a.owner, 0}}));
+#endif
     // Fast path: every operand lives with one session, so the task
     // runs directly on its shard exactly like a home submit.
     request r;
@@ -406,6 +416,20 @@ request_future pim_service::submit_cross(session_id issuer, dram::bulk_op op,
     issuer_weight = record_of(issuer).weight;
     guard = pin_sessions_locked(pinned);
   }
+
+#if PIM_VERIFY_ENABLED
+  {
+    // Every owner just resolved through the session map — the real
+    // remap the plan will be staged against.
+    std::map<session_id, int> placement{{a.owner, sa}, {d.owner, sd}};
+    if (b != nullptr) placement.emplace(b->owner, sb);
+    verify::cross_op vop{op, a,
+                         b != nullptr ? std::optional<shared_vector>(*b)
+                                      : std::nullopt,
+                         d};
+    verify::assert_ok(verify::check_cross_plan({vop}, placement));
+  }
+#endif
 
   // Two-phase plan. Pick the executing shard by operand bytes moved
   // across shards: remote inputs must be staged in, and a remote

@@ -1,0 +1,206 @@
+#include "verify/graph_check.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/digest.h"
+
+namespace pim::verify {
+
+namespace {
+
+/// DFS state for cycle detection.
+enum class mark : std::uint8_t { unvisited, on_stack, done };
+
+bool find_cycle(const task_graph& g, int node, std::vector<mark>& marks) {
+  marks[static_cast<std::size_t>(node)] = mark::on_stack;
+  for (const int dep : g.nodes[static_cast<std::size_t>(node)].deps) {
+    if (dep < 0 || dep >= static_cast<int>(g.nodes.size())) continue;
+    const mark m = marks[static_cast<std::size_t>(dep)];
+    if (m == mark::on_stack) return true;
+    if (m == mark::unvisited && find_cycle(g, dep, marks)) return true;
+  }
+  marks[static_cast<std::size_t>(node)] = mark::done;
+  return false;
+}
+
+bool conflicts(const task_node& x, const task_node& y) {
+  auto hits = [](const std::vector<std::uint64_t>& keys,
+                 const std::unordered_set<std::uint64_t>& set) {
+    return std::any_of(keys.begin(), keys.end(),
+                       [&](std::uint64_t k) { return set.count(k) != 0; });
+  };
+  const std::unordered_set<std::uint64_t> x_writes(x.writes.begin(),
+                                                   x.writes.end());
+  if (hits(y.reads, x_writes) || hits(y.writes, x_writes)) return true;
+  const std::unordered_set<std::uint64_t> y_writes(y.writes.begin(),
+                                                   y.writes.end());
+  return hits(x.reads, y_writes);
+}
+
+}  // namespace
+
+report check_task_graph(const task_graph& g) {
+  report r;
+  r.artifact = "task_graph";
+  const int n = static_cast<int>(g.nodes.size());
+
+  for (int i = 0; i < n; ++i) {
+    for (const int dep : g.nodes[static_cast<std::size_t>(i)].deps) {
+      if (dep < 0 || dep >= n) {
+        r.add(diag::unknown_dependency, i,
+              "depends on node " + std::to_string(dep) + ", graph has " +
+                  std::to_string(n));
+      } else if (dep == i) {
+        r.add(diag::unknown_dependency, i, "depends on itself");
+      }
+    }
+  }
+
+  std::vector<mark> marks(static_cast<std::size_t>(n), mark::unvisited);
+  bool cyclic = false;
+  for (int i = 0; i < n && !cyclic; ++i) {
+    if (marks[static_cast<std::size_t>(i)] == mark::unvisited &&
+        find_cycle(g, i, marks)) {
+      r.add(diag::dependency_cycle, i,
+            "dependency cycle through node " + std::to_string(i));
+      cyclic = true;  // one finding; a cyclic graph has no valid order
+    }
+  }
+
+  // Hazard ordering needs reachability; skip it on a cyclic graph
+  // (everything on the cycle "reaches" everything, vacuously).
+  if (!cyclic) {
+    // reach[i] = nodes that must run before i (transitive deps).
+    std::vector<std::vector<bool>> reach(
+        static_cast<std::size_t>(n),
+        std::vector<bool>(static_cast<std::size_t>(n), false));
+    // Process in an order where deps come first (the graph is acyclic;
+    // iterate until fixpoint is overkill — do a simple topological
+    // pass via repeated relaxation, n is small for plan-sized graphs).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int i = 0; i < n; ++i) {
+        for (const int dep : g.nodes[static_cast<std::size_t>(i)].deps) {
+          if (dep < 0 || dep >= n) continue;
+          auto& row = reach[static_cast<std::size_t>(i)];
+          if (!row[static_cast<std::size_t>(dep)]) {
+            row[static_cast<std::size_t>(dep)] = true;
+            changed = true;
+          }
+          const auto& dep_row = reach[static_cast<std::size_t>(dep)];
+          for (int k = 0; k < n; ++k) {
+            if (dep_row[static_cast<std::size_t>(k)] &&
+                !row[static_cast<std::size_t>(k)]) {
+              row[static_cast<std::size_t>(k)] = true;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (!conflicts(g.nodes[static_cast<std::size_t>(i)],
+                       g.nodes[static_cast<std::size_t>(j)])) {
+          continue;
+        }
+        if (!reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] &&
+            !reach[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)]) {
+          r.add(diag::unordered_hazard, j,
+                "conflicts with node " + std::to_string(i) +
+                    " but neither orders the other");
+        }
+      }
+    }
+  }
+
+  return r;
+}
+
+std::uint64_t row_key(const service::shared_vector& sv, std::size_t row) {
+  const dram::address& a = sv.v.rows[row];
+  std::uint64_t h = fnv1a(fnv1a_basis, sv.owner);
+  h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(a.channel)));
+  h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(a.rank)));
+  h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(a.bank)));
+  h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(a.row)));
+  return h;
+}
+
+task_graph graph_of_cross_plan(const std::vector<cross_op>& ops) {
+  task_graph g;
+  g.nodes.resize(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const cross_op& op = ops[i];
+    task_node& node = g.nodes[i];
+    for (std::size_t row = 0; row < op.a.v.rows.size(); ++row) {
+      node.reads.push_back(row_key(op.a, row));
+    }
+    if (op.b) {
+      for (std::size_t row = 0; row < op.b->v.rows.size(); ++row) {
+        node.reads.push_back(row_key(*op.b, row));
+      }
+    }
+    for (std::size_t row = 0; row < op.d.v.rows.size(); ++row) {
+      node.writes.push_back(row_key(op.d, row));
+    }
+    // Program order: the service's reservation on each destination
+    // orders every later touch of those rows behind this op.
+    for (std::size_t j = 0; j < i; ++j) {
+      if (conflicts(g.nodes[j], node)) {
+        node.deps.push_back(static_cast<int>(j));
+      }
+    }
+  }
+  return g;
+}
+
+report check_cross_plan(const std::vector<cross_op>& ops,
+                        const std::map<service::session_id, int>& placement) {
+  report r;
+  r.artifact = "cross_plan";
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const cross_op& op = ops[i];
+    const int loc = static_cast<int>(i);
+
+    const bool unary = dram::is_unary(op.op);
+    if (unary != !op.b.has_value()) {
+      r.add(diag::cross_arity_mismatch, loc,
+            std::string(dram::to_string(op.op)) +
+                (unary ? " is unary but carries a b operand"
+                       : " is binary but b is unset"));
+    }
+
+    std::vector<const service::shared_vector*> operands{&op.a, &op.d};
+    if (op.b) operands.insert(operands.begin() + 1, &*op.b);
+    for (const service::shared_vector* sv : operands) {
+      if (placement.find(sv->owner) == placement.end()) {
+        r.add(diag::unresolvable_operand, loc,
+              "owner session " + std::to_string(sv->owner) +
+                  " not in the session remap");
+      }
+    }
+    for (const service::shared_vector* sv : operands) {
+      if (sv->v.size != op.a.v.size ||
+          sv->v.rows.size() != op.a.v.rows.size()) {
+        r.add(diag::operand_size_mismatch, loc,
+              "operand shapes disagree (" + std::to_string(sv->v.size) +
+                  "b/" + std::to_string(sv->v.rows.size()) + " rows vs " +
+                  std::to_string(op.a.v.size) + "b/" +
+                  std::to_string(op.a.v.rows.size()) + " rows)");
+        break;
+      }
+    }
+  }
+
+  report graph = check_task_graph(graph_of_cross_plan(ops));
+  for (diagnostic& d : graph.diagnostics) {
+    r.diagnostics.push_back(std::move(d));
+  }
+  return r;
+}
+
+}  // namespace pim::verify

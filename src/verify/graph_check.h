@@ -1,0 +1,73 @@
+// Static checker for task graphs and cross-shard plans (V2xx block).
+//
+// The runtime derives task dependencies from row hazards at execution
+// time; a *producer* of a task graph (the query executor, the
+// cross-shard stager, a future KV ADO planner) instead declares its
+// ordering statically. check_task_graph proves the declared graph is
+// sound: every dependency edge names a real node, the graph is a DAG,
+// and every pair of conflicting tasks — one writes a resource the
+// other touches — is connected by a dependency path in some direction
+// (the row-reservation ordering invariant: an unordered hazard means
+// the result depends on scheduling luck).
+//
+// check_cross_plan lifts a sequence of submit_shared-style ops into
+// that model: operands must resolve through the session remap, arity
+// and operand shapes must match, and the program-order graph the
+// service's reservation machinery enforces must itself verify.
+#ifndef PIM_VERIFY_GRAPH_CHECK_H
+#define PIM_VERIFY_GRAPH_CHECK_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "service/request.h"
+#include "verify/diagnostics.h"
+
+namespace pim::verify {
+
+/// One task: the nodes it must run after, and the abstract resource
+/// keys (rows, vectors — any stable id) it reads and writes.
+struct task_node {
+  std::vector<int> deps;
+  std::vector<std::uint64_t> reads;
+  std::vector<std::uint64_t> writes;
+};
+
+struct task_graph {
+  std::vector<task_node> nodes;
+};
+
+/// V201 unknown-dependency, V202 dependency-cycle, V203
+/// unordered-hazard.
+report check_task_graph(const task_graph& g);
+
+/// One cross-session bulk op of a cross-shard plan: d = op(a[, b]).
+struct cross_op {
+  dram::bulk_op op = dram::bulk_op::not_op;
+  service::shared_vector a;
+  std::optional<service::shared_vector> b;
+  service::shared_vector d;
+};
+
+/// Stable resource key of one row of a shared vector (owner-scoped, so
+/// virtual row ids of different sessions never collide).
+std::uint64_t row_key(const service::shared_vector& sv, std::size_t row);
+
+/// The program-order task graph of `ops`: one node per op, reading its
+/// operands' rows and writing its destination's, with a dependency
+/// edge i -> j (i < j) for every conflicting earlier op — the ordering
+/// the service's row reservations enforce at runtime.
+task_graph graph_of_cross_plan(const std::vector<cross_op>& ops);
+
+/// Checks `ops` against `placement` (session -> shard, the remap the
+/// plan will resolve operands through): V204 unresolvable-operand,
+/// V205 cross-arity-mismatch, V206 operand-size-mismatch, plus the
+/// task-graph checks over graph_of_cross_plan.
+report check_cross_plan(const std::vector<cross_op>& ops,
+                        const std::map<service::session_id, int>& placement);
+
+}  // namespace pim::verify
+
+#endif  // PIM_VERIFY_GRAPH_CHECK_H

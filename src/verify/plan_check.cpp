@@ -1,0 +1,239 @@
+#include "verify/plan_check.h"
+
+#include <string>
+#include <vector>
+
+namespace pim::verify {
+
+namespace {
+
+std::string reg_name(const query::query_plan& plan, int r) {
+  if (r >= 0 && r < plan.input_count()) {
+    const query::slice_ref& in = plan.inputs[static_cast<std::size_t>(r)];
+    return "c" + std::to_string(in.column) + "[" + std::to_string(in.bit) +
+           "]";
+  }
+  return "t" + std::to_string(r - plan.input_count());
+}
+
+}  // namespace
+
+report check_plan(const query::table_schema& schema,
+                  const query::query_plan& plan, int scratch_budget) {
+  report r;
+  r.artifact = "query_plan";
+
+  const int inputs = plan.input_count();
+  const int regs = inputs + plan.scratch_count;
+  if (plan.scratch_count < 0) {
+    r.add(diag::plan_register_out_of_range, -1,
+          "negative scratch_count " + std::to_string(plan.scratch_count));
+    return r;
+  }
+
+  const int columns = static_cast<int>(schema.columns.size());
+  for (int i = 0; i < inputs; ++i) {
+    const query::slice_ref& in = plan.inputs[static_cast<std::size_t>(i)];
+    if (in.column < 0 || in.column >= columns) {
+      r.add(diag::input_out_of_schema, i,
+            "input " + std::to_string(i) + " names column " +
+                std::to_string(in.column) + ", schema has " +
+                std::to_string(columns));
+      continue;
+    }
+    const int width =
+        schema.columns[static_cast<std::size_t>(in.column)].bit_width;
+    if (in.bit < 0 || in.bit >= width) {
+      r.add(diag::input_out_of_schema, i,
+            "input " + std::to_string(i) + " names bit " +
+                std::to_string(in.bit) + " of " + std::to_string(width) +
+                "-bit column " + std::to_string(in.column));
+    }
+  }
+
+  const int n = static_cast<int>(plan.steps.size());
+  auto in_file = [&](int reg) { return reg >= 0 && reg < regs; };
+
+  std::vector<bool> defined(static_cast<std::size_t>(regs), false);
+  for (int i = 0; i < inputs; ++i) defined[static_cast<std::size_t>(i)] = true;
+  std::vector<bool> structural_ok(static_cast<std::size_t>(n), true);
+
+  for (int i = 0; i < n; ++i) {
+    const query::plan_step& step = plan.steps[static_cast<std::size_t>(i)];
+    bool ok = true;
+
+    const bool unary = dram::is_unary(step.op);
+    if (unary != (step.b < 0)) {
+      r.add(diag::plan_arity_mismatch, i,
+            std::string(dram::to_string(step.op)) +
+                (unary ? " is unary but carries a b operand"
+                       : " is binary but b is unset"));
+      ok = false;
+    }
+    for (const int reg : {step.a, step.b}) {
+      if (reg == -1) continue;
+      if (!in_file(reg)) {
+        r.add(diag::plan_register_out_of_range, i,
+              "operand register " + std::to_string(reg) + " outside [0, " +
+                  std::to_string(regs) + ")");
+        ok = false;
+      } else if (!defined[static_cast<std::size_t>(reg)]) {
+        r.add(diag::plan_use_before_def, i,
+              reg_name(plan, reg) + " read before first write");
+      }
+    }
+    if (!in_file(step.d)) {
+      r.add(diag::plan_register_out_of_range, i,
+            "destination register " + std::to_string(step.d) +
+                " outside [0, " + std::to_string(regs) + ")");
+      ok = false;
+    } else if (step.d < inputs) {
+      r.add(diag::plan_write_to_input, i,
+            "writes input register " + reg_name(plan, step.d));
+      ok = false;
+    } else {
+      defined[static_cast<std::size_t>(step.d)] = true;
+    }
+    structural_ok[static_cast<std::size_t>(i)] = ok;
+  }
+
+  // Liveness roots: the selection plus every sum mask register.
+  std::vector<int> roots;
+  bool selection_usable = false;
+  if (plan.selection < inputs || plan.selection >= regs) {
+    r.add(diag::selection_invalid, -1,
+          "selection register " + std::to_string(plan.selection) +
+              " is not a scratch register of [" + std::to_string(inputs) +
+              ", " + std::to_string(regs) + ")");
+  } else if (!defined[static_cast<std::size_t>(plan.selection)]) {
+    r.add(diag::selection_invalid, -1,
+          reg_name(plan, plan.selection) +
+              " named as selection but never written");
+  } else {
+    roots.push_back(plan.selection);
+    selection_usable = true;
+  }
+
+  if (plan.agg == query::agg_kind::sum) {
+    if (plan.agg_column < 0 || plan.agg_column >= columns) {
+      r.add(diag::aggregate_invalid, -1,
+            "sum aggregate names column " + std::to_string(plan.agg_column) +
+                ", schema has " + std::to_string(columns));
+    } else {
+      const std::size_t width = static_cast<std::size_t>(
+          schema.columns[static_cast<std::size_t>(plan.agg_column)].bit_width);
+      if (plan.sum_regs.size() != width) {
+        r.add(diag::aggregate_invalid, -1,
+              "sum over " + std::to_string(width) + "-bit column carries " +
+                  std::to_string(plan.sum_regs.size()) + " mask registers");
+      }
+    }
+    for (std::size_t b = 0; b < plan.sum_regs.size(); ++b) {
+      const int reg = plan.sum_regs[b];
+      if (reg < inputs || reg >= regs ||
+          !defined[static_cast<std::size_t>(reg)]) {
+        r.add(diag::aggregate_invalid, static_cast<int>(b),
+              "sum mask register " + std::to_string(reg) +
+                  " is not a written scratch register");
+      } else {
+        roots.push_back(reg);
+      }
+    }
+  } else if (!plan.sum_regs.empty() || plan.agg_column >= 0) {
+    r.add(diag::aggregate_invalid, -1,
+          "non-sum aggregate carries sum state (agg_column " +
+              std::to_string(plan.agg_column) + ", " +
+              std::to_string(plan.sum_regs.size()) + " sum_regs)");
+  }
+
+  if (selection_usable) {
+    std::vector<bool> live(static_cast<std::size_t>(regs), false);
+    for (const int root : roots) live[static_cast<std::size_t>(root)] = true;
+    for (int i = n - 1; i >= 0; --i) {
+      if (!structural_ok[static_cast<std::size_t>(i)]) continue;
+      const query::plan_step& step = plan.steps[static_cast<std::size_t>(i)];
+      if (!live[static_cast<std::size_t>(step.d)]) {
+        r.add(diag::dead_step, i,
+              reg_name(plan, step.d) + " written but never read afterwards");
+        continue;
+      }
+      live[static_cast<std::size_t>(step.d)] = false;
+      for (const int reg : {step.a, step.b}) {
+        if (reg >= 0) live[static_cast<std::size_t>(reg)] = true;
+      }
+    }
+  }
+
+  if (scratch_budget >= 0 && plan.scratch_count > scratch_budget) {
+    r.add(diag::plan_scratch_budget, -1,
+          "needs " + std::to_string(plan.scratch_count) +
+              " scratch vectors, table allocated " +
+              std::to_string(scratch_budget));
+  }
+
+  return r;
+}
+
+report check_colocation(const dram::organization& org,
+                        const std::vector<resolved_step>& steps) {
+  report r;
+  r.artifact = "resolved plan binding";
+  const int rows_per_subarray = org.rows_per_subarray();
+
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const std::vector<dram::bulk_vector>& ops =
+        steps[i].operands;
+    if (ops.empty()) continue;
+    const int loc = static_cast<int>(i);
+    const dram::bulk_vector& first = ops.front();
+    bool shape_ok = true;
+    for (const dram::bulk_vector& v : ops) {
+      if (v.size != first.size || v.rows.size() != first.rows.size()) {
+        r.add(diag::colocation_violation, loc,
+              "operand shapes disagree (" + std::to_string(v.size) + "b/" +
+                  std::to_string(v.rows.size()) + " rows vs " +
+                  std::to_string(first.size) + "b/" +
+                  std::to_string(first.rows.size()) + " rows)");
+        shape_ok = false;
+        break;
+      }
+    }
+    if (!shape_ok) continue;
+
+    for (std::size_t row = 0; row < first.rows.size(); ++row) {
+      const dram::address& ref = first.rows[row];
+      for (const dram::bulk_vector& v : ops) {
+        const dram::address& a = v.rows[row];
+        // Virtual handles (service session rows) carry no physical
+        // placement; their co-location is the owning shard's remap
+        // invariant. Mixing them with physical rows in one op can
+        // never satisfy a triple-row activation.
+        if ((a.channel < 0) != (ref.channel < 0)) {
+          r.add(diag::colocation_violation, loc,
+                "row " + std::to_string(row) +
+                    " mixes virtual and physical addresses");
+          break;
+        }
+        if (a.channel < 0) continue;
+        const bool same_bank = a.channel == ref.channel &&
+                               a.rank == ref.rank && a.bank == ref.bank;
+        if (!same_bank ||
+            a.row / rows_per_subarray != ref.row / rows_per_subarray) {
+          r.add(diag::colocation_violation, loc,
+                "row " + std::to_string(row) +
+                    " spans subarrays: (ch " + std::to_string(ref.channel) +
+                    " rk " + std::to_string(ref.rank) + " bk " +
+                    std::to_string(ref.bank) + " row " +
+                    std::to_string(ref.row) + ") vs (ch " +
+                    std::to_string(a.channel) + " rk " +
+                    std::to_string(a.rank) + " bk " + std::to_string(a.bank) +
+                    " row " + std::to_string(a.row) + ")");
+          break;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace pim::verify

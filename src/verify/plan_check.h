@@ -1,0 +1,44 @@
+// Static checker for query plans and operand bindings (V1xx block).
+//
+// check_plan proves a query_plan is executable before any task is
+// submitted: inputs resolve against the schema, the step program is
+// well-formed (def-before-use, writes only to scratch, op arity), the
+// selection and aggregate registers are defined, no step is dead work,
+// and the scratch demand fits the table's per-partition pool.
+//
+// check_colocation proves the Ambit TRA invariant on a *resolved*
+// binding — the per-step operand vectors a stager produced: every
+// operand of a step must land in one co-located group, i.e. for each
+// row index the operands' physical rows share (channel, rank, bank)
+// and one subarray. Virtual handles (channel == -1, service-side
+// session rows) carry no physical placement, so only their shape is
+// checked; mixing virtual and physical rows inside one step is always
+// a violation.
+#ifndef PIM_VERIFY_PLAN_CHECK_H
+#define PIM_VERIFY_PLAN_CHECK_H
+
+#include "dram/organization.h"
+#include "query/plan.h"
+#include "verify/diagnostics.h"
+
+namespace pim::verify {
+
+/// Checks `plan` against `schema`. `scratch_budget` is the table's
+/// per-partition scratch pool (V109); -1 skips the budget check.
+report check_plan(const query::table_schema& schema,
+                  const query::query_plan& plan, int scratch_budget = -1);
+
+/// One plan step's operands after binding to real vectors, in
+/// (a[, b], d) order.
+struct resolved_step {
+  std::vector<dram::bulk_vector> operands;
+};
+
+/// Checks the TRA co-location invariant over resolved steps (V110).
+/// `org` supplies the subarray geometry for physical addresses.
+report check_colocation(const dram::organization& org,
+                        const std::vector<resolved_step>& steps);
+
+}  // namespace pim::verify
+
+#endif  // PIM_VERIFY_PLAN_CHECK_H

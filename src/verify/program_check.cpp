@@ -1,0 +1,145 @@
+#include "verify/program_check.h"
+
+#include <string>
+#include <vector>
+
+namespace pim::verify {
+
+namespace {
+
+std::string reg_name(const db::scan_program& prog, int r) {
+  if (r >= 0 && r < prog.width) return "s" + std::to_string(r);
+  return "t" + std::to_string(r - prog.width);
+}
+
+}  // namespace
+
+report check_program(const db::scan_program& prog, int scratch_budget) {
+  report r;
+  r.artifact = "scan_program";
+
+  if (prog.width < 0 || prog.reg_count < prog.width) {
+    r.add(diag::register_out_of_range, -1,
+          "register file malformed: width " + std::to_string(prog.width) +
+              ", reg_count " + std::to_string(prog.reg_count));
+    return r;  // nothing else is meaningful against a broken file
+  }
+
+  const int n = static_cast<int>(prog.instrs.size());
+  auto in_file = [&](int reg) { return reg >= 0 && reg < prog.reg_count; };
+
+  // Forward pass: operand validity and def-before-use. Slice registers
+  // [0, width) are pre-defined (the column's bit slices); scratch
+  // registers become defined at their first write.
+  std::vector<bool> defined(static_cast<std::size_t>(prog.reg_count), false);
+  for (int i = 0; i < prog.width; ++i) defined[static_cast<std::size_t>(i)] = true;
+  // Instructions whose structure is broken are excluded from the
+  // liveness pass below — a nonsense register index would index out of
+  // the liveness arrays, and cascading diagnostics off one bad
+  // instruction only buries the root cause.
+  std::vector<bool> structural_ok(static_cast<std::size_t>(n), true);
+
+  for (int i = 0; i < n; ++i) {
+    const db::scan_instr& instr = prog.instrs[static_cast<std::size_t>(i)];
+    bool ok = true;
+
+    const bool unary = dram::is_unary(instr.op);
+    if (unary != (instr.b < 0)) {
+      r.add(diag::arity_mismatch, i,
+            std::string(dram::to_string(instr.op)) +
+                (unary ? " is unary but carries a b operand"
+                       : " is binary but b is unset"));
+      ok = false;
+    }
+    for (const int reg : {instr.a, instr.b}) {
+      if (reg == -1) continue;  // checked by arity above
+      if (!in_file(reg)) {
+        r.add(diag::register_out_of_range, i,
+              "operand register " + std::to_string(reg) + " outside [0, " +
+                  std::to_string(prog.reg_count) + ")");
+        ok = false;
+      } else if (!defined[static_cast<std::size_t>(reg)]) {
+        r.add(diag::use_before_def, i,
+              reg_name(prog, reg) + " read before first write");
+      }
+    }
+    if (!in_file(instr.d)) {
+      r.add(diag::register_out_of_range, i,
+            "destination register " + std::to_string(instr.d) +
+                " outside [0, " + std::to_string(prog.reg_count) + ")");
+      ok = false;
+    } else if (instr.d < prog.width) {
+      r.add(diag::write_to_slice, i,
+            "writes slice register " + reg_name(prog, instr.d));
+      ok = false;
+    } else {
+      defined[static_cast<std::size_t>(instr.d)] = true;
+    }
+    structural_ok[static_cast<std::size_t>(i)] = ok;
+  }
+
+  // Result register: set, in range, and (when scratch) actually
+  // written by some instruction.
+  bool result_usable = false;
+  if (prog.result < 0 || prog.result >= prog.reg_count) {
+    r.add(diag::result_invalid, -1,
+          "result register " + std::to_string(prog.result) + " outside [0, " +
+              std::to_string(prog.reg_count) + ")");
+  } else if (!defined[static_cast<std::size_t>(prog.result)]) {
+    r.add(diag::result_invalid, -1,
+          reg_name(prog, prog.result) + " named as result but never written");
+  } else {
+    result_usable = true;
+  }
+
+  // Backward liveness: an instruction is live when its destination is
+  // read later (before being overwritten) or carries the result. Each
+  // write fully overwrites its register, so a write kills liveness.
+  if (result_usable) {
+    std::vector<bool> live(static_cast<std::size_t>(prog.reg_count), false);
+    live[static_cast<std::size_t>(prog.result)] = true;
+    for (int i = n - 1; i >= 0; --i) {
+      if (!structural_ok[static_cast<std::size_t>(i)]) continue;
+      const db::scan_instr& instr = prog.instrs[static_cast<std::size_t>(i)];
+      if (!live[static_cast<std::size_t>(instr.d)]) {
+        r.add(diag::dead_instruction, i,
+              reg_name(prog, instr.d) + " written but never read afterwards");
+        continue;
+      }
+      live[static_cast<std::size_t>(instr.d)] = false;
+      for (const int reg : {instr.a, instr.b}) {
+        if (reg >= 0) live[static_cast<std::size_t>(reg)] = true;
+      }
+    }
+  }
+
+  // Unused scratch registers: allocated in the file but untouched by
+  // every instruction and not the result — a leaked slot in the
+  // partition's scratch pool.
+  std::vector<bool> touched(static_cast<std::size_t>(prog.reg_count), false);
+  for (const db::scan_instr& instr : prog.instrs) {
+    for (const int reg : {instr.a, instr.b, instr.d}) {
+      if (in_file(reg)) touched[static_cast<std::size_t>(reg)] = true;
+    }
+  }
+  if (prog.result >= 0 && prog.result < prog.reg_count) {
+    touched[static_cast<std::size_t>(prog.result)] = true;
+  }
+  for (int reg = prog.width; reg < prog.reg_count; ++reg) {
+    if (!touched[static_cast<std::size_t>(reg)]) {
+      r.add(diag::unused_scratch, -1,
+            reg_name(prog, reg) + " allocated but never used");
+    }
+  }
+
+  if (scratch_budget >= 0 && prog.scratch_count() > scratch_budget) {
+    r.add(diag::scratch_budget, -1,
+          "needs " + std::to_string(prog.scratch_count()) +
+              " scratch registers, pool holds " +
+              std::to_string(scratch_budget));
+  }
+
+  return r;
+}
+
+}  // namespace pim::verify

@@ -1,0 +1,26 @@
+// Static checker for db::scan_program register programs (V0xx block).
+//
+// A scan program is the executable contract between the lowering and
+// everything that runs it — db::run_program on host bitvectors, the
+// query planner mapping it onto DRAM vectors. The checker proves the
+// structural invariants those consumers assume without executing
+// anything: every operand is a real register, scratch reads happen
+// after a write, slice registers stay read-only, the result is
+// defined, and the program carries no dead work (an instruction whose
+// value nothing observes would be a wasted bulk op on every partition
+// of every executed plan).
+#ifndef PIM_VERIFY_PROGRAM_CHECK_H
+#define PIM_VERIFY_PROGRAM_CHECK_H
+
+#include "db/lowering.h"
+#include "verify/diagnostics.h"
+
+namespace pim::verify {
+
+/// Checks `prog`. `scratch_budget` is the partition scratch-pool size
+/// the program must fit (V008); pass -1 to skip the budget check.
+report check_program(const db::scan_program& prog, int scratch_budget = -1);
+
+}  // namespace pim::verify
+
+#endif  // PIM_VERIFY_PROGRAM_CHECK_H

@@ -1,0 +1,138 @@
+#include "verify/wire_check.h"
+
+#include <map>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace pim::verify {
+
+namespace {
+
+constexpr std::uint8_t raw(net::opcode op) {
+  return static_cast<std::uint8_t>(op);
+}
+
+}  // namespace
+
+wire_schema_info canonical_wire_schema() {
+  using net::opcode;
+  wire_schema_info s;
+  s.version_min = net::wire_version_min;
+  s.version_max = net::wire_version;
+  s.error_opcode = raw(opcode::error);
+
+  const std::uint8_t v1 = 1;
+  // Version 2 added the hello negotiation; the observability opcodes
+  // (get_metrics/trace_ctl/watch_stats and their responses) shipped
+  // while version 2 was current, so 2 is the floor they exist at.
+  const std::uint8_t v2 = 2;
+  const std::uint8_t vmax = net::wire_version;
+
+  s.opcodes = {
+      // requests                                 response              versions
+      {raw(opcode::open_session), "open_session", true, raw(opcode::opened), v1, vmax},
+      {raw(opcode::close_session), "close_session", true, raw(opcode::closed), v1, vmax},
+      {raw(opcode::allocate), "allocate", true, raw(opcode::vectors), v1, vmax},
+      {raw(opcode::write), "write", true, raw(opcode::done), v1, vmax},
+      {raw(opcode::read), "read", true, raw(opcode::data), v1, vmax},
+      {raw(opcode::submit), "submit", true, raw(opcode::done), v1, vmax},
+      {raw(opcode::submit_shared), "submit_shared", true, raw(opcode::done), v1, vmax},
+      {raw(opcode::wait), "wait", true, raw(opcode::waited), v1, vmax},
+      {raw(opcode::stats), "stats", true, raw(opcode::stats_report), v1, vmax},
+      {raw(opcode::hello), "hello", true, raw(opcode::hello_ack), v2, vmax},
+      {raw(opcode::get_metrics), "get_metrics", true, raw(opcode::metrics_report), v2, vmax},
+      {raw(opcode::trace_ctl), "trace_ctl", true, raw(opcode::trace_ack), v2, vmax},
+      {raw(opcode::watch_stats), "watch_stats", true, raw(opcode::stats_push), v2, vmax},
+      // responses
+      {raw(opcode::opened), "opened", false, 0, v1, vmax},
+      {raw(opcode::closed), "closed", false, 0, v1, vmax},
+      {raw(opcode::vectors), "vectors", false, 0, v1, vmax},
+      {raw(opcode::data), "data", false, 0, v1, vmax},
+      {raw(opcode::done), "done", false, 0, v1, vmax},
+      {raw(opcode::waited), "waited", false, 0, v1, vmax},
+      {raw(opcode::stats_report), "stats_report", false, 0, v1, vmax},
+      {raw(opcode::error), "error", false, 0, v1, vmax},
+      {raw(opcode::hello_ack), "hello_ack", false, 0, v2, vmax},
+      {raw(opcode::metrics_report), "metrics_report", false, 0, v2, vmax},
+      {raw(opcode::trace_ack), "trace_ack", false, 0, v2, vmax},
+      {raw(opcode::stats_push), "stats_push", false, 0, v2, vmax},
+  };
+  // Closedness against the real protocol: one schema entry per
+  // net_message alternative. Adding a message type without extending
+  // this table fails the build here; pim_lint and the mutation tests
+  // take it from there.
+  static_assert(25 == std::variant_size_v<net::net_message>,
+                "net_message changed: extend canonical_wire_schema()");
+  return s;
+}
+
+report check_wire_schema(const wire_schema_info& schema) {
+  report r;
+  r.artifact = "wire_schema";
+
+  std::map<std::uint8_t, const opcode_info*> by_value;
+  for (std::size_t i = 0; i < schema.opcodes.size(); ++i) {
+    const opcode_info& op = schema.opcodes[i];
+    const int loc = static_cast<int>(i);
+
+    if (op.request ? op.value >= 64 : op.value < 64) {
+      r.add(diag::opcode_range, loc,
+            std::string(op.name) + " (" + std::to_string(op.value) + ") is a " +
+                (op.request ? "request >= 64" : "response < 64"));
+    }
+    const auto [it, inserted] = by_value.emplace(op.value, &op);
+    if (!inserted) {
+      r.add(diag::duplicate_opcode, loc,
+            std::string(op.name) + " reuses opcode " +
+                std::to_string(op.value) + " of " + it->second->name);
+    }
+    if (op.min_version > op.max_version ||
+        op.min_version < schema.version_min ||
+        op.max_version > schema.version_max) {
+      r.add(diag::version_bounds, loc,
+            std::string(op.name) + " spans versions [" +
+                std::to_string(op.min_version) + ", " +
+                std::to_string(op.max_version) + "], wire window is [" +
+                std::to_string(schema.version_min) + ", " +
+                std::to_string(schema.version_max) + "]");
+    }
+  }
+
+  // Every request needs a response arm that exists, is a response, and
+  // is live across the request's whole version window; and the error
+  // response any request can be answered with must itself exist.
+  const auto error_it = by_value.find(schema.error_opcode);
+  if (error_it == by_value.end() || error_it->second->request) {
+    r.add(diag::missing_response_arm, -1,
+          "error response opcode " + std::to_string(schema.error_opcode) +
+              " is not a response in the schema");
+  }
+  for (std::size_t i = 0; i < schema.opcodes.size(); ++i) {
+    const opcode_info& op = schema.opcodes[i];
+    if (!op.request) continue;
+    const int loc = static_cast<int>(i);
+    const auto it = by_value.find(op.response);
+    if (it == by_value.end() || it->second->request ||
+        it->second == &op) {
+      r.add(diag::missing_response_arm, loc,
+            std::string(op.name) + " names response opcode " +
+                std::to_string(op.response) + ", which is not a response");
+      continue;
+    }
+    const opcode_info& resp = *it->second;
+    if (resp.min_version > op.min_version ||
+        resp.max_version < op.max_version) {
+      r.add(diag::missing_response_arm, loc,
+            std::string(op.name) + " exists in versions [" +
+                std::to_string(op.min_version) + ", " +
+                std::to_string(op.max_version) + "] but its response " +
+                resp.name + " only in [" + std::to_string(resp.min_version) +
+                ", " + std::to_string(resp.max_version) + "]");
+    }
+  }
+
+  return r;
+}
+
+}  // namespace pim::verify

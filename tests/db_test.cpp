@@ -122,7 +122,13 @@ TEST(QueryCostTest, AmbitWinsAtEverySize) {
     const column col = random_column(rows, 8, gen);
     const bitslice_storage st(col);
     const auto cmp = compare_scan(st, predicate{cmp_op::lt, 100, 0});
-    EXPECT_GT(cmp.speedup(), 1.5) << rows;
+    // The LLC-resident size wins by less since the lowering stopped
+    // emitting dead eq-maintenance ops: a shorter program leaves fewer
+    // ops to amortize Ambit's fixed selection read-back over, while
+    // the CPU side scans fewer slices too. Cache-resident scans were
+    // never the paper's headline case — DRAM-resident ones below are.
+    EXPECT_GT(cmp.speedup(), rows <= (std::size_t{1} << 20) ? 1.2 : 3.0)
+        << rows;
   }
 }
 

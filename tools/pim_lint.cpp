@@ -1,0 +1,302 @@
+// pim_lint: static verifier CLI over the repo's plan-shaped artifacts.
+//
+// With no arguments it lints the built-in corpus — every predicate
+// shape the lowering can emit (op x width x constant sweep), the
+// planner's golden query specs, an allocator-produced co-location
+// binding, a cross-shard plan sample, and the canonical wire schema —
+// and prints one line per artifact family. Any finding is printed
+// with its stable ID ("V006 dead-instruction @3: ...") and the exit
+// code is 1; a clean corpus exits 0; usage errors exit 2.
+//
+//   pim_lint              lint the built-in corpus
+//   pim_lint --self-test  prove every catalog ID fires on seeded-bad input
+//   pim_lint --dump       print the diagnostic catalog
+//   pim_lint --report F   also write a JSON report to file F
+//
+// CI runs `pim_lint` and `pim_lint --self-test` on every push: the
+// first gates the producers (a planner change that emits a dead step
+// fails the build), the second gates the verifier itself (a checker
+// refactor that stops emitting an ID fails the build).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "db/bitweaving.h"
+#include "db/lowering.h"
+#include "dram/ambit.h"
+#include "query/plan.h"
+#include "verify/selftest.h"
+#include "verify/verify.h"
+
+namespace {
+
+using pim::verify::report;
+
+struct lint_outcome {
+  std::string family;
+  int artifacts = 0;
+  std::vector<report> findings;  // non-clean reports only
+};
+
+/// Every predicate shape the lowering emits: op x width x constants
+/// around the interesting boundaries (0, 1, mid, max-1, max).
+lint_outcome lint_lowering_sweep() {
+  lint_outcome out;
+  out.family = "lower_predicate sweep";
+  using pim::db::cmp_op;
+  const cmp_op ops[] = {cmp_op::eq, cmp_op::ne, cmp_op::lt, cmp_op::le,
+                        cmp_op::gt, cmp_op::ge, cmp_op::between};
+  for (int width : {1, 2, 3, 4, 8, 12, 16, 32}) {
+    const std::uint64_t max = (width == 32) ? 0xFFFFFFFFull
+                                            : ((1ull << width) - 1);
+    std::vector<std::uint32_t> values = {0, 1,
+                                         static_cast<std::uint32_t>(max / 2),
+                                         static_cast<std::uint32_t>(max)};
+    if (max > 1) values.push_back(static_cast<std::uint32_t>(max - 1));
+    for (const cmp_op op : ops) {
+      for (const std::uint32_t v : values) {
+        pim::db::predicate pred;
+        pred.op = op;
+        pred.value = v;
+        pred.value2 = static_cast<std::uint32_t>(max);  // between upper bound
+        const pim::db::scan_program prog =
+            pim::db::lower_predicate(width, pred);
+        report r = pim::verify::check_program(prog);
+        ++out.artifacts;
+        if (!r.ok()) {
+          r.artifact = "lower(width " + std::to_string(width) + ", op " +
+                       std::to_string(static_cast<int>(op)) + ", value " +
+                       std::to_string(v) + ")";
+          out.findings.push_back(std::move(r));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// The planner goldens: the query shapes tests/query_test.cpp pins
+/// down, plus aggregate variants.
+lint_outcome lint_planner_goldens() {
+  lint_outcome out;
+  out.family = "planner goldens";
+  using namespace pim::query;
+  table_schema schema;
+  schema.columns = {{"x", 8}, {"y", 6}, {"z", 3}};
+
+  auto leaf = [](const std::string& col, pim::db::cmp_op op, std::uint32_t v,
+                 std::uint32_t v2 = 0) {
+    pim::db::predicate p;
+    p.op = op;
+    p.value = v;
+    p.value2 = v2;
+    return predicate_node::leaf(col, p);
+  };
+
+  std::vector<query_spec> specs;
+  using pim::db::cmp_op;
+  specs.push_back({leaf("z", cmp_op::lt, 5), agg_kind::count, ""});
+  specs.push_back({leaf("x", cmp_op::ge, 6), agg_kind::count, ""});
+  specs.push_back({predicate_node::land(leaf("x", cmp_op::lt, 100),
+                                        leaf("y", cmp_op::ge, 16)),
+                   agg_kind::count, ""});
+  specs.push_back({predicate_node::lor(leaf("x", cmp_op::eq, 7),
+                                       leaf("y", cmp_op::lt, 8)),
+                   agg_kind::count, ""});
+  specs.push_back({predicate_node::lnot(leaf("y", cmp_op::between, 40, 50)),
+                   agg_kind::count, ""});
+  specs.push_back({leaf("x", cmp_op::lt, 32), agg_kind::sum, "y"});
+  specs.push_back({predicate_node::land(
+                       leaf("z", cmp_op::ne, 2),
+                       predicate_node::lor(leaf("x", cmp_op::le, 200),
+                                           leaf("y", cmp_op::gt, 3))),
+                   agg_kind::sum, "z"});
+
+  for (const query_spec& spec : specs) {
+    const query_plan plan = plan_query(schema, spec);
+    report r = pim::verify::check_plan(schema, plan);
+    ++out.artifacts;
+    if (!r.ok()) {
+      r.artifact = "plan_query golden #" + std::to_string(out.artifacts - 1);
+      out.findings.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+/// A real allocator group: the co-location invariant pim_table builds
+/// on, checked as the executor would bind a three-operand step.
+lint_outcome lint_allocator_binding() {
+  lint_outcome out;
+  out.family = "allocator co-location";
+  const pim::dram::organization org;
+  pim::dram::ambit_allocator alloc(org);
+  // Multi-row vectors force the group to stripe across banks — the
+  // invariant must hold per logical row index, not per vector.
+  const pim::bits size = org.row_bits() * 3;
+  const std::vector<pim::dram::bulk_vector> group =
+      alloc.allocate_group(size, 3);
+  pim::verify::resolved_step step;
+  step.operands = group;
+  report r = pim::verify::check_colocation(org, {step});
+  ++out.artifacts;
+  if (!r.ok()) out.findings.push_back(std::move(r));
+  return out;
+}
+
+/// Cross-shard plan sample mirroring what submit_cross stages.
+lint_outcome lint_cross_plan_sample() {
+  lint_outcome out;
+  out.family = "cross-shard plan";
+  auto vec = [](pim::service::session_id owner, int first_row) {
+    pim::service::shared_vector sv;
+    sv.owner = owner;
+    sv.v.size = 4096;
+    sv.v.rows = {pim::dram::address{-1, 0, 0, first_row, 0}};
+    return sv;
+  };
+  std::vector<pim::verify::cross_op> ops;
+  // t = a AND b; d = NOT t — the t hazard is ordered by program order.
+  pim::verify::cross_op first;
+  first.op = pim::dram::bulk_op::and_op;
+  first.a = vec(1, 0);
+  first.b = vec(2, 1);
+  first.d = vec(1, 2);
+  ops.push_back(first);
+  pim::verify::cross_op second;
+  second.op = pim::dram::bulk_op::not_op;
+  second.a = vec(1, 2);
+  second.d = vec(2, 3);
+  ops.push_back(second);
+  report r = pim::verify::check_cross_plan(ops, {{1, 0}, {2, 1}});
+  ++out.artifacts;
+  if (!r.ok()) out.findings.push_back(std::move(r));
+  return out;
+}
+
+lint_outcome lint_wire_schema() {
+  lint_outcome out;
+  out.family = "wire schema";
+  report r =
+      pim::verify::check_wire_schema(pim::verify::canonical_wire_schema());
+  ++out.artifacts;
+  if (!r.ok()) out.findings.push_back(std::move(r));
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void write_json_report(const std::string& path,
+                       const std::vector<lint_outcome>& outcomes, bool ok) {
+  std::ofstream f(path);
+  f << "{\n  \"ok\": " << (ok ? "true" : "false") << ",\n  \"families\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const lint_outcome& o = outcomes[i];
+    f << "    {\"family\": \"" << json_escape(o.family)
+      << "\", \"artifacts\": " << o.artifacts << ", \"findings\": [";
+    bool first = true;
+    for (const report& r : o.findings) {
+      for (const pim::verify::diagnostic& d : r.diagnostics) {
+        if (!first) f << ", ";
+        first = false;
+        f << "{\"id\": \"" << pim::verify::id_of(d.d) << "\", \"artifact\": \""
+          << json_escape(r.artifact) << "\", \"location\": " << d.location
+          << ", \"message\": \"" << json_escape(d.message) << "\"}";
+      }
+    }
+    f << "]}" << (i + 1 < outcomes.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+}
+
+int run_corpus_lint(const std::string& report_path) {
+  const std::vector<lint_outcome> outcomes = {
+      lint_lowering_sweep(), lint_planner_goldens(), lint_allocator_binding(),
+      lint_cross_plan_sample(), lint_wire_schema()};
+  bool ok = true;
+  for (const lint_outcome& o : outcomes) {
+    std::cout << o.family << ": " << o.artifacts << " artifact"
+              << (o.artifacts == 1 ? "" : "s") << ", "
+              << (o.findings.empty() ? "clean"
+                                     : std::to_string(o.findings.size()) +
+                                           " with findings")
+              << "\n";
+    for (const report& r : o.findings) {
+      ok = false;
+      std::cout << "  " << r.artifact << ":\n";
+      for (const pim::verify::diagnostic& d : r.diagnostics) {
+        std::cout << "    " << pim::verify::id_of(d.d) << " "
+                  << pim::verify::info_of(d.d).title << " @" << d.location
+                  << ": " << d.message << "\n";
+      }
+    }
+  }
+  if (!report_path.empty()) write_json_report(report_path, outcomes, ok);
+  std::cout << (ok ? "pim_lint: corpus clean" : "pim_lint: FINDINGS") << "\n";
+  return ok ? 0 : 1;
+}
+
+int run_self_test() {
+  const auto results = pim::verify::run_selftest();
+  std::cout << pim::verify::to_string(results);
+  bool ok = true;
+  for (const auto& r : results) {
+    if (!r.fired) ok = false;
+  }
+  for (const auto& [name, r] : pim::verify::baseline_reports()) {
+    std::cout << name << ": " << (r.ok() ? "clean" : r.to_string()) << "\n";
+    if (!r.ok()) ok = false;
+  }
+  std::cout << (ok ? "self-test: all " + std::to_string(results.size()) +
+                         " diagnostics fire"
+                   : "self-test: FAILED")
+            << "\n";
+  return ok ? 0 : 1;
+}
+
+int dump_catalog() {
+  for (const pim::verify::diag_info& info : pim::verify::catalog()) {
+    std::cout << pim::verify::id_of(info.d) << " " << info.title << ": "
+              << info.summary << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool self_test = false;
+  bool dump = false;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else {
+      std::cerr << "usage: pim_lint [--self-test] [--dump] [--report FILE]\n";
+      return 2;
+    }
+  }
+  if (dump) return dump_catalog();
+  if (self_test) return run_self_test();
+  return run_corpus_lint(report_path);
+}
