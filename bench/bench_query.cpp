@@ -27,6 +27,7 @@
 #include "common/table.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/energy.h"
 #include "obs/trace.h"
 #include "query/exec.h"
 #include "query/explain.h"
@@ -97,8 +98,20 @@ struct run_point {
   std::uint64_t ops = 0;
   std::uint64_t total_ticks = 0;      // simulated clock: machine-independent
   std::uint64_t busy_bank_ticks = 0;
+  // Energy meter totals. Unlike ticks these are per-task deterministic
+  // (no overlap accounting), so the same workload must charge the same
+  // femtojoules at every shard count and over both transports.
+  std::uint64_t energy_fj = 0;
+  bytes moved_insitu = 0;
+  bytes moved_offchip = 0;
+  bytes moved_wire = 0;
   std::vector<std::uint64_t> digests;
   std::vector<std::uint64_t> gathered;
+
+  bool energy_equal(const run_point& o) const {
+    return energy_fj == o.energy_fj && moved_insitu == o.moved_insitu &&
+           moved_offchip == o.moved_offchip && moved_wire == o.moved_wire;
+  }
 };
 
 /// Builds the table over fresh sessions, loads the data, runs the
@@ -160,6 +173,10 @@ run_point run_mix(const dataset& data, int shards, int partitions,
   point.makespan_us = static_cast<double>(stats.makespan_ps) / 1e6;
   point.total_ticks = stats.total_ticks;
   point.busy_bank_ticks = stats.busy_bank_ticks;
+  point.energy_fj = stats.energy_fj;
+  point.moved_insitu = stats.moved_insitu_bytes;
+  point.moved_offchip = stats.moved_offchip_bytes;
+  point.moved_wire = stats.moved_wire_bytes;
   const double scanned =
       static_cast<double>(data.x.rows()) * static_cast<double>(scan_mix().size());
   if (stats.makespan_ps > 0) {
@@ -209,6 +226,7 @@ query::explain_result run_profile(const dataset& data, int shards,
   service::pim_service& live = remote ? server->service() : *svc;
   query::explain_options opts;
   opts.total_ticks = [&live] { return live.stats().total_ticks; };
+  opts.total_energy_fj = [&live] { return live.stats().energy_fj; };
   const query::explain_result ex =
       query::explain_query(table, scan_mix()[3], opts);
   if (remote) {
@@ -277,6 +295,12 @@ int main(int argc, char** argv) {
   for (const run_point& p : points) {
     if (p.digests != points.front().digests) digests_match = false;
   }
+  // Energy is charged per task from the task's own contents, so the
+  // identical workload must meter identically at every shard width.
+  bool energy_invariant = points.front().energy_fj > 0;
+  for (const run_point& p : points) {
+    if (!p.energy_equal(points.front())) energy_invariant = false;
+  }
 
   // Reference: the same predicates through the synchronous BitWeaving
   // evaluator (the same lowering, interpreted on the host).
@@ -332,6 +356,12 @@ int main(int argc, char** argv) {
             << (digests_match ? "identical" : "DIFFER")
             << ", vs synchronous reference "
             << (matches_reference ? "identical" : "DIFFER") << "\n";
+  std::cout << "energy across shard counts: "
+            << format_double(static_cast<double>(widest.energy_fj) / 1e3, 1)
+            << " pJ (insitu=" << widest.moved_insitu
+            << "B offchip=" << widest.moved_offchip
+            << "B wire=" << widest.moved_wire << "B) -> "
+            << (energy_invariant ? "identical" : "DIFFER") << "\n";
 
   // --- Cross-shard combine -------------------------------------------------
   std::cout << "\n=== Cross-shard combine (submit_shared OR-reduction) ===\n\n";
@@ -393,6 +423,10 @@ int main(int argc, char** argv) {
                                      /*gather=*/false, /*remote=*/true);
   const bool net_match = net_loop.digests == net_inproc.digests &&
                          net_loop.digests == points.front().digests;
+  // The transport only moves requests, not work: the loopback run must
+  // charge exactly the in-process run's picojoules.
+  const bool net_energy_match =
+      net_loop.energy_equal(net_inproc) && net_inproc.energy_fj > 0;
   const double wire_tax =
       net_inproc.wall_ms > 0 ? net_loop.wall_ms / net_inproc.wall_ms : 0.0;
   std::cout << net_partitions << " partitions, " << max_shards << " shards:\n";
@@ -402,7 +436,24 @@ int main(int argc, char** argv) {
             << " ms wall\n";
   std::cout << "  wire tax: " << format_double(wire_tax, 2)
             << "x wall-clock, digests "
-            << (net_match ? "identical" : "DIFFER") << "\n";
+            << (net_match ? "identical" : "DIFFER") << ", energy "
+            << (net_energy_match ? "identical" : "DIFFER") << "\n";
+
+  // --- Unmetered run -------------------------------------------------------
+  // Flip the meter off and re-run the loopback mix: metering only ever
+  // writes counters, so results must be bit-identical and the meter
+  // must read zero.
+  obs::set_metering(false);
+  const run_point unmetered = run_mix(data, max_shards, net_partitions,
+                                      /*gather=*/false, /*remote=*/true);
+  obs::set_metering(true);
+  const bool unmetered_ok =
+      unmetered.digests == net_loop.digests && unmetered.energy_fj == 0 &&
+      unmetered.moved_insitu == 0 && unmetered.moved_offchip == 0 &&
+      unmetered.moved_wire == 0;
+  std::cout << "  metering off: digests "
+            << (unmetered.digests == net_loop.digests ? "identical" : "DIFFER")
+            << ", meter reads " << unmetered.energy_fj << " fJ\n";
 
   // --- Traced run ----------------------------------------------------------
   // Re-run the loopback mix with the tracer on: every query flows
@@ -458,6 +509,14 @@ int main(int argc, char** argv) {
   for (const query::explain_result& ex : profiles) {
     if (!ex.exact) profile_exact = false;
   }
+  // Energy exactness is the stronger gate: attributed charges never
+  // overlap, so per-op sums must equal the meter delta with no
+  // only-load assumption — at every shard count, both transports.
+  bool profile_exact_energy =
+      profile_remote.checked_energy && profile_remote.exact_energy;
+  for (const query::explain_result& ex : profiles) {
+    if (!ex.checked_energy || !ex.exact_energy) profile_exact_energy = false;
+  }
   bool profile_invariant_match = true;
   for (const query::explain_result& ex : profiles) {
     if (profile_invariant(ex) != profile_invariant(profiles.front())) {
@@ -467,8 +526,8 @@ int main(int argc, char** argv) {
   const bool profile_transport_match =
       profile_invariant(profiles.back()) == profile_invariant(profile_remote) &&
       lane_invariant(profiles.back()) == lane_invariant(profile_remote);
-  const bool profile_ok =
-      profile_exact && profile_invariant_match && profile_transport_match;
+  const bool profile_ok = profile_exact && profile_exact_energy &&
+                          profile_invariant_match && profile_transport_match;
 
   std::cout << profiles.back().to_string();
   {
@@ -477,14 +536,21 @@ int main(int argc, char** argv) {
       std::cout << "  " << shards << " shard(s): attributed "
                 << ex.profile.total_attributed_ticks << " ticks, scheduler "
                 << ex.scheduler_ticks_delta << " -> "
-                << (ex.exact ? "exact" : "MISMATCH") << "\n";
+                << (ex.exact ? "exact" : "MISMATCH") << "; energy "
+                << ex.profile.total_energy_fj << " fJ vs meter "
+                << ex.meter_energy_delta_fj << " -> "
+                << (ex.exact_energy ? "exact" : "MISMATCH") << "\n";
       shards *= 2;
     }
   }
   std::cout << "  loopback (" << max_shards << " shards): attributed "
             << profile_remote.profile.total_attributed_ticks
             << " ticks, scheduler " << profile_remote.scheduler_ticks_delta
-            << " -> " << (profile_remote.exact ? "exact" : "MISMATCH") << "\n";
+            << " -> " << (profile_remote.exact ? "exact" : "MISMATCH")
+            << "; energy " << profile_remote.profile.total_energy_fj
+            << " fJ vs meter " << profile_remote.meter_energy_delta_fj
+            << " -> " << (profile_remote.exact_energy ? "exact" : "MISMATCH")
+            << "\n";
   std::cout << "  per-op work attribution across shard counts: "
             << (profile_invariant_match ? "identical" : "DIFFER")
             << ", in-process vs loopback (ops + lanes): "
@@ -497,6 +563,7 @@ int main(int argc, char** argv) {
     pj.key("rows").value(static_cast<std::uint64_t>(rows));
     pj.key("partitions").value(net_partitions);
     pj.key("exact").value(profile_exact);
+    pj.key("exact_energy").value(profile_exact_energy);
     pj.key("invariant_across_shards").value(profile_invariant_match);
     pj.key("transport_identical").value(profile_transport_match);
     pj.key("configs").begin_array();
@@ -543,9 +610,20 @@ int main(int argc, char** argv) {
     // bench_diff comparisons can ignore the wall-clock fields.
     json.key("total_ticks").value(p.total_ticks);
     json.key("busy_bank_ticks").value(p.busy_bank_ticks);
+    // Energy-meter metrics: deterministic like the tick counts, and
+    // hard-gated the same way by bench_diff.
+    json.key("energy_pj").value(static_cast<double>(p.energy_fj) / 1e3);
+    json.key("moved_bytes_insitu").value(p.moved_insitu);
+    json.key("moved_bytes_offchip").value(p.moved_offchip);
+    json.key("moved_bytes_wire").value(p.moved_wire);
     json.end_object();
   }
   json.end_array();
+  json.key("energy").begin_object();
+  json.key("invariant_across_shards").value(energy_invariant);
+  json.key("transport_identical").value(net_energy_match);
+  json.key("unmetered_identical").value(unmetered_ok);
+  json.end_object();
   json.key("combine").begin_object();
   json.key("digests_match").value(combine_match);
   json.key("makespan_us").value(combine_wide.makespan_us);
@@ -570,6 +648,7 @@ int main(int argc, char** argv) {
   json.end_object();
   json.key("profile").begin_object();
   json.key("exact").value(profile_exact);
+  json.key("exact_energy").value(profile_exact_energy);
   json.key("invariant_across_shards").value(profile_invariant_match);
   json.key("transport_identical").value(profile_transport_match);
   json.end_object();
@@ -579,6 +658,7 @@ int main(int argc, char** argv) {
 
   const bool pass = digests_match && matches_reference && combine_match &&
                     agg_match && net_match && final_speedup >= 1.8 &&
-                    trace_ok && profile_ok;
+                    trace_ok && profile_ok && energy_invariant &&
+                    net_energy_match && unmetered_ok;
   return pass ? 0 : 1;
 }

@@ -233,6 +233,10 @@ scale_point run_skewed(const std::vector<service::synthetic_config>&
 struct loopback_point {
   double wall_ms = 0;
   double makespan_us = 0;
+  std::uint64_t energy_fj = 0;
+  bytes moved_insitu = 0;
+  bytes moved_offchip = 0;
+  bytes moved_wire = 0;
   std::vector<std::uint64_t> digests;
 };
 
@@ -264,8 +268,12 @@ loopback_point run_loopback(
   point.wall_ms =
       std::chrono::duration<double, std::milli>(wall_end - wall_start)
           .count();
-  point.makespan_us =
-      static_cast<double>(server.service().stats().makespan_ps) / 1e6;
+  const service::service_stats loop_stats = server.service().stats();
+  point.makespan_us = static_cast<double>(loop_stats.makespan_ps) / 1e6;
+  point.energy_fj = loop_stats.energy_fj;
+  point.moved_insitu = loop_stats.moved_insitu_bytes;
+  point.moved_offchip = loop_stats.moved_offchip_bytes;
+  point.moved_wire = loop_stats.moved_wire_bytes;
   for (const service::client_outcome& o : outcomes) {
     point.digests.push_back(o.digest);
   }
@@ -297,6 +305,25 @@ int main(int argc, char** argv) {
   for (const scale_point& p : points) {
     if (p.digests != points.front().digests) digests_match = false;
   }
+  // The meter charges each task from its own contents, so the same
+  // tenant population must cost the same picojoules at every width —
+  // and the per-shard meters must sum exactly to the service total.
+  bool energy_invariant = points.front().stats.energy_fj > 0;
+  bool energy_conserved = true;
+  for (const scale_point& p : points) {
+    if (p.stats.energy_fj != points.front().stats.energy_fj ||
+        p.stats.moved_insitu_bytes != points.front().stats.moved_insitu_bytes ||
+        p.stats.moved_offchip_bytes !=
+            points.front().stats.moved_offchip_bytes ||
+        p.stats.moved_wire_bytes != points.front().stats.moved_wire_bytes) {
+      energy_invariant = false;
+    }
+    std::uint64_t shard_sum = 0;
+    for (const service::shard_stats& s : p.stats.shards) {
+      shard_sum += s.runtime.sched.energy_fj;
+    }
+    if (shard_sum != p.stats.energy_fj) energy_conserved = false;
+  }
 
   table t({"shards", "makespan (us)", "aggregate GB/s", "speedup",
            "avg busy banks", "wall (ms)", "digests"});
@@ -321,6 +348,12 @@ int main(int argc, char** argv) {
   std::cout << "\n" << last.shards << "-shard speedup over 1 shard: "
             << format_double(final_speedup, 2) << "x, digests "
             << (digests_match ? "identical" : "DIFFER") << "\n";
+  std::cout << "energy: "
+            << format_double(static_cast<double>(last.stats.energy_fj) / 1e3, 1)
+            << " pJ, across shard counts "
+            << (energy_invariant ? "identical" : "DIFFER")
+            << ", per-shard meters sum to total: "
+            << (energy_conserved ? "exact" : "MISMATCH") << "\n";
 
   // --- Cross-shard plans ---------------------------------------------------
   std::cout << "\n=== Cross-shard two-phase plans ===\n\n";
@@ -353,8 +386,16 @@ int main(int argc, char** argv) {
             << cross_wide.stats.cross_plans << " plans, "
             << cross_wide.stats.staged_bytes << " B staged, "
             << cross_wide.stats.exported_bytes << " B exported\n";
+  // Staging and write-back run as PSM row copies, which the meter
+  // books on the wire interface: a run with cross-shard plans must
+  // show wire traffic in the ledger.
+  const bool cross_wire_metered =
+      cross_wide.stats.cross_plans == 0 ||
+      cross_wide.stats.moved_wire_bytes > 0;
   std::cout << "  digests vs functional reference: "
-            << (cross_match ? "identical" : "DIFFER") << "\n";
+            << (cross_match ? "identical" : "DIFFER") << "; wire ledger "
+            << cross_wide.stats.moved_wire_bytes << " B ("
+            << (cross_wire_metered ? "metered" : "EMPTY") << ")\n";
 
   // --- Skewed tenants + rebalancing ----------------------------------------
   // Long-lived tenants with small footprints: the regime where moving
@@ -408,6 +449,14 @@ int main(int argc, char** argv) {
       run_at(max_shards, net_population, /*burst=*/false);
   const loopback_point net_loop = run_loopback(max_shards, net_population);
   const bool net_match = net_loop.digests == net_inproc.digests;
+  // The transport moves requests, not work: both runs must meter the
+  // same picojoules and the same moved-bytes ledger, bit for bit.
+  const bool net_energy_match =
+      net_loop.energy_fj == net_inproc.stats.energy_fj &&
+      net_loop.moved_insitu == net_inproc.stats.moved_insitu_bytes &&
+      net_loop.moved_offchip == net_inproc.stats.moved_offchip_bytes &&
+      net_loop.moved_wire == net_inproc.stats.moved_wire_bytes &&
+      net_loop.energy_fj > 0;
   const double wire_tax =
       net_inproc.wall_ms > 0 ? net_loop.wall_ms / net_inproc.wall_ms : 0.0;
   std::cout << net_clients << " clients x " << ops << " ops, " << max_shards
@@ -420,7 +469,8 @@ int main(int argc, char** argv) {
             << format_double(net_loop.makespan_us, 1) << " us\n";
   std::cout << "  wire tax: " << format_double(wire_tax, 2)
             << "x wall-clock, digests "
-            << (net_match ? "identical" : "DIFFER") << "\n";
+            << (net_match ? "identical" : "DIFFER") << ", energy "
+            << (net_energy_match ? "identical" : "DIFFER") << "\n";
 
   // --- Tracing overhead guard ----------------------------------------------
   // The observability layer must be free when off and cheap when on.
@@ -501,9 +551,21 @@ int main(int argc, char** argv) {
     // bench_diff comparisons can ignore the wall-clock fields.
     json.key("total_ticks").value(p.stats.total_ticks);
     json.key("busy_bank_ticks").value(p.stats.busy_bank_ticks);
+    // Energy-meter metrics: deterministic like the tick counts, and
+    // hard-gated the same way by bench_diff.
+    json.key("energy_pj").value(static_cast<double>(p.stats.energy_fj) / 1e3);
+    json.key("moved_bytes_insitu").value(p.stats.moved_insitu_bytes);
+    json.key("moved_bytes_offchip").value(p.stats.moved_offchip_bytes);
+    json.key("moved_bytes_wire").value(p.stats.moved_wire_bytes);
     json.end_object();
   }
   json.end_array();
+  json.key("energy").begin_object();
+  json.key("invariant_across_shards").value(energy_invariant);
+  json.key("shards_sum_to_total").value(energy_conserved);
+  json.key("transport_identical").value(net_energy_match);
+  json.key("cross_shard_wire_metered").value(cross_wire_metered);
+  json.end_object();
   json.key("cross_shard").begin_object();
   json.key("clients").value(cross_clients);
   json.key("cross_fraction").value(cross_fraction);
@@ -513,6 +575,7 @@ int main(int argc, char** argv) {
   json.key("plans").value(cross_wide.stats.cross_plans);
   json.key("staged_bytes").value(cross_wide.stats.staged_bytes);
   json.key("exported_bytes").value(cross_wide.stats.exported_bytes);
+  json.key("wire_ledger_bytes").value(cross_wide.stats.moved_wire_bytes);
   json.end_object();
   json.key("net_loopback").begin_object();
   json.key("clients").value(net_clients);
@@ -546,6 +609,8 @@ int main(int argc, char** argv) {
   std::cout << "\nwrote BENCH_service.json\n";
 
   const bool pass = digests_match && cross_match && skew_match && net_match &&
-                    final_speedup >= 2.0 && skew_gain > 1.05 && trace_ok;
+                    final_speedup >= 2.0 && skew_gain > 1.05 && trace_ok &&
+                    energy_invariant && energy_conserved && net_energy_match &&
+                    cross_wire_metered;
   return pass ? 0 : 1;
 }

@@ -63,8 +63,8 @@ void put_shared(std::vector<std::uint8_t>& out,
   put_vector(out, sv.v);
 }
 
-void put_report(std::vector<std::uint8_t>& out,
-                const runtime::task_report& r) {
+void put_report(std::vector<std::uint8_t>& out, const runtime::task_report& r,
+                std::uint8_t version) {
   put_u64(out, r.id);
   put_i32(out, r.stream);
   put_u8(out, static_cast<std::uint8_t>(r.kind));
@@ -75,6 +75,15 @@ void put_report(std::vector<std::uint8_t>& out,
   put_u64(out, r.output_bytes);
   put_i32(out, r.channel);
   put_i32(out, r.bank);
+  if (version >= 3) {
+    // v3: the live energy meter's per-task charge and moved-bytes
+    // ledger ride the report, so remote sessions fold the same energy
+    // attribution as in-process ones.
+    put_u64(out, r.energy_fj);
+    put_u64(out, r.insitu_bytes);
+    put_u64(out, r.offchip_bytes);
+    put_u64(out, r.wire_bytes);
+  }
 }
 
 // --- primitive decoding (bounds-checked against the frame) -----------------
@@ -83,6 +92,10 @@ struct reader {
   const std::uint8_t* p = nullptr;
   std::size_t size = 0;
   std::size_t pos = 0;
+  /// The frame's negotiated version, set by frame_splitter::next()
+  /// before the body decodes — version-gated fields (task-report
+  /// energy, v3+) key off it.
+  std::uint8_t version = wire_version;
 
   void need(std::size_t n) const {
     if (pos + n > size) throw protocol_error("truncated frame body");
@@ -168,6 +181,12 @@ struct reader {
     r.output_bytes = u64();
     r.channel = i32();
     r.bank = i32();
+    if (version >= 3) {
+      r.energy_fj = u64();
+      r.insitu_bytes = u64();
+      r.offchip_bytes = u64();
+      r.wire_bytes = u64();
+    }
     return r;
   }
 
@@ -180,9 +199,10 @@ struct reader {
   }
 };
 
-void encode_body(std::vector<std::uint8_t>& out, const net_message& msg) {
+void encode_body(std::vector<std::uint8_t>& out, const net_message& msg,
+                 std::uint8_t version) {
   std::visit(
-      [&out](const auto& m) {
+      [&out, version](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, open_session_req>) {
           put_f64(out, m.weight);
@@ -264,7 +284,7 @@ void encode_body(std::vector<std::uint8_t>& out, const net_message& msg) {
         } else if constexpr (std::is_same_v<T, data_resp>) {
           put_bitvector(out, m.data);
         } else if constexpr (std::is_same_v<T, done_resp>) {
-          put_report(out, m.report);
+          put_report(out, m.report, version);
         } else if constexpr (std::is_same_v<T, stats_resp>) {
           put_string(out, m.json);
         } else if constexpr (std::is_same_v<T, error_resp>) {
@@ -460,7 +480,7 @@ std::vector<std::uint8_t> encode_frame(std::uint64_t id,
   put_u8(payload, version);
   put_u64(payload, id);
   put_u8(payload, static_cast<std::uint8_t>(opcode_of(msg)));
-  encode_body(payload, msg);
+  encode_body(payload, msg, version);
   if (payload.size() > max_frame_bytes) {
     throw protocol_error("frame exceeds max_frame_bytes");
   }
@@ -507,6 +527,7 @@ std::optional<net_frame> frame_splitter::next() {
   frame.id = in.u64();
   last_id_ = frame.id;
   const std::uint8_t raw_op = in.u8();
+  in.version = version;
   frame.msg = decode_body(static_cast<opcode>(raw_op), in);
   if (in.pos != in.size) throw protocol_error("trailing bytes in frame");
   return frame;

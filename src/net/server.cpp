@@ -259,6 +259,10 @@ stats_push_resp build_stats_push(service::pim_service& svc,
   snap.counters["service.tasks_submitted"] = st.tasks_submitted;
   snap.counters["service.total_ticks"] = st.total_ticks;
   snap.counters["service.busy_bank_ticks"] = st.busy_bank_ticks;
+  snap.counters["service.energy_pj"] = st.energy_fj / 1000;
+  snap.counters["service.moved_bytes_insitu"] = st.moved_insitu_bytes;
+  snap.counters["service.moved_bytes_offchip"] = st.moved_offchip_bytes;
+  snap.counters["service.moved_bytes_wire"] = st.moved_wire_bytes;
   snap.counters["service.slow_requests_observed"] =
       obs::slow_request_log::instance().observed();
   snap.gauges["service.sessions"] = st.sessions;

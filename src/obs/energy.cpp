@@ -1,0 +1,156 @@
+#include "obs/energy.h"
+
+#include <atomic>
+#include <variant>
+
+#include "common/energy_constants.h"
+#include "dram/subarray_layout.h"
+
+namespace pim::obs {
+
+namespace ec = pim::energy;
+using runtime::backend_kind;
+using runtime::task_kind;
+
+namespace {
+std::atomic<bool> g_metering{true};
+}  // namespace
+
+bool metering_on() { return g_metering.load(std::memory_order_relaxed); }
+void set_metering(bool on) { g_metering.store(on, std::memory_order_relaxed); }
+
+energy_model::energy_model(const dram::organization& org, bool rich_decoder)
+    : org_(org) {
+  // Activation energy scales with the row size relative to the 8 KiB
+  // row the constant is calibrated for (same scaling as the analytic
+  // ambit_device).
+  act_pj_ = ec::dram_activate_pj *
+            (static_cast<double>(org_.row_bytes()) / 8192.0);
+  const dram::ambit_compiler compiler(org_, rich_decoder);
+  const dram::subarray_layout layout(org_);
+  for (dram::bulk_op op : dram::all_bulk_ops()) {
+    bulk_counts& c = bulk_[static_cast<std::size_t>(op)];
+    c.steps = compiler.step_count(op);
+    for (const dram::ambit_step& s :
+         compiler.compile(op, 0, layout.data_row(0, 0), layout.data_row(0, 1),
+                          layout.data_row(0, 2))) {
+      if (s.tra) ++c.tras;
+    }
+  }
+}
+
+picojoules energy_model::streaming_pj(bytes moved,
+                                      double io_pj_per_bit) const {
+  const double lines_per_row = static_cast<double>(org_.row_bytes()) /
+                               static_cast<double>(org_.column_bytes);
+  const double line_pj =
+      (act_pj_ + ec::dram_precharge_pj) / lines_per_row + ec::dram_column_pj +
+      static_cast<double>(org_.column_bytes) * 8.0 * io_pj_per_bit;
+  return static_cast<double>(moved) /
+         static_cast<double>(org_.column_bytes) * line_pj;
+}
+
+task_energy energy_model::charge(const runtime::pim_task& task,
+                                 const runtime::task_report& r) const {
+  task_energy e;
+  const bytes row_bytes = org_.row_bytes();
+  const double act = act_pj_;
+  const double pre = ec::dram_precharge_pj;
+  double pj = 0.0;
+
+  switch (task.kind()) {
+    case task_kind::bulk_bool: {
+      const auto& args = std::get<runtime::bulk_bool_args>(task.payload);
+      if (r.where == backend_kind::ambit) {
+        // One AAP schedule per row group: each macro step is an
+        // activation (or a triple-row activation), the copy-activate
+        // restoring the destination, and a precharge — the analytic
+        // ambit_device formula, charged per executed row group.
+        const bulk_counts& c = bulk_[static_cast<std::size_t>(args.op)];
+        const double per_schedule =
+            static_cast<double>(c.steps - c.tras) * (act + act + pre) +
+            static_cast<double>(c.tras) * (3.0 * act + act + pre);
+        pj = per_schedule * static_cast<double>(args.d.rows.size());
+        e.insitu_bytes = static_cast<bytes>(args.d.rows.size()) * row_bytes;
+      } else {
+        // Streaming fallback: read the operand rows, write the result.
+        const bytes moved =
+            (dram::is_unary(args.op) ? 2u : 3u) * r.output_bytes;
+        if (r.where == backend_kind::ndp_logic) {
+          // Logic-layer cores pay TSV rates and the fixed-function
+          // per-byte processing cost; the traffic never leaves the
+          // stack.
+          pj = streaming_pj(moved, ec::tsv_io_pj_per_bit) +
+               static_cast<double>(moved) * ec::pim_accel_byte_pj;
+          e.insitu_bytes = moved;
+        } else {
+          // Host CPU: off-chip pins plus per-word compute (one ALU op
+          // and its front-end overhead per 8 B output word, landing in
+          // L1).
+          const double words =
+              static_cast<double>((r.output_bytes + 7) / 8);
+          pj = streaming_pj(moved, ec::offchip_io_pj_per_bit) +
+               words * (ec::cpu_alu_op_pj + ec::cpu_instruction_overhead_pj +
+                        ec::l1_access_pj);
+          e.offchip_bytes = moved;
+        }
+      }
+      break;
+    }
+    case task_kind::row_copy: {
+      const auto& args = std::get<runtime::row_copy_args>(task.payload);
+      if (r.where == backend_kind::rowclone) {
+        if (args.same_subarray) {
+          // FPM: activate source, copy-activate destination, precharge.
+          pj = act + act + pre;
+          e.insitu_bytes = row_bytes;
+        } else {
+          // PSM: both banks activate, every column crosses the shared
+          // internal bus twice (read + write), both precharge. This is
+          // the transfer the service prices cross-shard moves with, so
+          // it funds the wire ledger.
+          pj = 2.0 * act +
+               2.0 * static_cast<double>(org_.columns) * ec::dram_column_pj +
+               2.0 * pre;
+          e.wire_bytes = row_bytes;
+        }
+      } else {
+        // Host fallback: the row streams out and back over the pins.
+        const bytes moved = 2 * row_bytes;
+        pj = streaming_pj(moved, ec::offchip_io_pj_per_bit);
+        e.offchip_bytes = moved;
+      }
+      break;
+    }
+    case task_kind::row_memset: {
+      if (r.where == backend_kind::rowclone) {
+        // Activate the reserved constant row, copy-activate the
+        // destination, precharge — same shape as FPM.
+        pj = act + act + pre;
+        e.insitu_bytes = row_bytes;
+      } else {
+        pj = streaming_pj(row_bytes, ec::offchip_io_pj_per_bit);
+        e.offchip_bytes = row_bytes;
+      }
+      break;
+    }
+    case task_kind::host_kernel: {
+      // The roofline offload model already priced both placements;
+      // charge the one that ran and ledger its memory traffic on the
+      // interface it used.
+      if (r.where == backend_kind::ndp_logic) {
+        pj = r.decision.pim_energy;
+        e.insitu_bytes = r.output_bytes;
+      } else {
+        pj = r.decision.host_energy;
+        e.offchip_bytes = r.output_bytes;
+      }
+      break;
+    }
+  }
+
+  e.energy_fj = to_fj(pj);
+  return e;
+}
+
+}  // namespace pim::obs

@@ -1,0 +1,99 @@
+// Live energy meter: charges every executed task its modeled
+// picojoules and data-movement bytes at the instant it completes.
+//
+// The offline analytic models (src/analytic/models.*) and the running
+// stack price work from the same constants (common/energy_constants.h)
+// — this header is the bridge that makes the paper's headline metric
+// (data movement dominates system energy) observable on live traffic.
+// The scheduler stamps each task_report with the charge exactly where
+// it stamps ticks, so energy attribution inherits the tick profiler's
+// exactness discipline: per-op / per-backend / per-lane sums equal the
+// meter total because every task is charged once, in integers.
+//
+// Units: energy is accumulated in integer femtojoules (`energy_fj`).
+// The per-task charge is computed once in double picojoules from the
+// constants, rounded once to fJ, and summed as integers everywhere
+// downstream — so any partition of the task set sums to exactly the
+// meter total, independent of summation order or machine. Surfaces
+// convert back to pJ (fj / 1000.0) only at JSON/gauge-emit time.
+//
+// The moved-bytes ledger splits data movement by interface:
+//  - insitu:  bits that never left the memory die — Ambit TRA results,
+//    RowClone FPM copies/memsets, and NDP logic-layer traffic (TSVs
+//    inside the stack);
+//  - offchip: bytes crossing the DDR pins — host-fallback operand
+//    reads and result writes;
+//  - wire:    bytes crossing banks over the shared internal bus —
+//    RowClone PSM copies, which is how the service prices cross-shard
+//    staging/export/migration transfers.
+//
+// Calibration caveat: the constants are order-of-magnitude figures
+// (see energy_constants.h); ratios between configurations are the
+// reproduction target, not absolute joules.
+#ifndef PIM_OBS_ENERGY_H
+#define PIM_OBS_ENERGY_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/organization.h"
+#include "runtime/task.h"
+
+namespace pim::obs {
+
+/// What one completed task was charged.
+struct task_energy {
+  std::uint64_t energy_fj = 0;   // integer femtojoules
+  bytes insitu_bytes = 0;        // moved inside the memory die / stack
+  bytes offchip_bytes = 0;       // moved across the DDR pins
+  bytes wire_bytes = 0;          // moved bank-to-bank (PSM transfers)
+};
+
+/// Deterministic pJ -> integer-fJ conversion (round half up). One
+/// rounding per task; everything downstream sums integers.
+inline std::uint64_t to_fj(picojoules pj) {
+  return pj <= 0.0 ? 0 : static_cast<std::uint64_t>(pj * 1000.0 + 0.5);
+}
+
+/// Global metering switch — the slow-request-log pattern: one relaxed
+/// atomic load on the completion path, no fences. Metering only writes
+/// counters (never simulated state), so digests are bit-identical
+/// either way; disabling it reduces the per-completion cost to that
+/// single load. Default: on.
+bool metering_on();
+void set_metering(bool on);
+
+/// Prices one task from the shared energy constants. Constructed per
+/// scheduler from its memory organization and the Ambit decoder mode,
+/// with the per-op TRA/step counts cached up front so charging is a
+/// table lookup plus a handful of multiplies.
+class energy_model {
+ public:
+  energy_model(const dram::organization& org, bool rich_decoder);
+
+  /// The charge for one completed task. Pure: same task + report ->
+  /// same charge on any machine.
+  task_energy charge(const runtime::pim_task& task,
+                     const runtime::task_report& report) const;
+
+ private:
+  struct bulk_counts {
+    int steps = 0;  // AAP macro steps per row-group schedule
+    int tras = 0;   // of which triple-row activations
+  };
+
+  /// Streaming DRAM-side cost of moving `moved` bytes through the
+  /// channel: amortized activate/precharge per line, the column
+  /// access, and the per-bit interface transfer (mirrors
+  /// analytic::streaming_device::energy_pj_per_byte).
+  picojoules streaming_pj(bytes moved, double io_pj_per_bit) const;
+
+  dram::organization org_;
+  std::array<bulk_counts, 7> bulk_{};  // indexed by dram::bulk_op
+  double act_pj_ = 0.0;  // one activation, scaled to org_'s row size
+};
+
+}  // namespace pim::obs
+
+#endif  // PIM_OBS_ENERGY_H

@@ -54,9 +54,17 @@ tick_profile fold_samples(const std::vector<sim_op_sample>& samples,
       c->bytes += s.output_bytes;
       c->queue_ticks += queue;
       c->exec_ticks += exec;
+      c->energy_fj += s.energy_fj;
+      c->insitu_bytes += s.insitu_bytes;
+      c->offchip_bytes += s.offchip_bytes;
+      c->wire_bytes += s.wire_bytes;
     }
     p.total_tasks += 1;
     p.total_bytes += s.output_bytes;
+    p.total_energy_fj += s.energy_fj;
+    p.total_insitu_bytes += s.insitu_bytes;
+    p.total_offchip_bytes += s.offchip_bytes;
+    p.total_wire_bytes += s.wire_bytes;
   }
 
   // Exact busy-union attribution, one sweep per simulated clock.

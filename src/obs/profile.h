@@ -61,6 +61,14 @@ struct sim_op_sample {
   std::int64_t submit_ps = 0;
   std::int64_t start_ps = 0;
   std::int64_t complete_ps = 0;
+  /// The task's energy charge and moved-bytes ledger from its report
+  /// (obs/energy.h). Per-task integers, so the fold's bucket sums
+  /// partition the meter totals exactly. Zero when metering was off
+  /// (or when rebuilt from a trace file, which carries no charges).
+  std::uint64_t energy_fj = 0;
+  std::uint64_t insitu_bytes = 0;
+  std::uint64_t offchip_bytes = 0;
+  std::uint64_t wire_bytes = 0;
 };
 
 /// Aggregated cost of one attribution bucket (an op, a backend, or a
@@ -78,6 +86,14 @@ struct op_cost {
   /// over all buckets of one projection it equals the scheduler's
   /// total_ticks delta.
   std::uint64_t attributed_ticks = 0;
+  /// Energy + moved-bytes attribution. Unlike ticks these never
+  /// overlap (a task's charge belongs wholly to its bucket), so each
+  /// projection sums to the profile totals — and, when the samples
+  /// cover a workload, to the scheduler's meter delta — exactly.
+  std::uint64_t energy_fj = 0;
+  std::uint64_t insitu_bytes = 0;
+  std::uint64_t offchip_bytes = 0;
+  std::uint64_t wire_bytes = 0;
 };
 
 struct tick_profile {
@@ -92,6 +108,12 @@ struct tick_profile {
   std::uint64_t total_attributed_ticks = 0;
   std::uint64_t total_tasks = 0;
   std::uint64_t total_bytes = 0;
+  /// Meter totals over the folded samples; every projection's
+  /// energy_fj / *_bytes sums reproduce these exactly.
+  std::uint64_t total_energy_fj = 0;
+  std::uint64_t total_insitu_bytes = 0;
+  std::uint64_t total_offchip_bytes = 0;
+  std::uint64_t total_wire_bytes = 0;
 };
 
 /// Folds completed-task samples into the exact tick attribution.

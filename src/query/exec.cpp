@@ -153,6 +153,10 @@ query_result execute(pim_table& table, const query_plan& plan,
             sample.submit_ps = r.submit_ps;
             sample.start_ps = r.start_ps;
             sample.complete_ps = r.complete_ps;
+            sample.energy_fj = r.energy_fj;
+            sample.insitu_bytes = r.insitu_bytes;
+            sample.offchip_bytes = r.offchip_bytes;
+            sample.wire_bytes = r.wire_bytes;
             out.samples.push_back(sample);
           }
         }

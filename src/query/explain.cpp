@@ -24,6 +24,10 @@ void cost_to_json(json_writer& json, const obs::op_cost& c) {
   json.key("queue_ticks").value(c.queue_ticks);
   json.key("exec_ticks").value(c.exec_ticks);
   json.key("attributed_ticks").value(c.attributed_ticks);
+  json.key("energy_pj").value(static_cast<double>(c.energy_fj) / 1000.0);
+  json.key("moved_bytes_insitu").value(c.insitu_bytes);
+  json.key("moved_bytes_offchip").value(c.offchip_bytes);
+  json.key("moved_bytes_wire").value(c.wire_bytes);
 }
 
 }  // namespace
@@ -36,16 +40,24 @@ explain_result explain_analyze(pim_table& table, const query_plan& plan,
 
   const std::uint64_t ticks_before =
       opts.total_ticks ? opts.total_ticks() : 0;
+  const std::uint64_t energy_before =
+      opts.total_energy_fj ? opts.total_energy_fj() : 0;
   out.result = execute(table, plan, exec);
   if (opts.total_ticks) {
     out.scheduler_ticks_delta = opts.total_ticks() - ticks_before;
     out.checked = true;
+  }
+  if (opts.total_energy_fj) {
+    out.meter_energy_delta_fj = opts.total_energy_fj() - energy_before;
+    out.checked_energy = true;
   }
 
   out.profile = obs::fold_samples(out.result.samples, opts.tick_ps);
   out.exact =
       out.checked &&
       out.scheduler_ticks_delta == out.profile.total_attributed_ticks;
+  out.exact_energy = out.checked_energy &&
+                     out.meter_energy_delta_fj == out.profile.total_energy_fj;
 
   // Project the profile onto the plan: one entry per step, in step
   // order, including steps no sample reached (failed partitions are
@@ -81,13 +93,24 @@ std::string explain_result::to_string() const {
     out << " (scheduler delta " << scheduler_ticks_delta
         << (exact ? ", exact" : ", MISMATCH") << ")";
   }
+  out << ", " << static_cast<double>(profile.total_energy_fj) / 1000.0
+      << " pJ";
+  if (checked_energy) {
+    out << " (meter delta "
+        << static_cast<double>(meter_energy_delta_fj) / 1000.0
+        << (exact_energy ? ", exact" : ", MISMATCH") << ")";
+  }
   out << "\n";
   for (const explained_op& op : ops) {
     out << "  step " << op.step << ": " << op.label << "  tasks="
         << op.cost.tasks << " bytes=" << op.cost.bytes
         << " queue_ticks=" << op.cost.queue_ticks
         << " exec_ticks=" << op.cost.exec_ticks
-        << " attributed_ticks=" << op.cost.attributed_ticks;
+        << " attributed_ticks=" << op.cost.attributed_ticks
+        << " energy_pj=" << static_cast<double>(op.cost.energy_fj) / 1000.0
+        << " moved=" << op.cost.insitu_bytes << "/"
+        << op.cost.offchip_bytes << "/" << op.cost.wire_bytes
+        << " (insitu/offchip/wire)";
     for (const auto& [backend, tasks] : op.backend_tasks) {
       out << " "
           << runtime::to_string(static_cast<runtime::backend_kind>(backend))
@@ -106,6 +129,15 @@ void explain_result::to_json(json_writer& json) const {
   json.key("checked").value(checked);
   json.key("scheduler_ticks_delta").value(scheduler_ticks_delta);
   json.key("exact").value(exact);
+  json.key("total_energy_pj")
+      .value(static_cast<double>(profile.total_energy_fj) / 1000.0);
+  json.key("total_moved_bytes_insitu").value(profile.total_insitu_bytes);
+  json.key("total_moved_bytes_offchip").value(profile.total_offchip_bytes);
+  json.key("total_moved_bytes_wire").value(profile.total_wire_bytes);
+  json.key("checked_energy").value(checked_energy);
+  json.key("meter_energy_delta_pj")
+      .value(static_cast<double>(meter_energy_delta_fj) / 1000.0);
+  json.key("exact_energy").value(exact_energy);
   json.key("matches").value(static_cast<std::uint64_t>(result.matches));
   json.key("digest").value(result.digest);
 

@@ -44,6 +44,15 @@ struct explain_options {
   /// and is incompatible with exec.gather (the gather's cross-shard
   /// plan burns ticks the step samples do not cover).
   std::function<std::uint64_t()> total_ticks;
+  /// Same cross-check for the live energy meter: sampled before and
+  /// after execution, the delta (integer femtojoules — an in-process
+  /// caller passes [&] { return svc.stats().energy_fj; }) must equal
+  /// the folded samples' total charge. Stronger than the tick check:
+  /// energy attribution never overlaps, so this holds even without
+  /// the only-load assumption — any concurrent load shows up as a
+  /// delta excess instead. Null skips it (`checked_energy` stays
+  /// false).
+  std::function<std::uint64_t()> total_energy_fj;
   exec_options exec;
 };
 
@@ -67,6 +76,12 @@ struct explain_result {
   std::uint64_t scheduler_ticks_delta = 0;
   bool checked = false;  // a total_ticks callback was provided
   bool exact = false;    // attributed total == scheduler delta
+
+  /// Energy conservation: the meter's fJ delta over the run vs the
+  /// profile's attributed total.
+  std::uint64_t meter_energy_delta_fj = 0;
+  bool checked_energy = false;  // a total_energy_fj callback was provided
+  bool exact_energy = false;    // attributed energy == meter delta
 
   /// Human-readable profiled plan tree (one line per op).
   std::string to_string() const;

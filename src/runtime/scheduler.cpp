@@ -10,7 +10,11 @@ namespace pim::runtime {
 
 scheduler::scheduler(dram::memory_system& mem, dram::ambit_engine& ambit,
                      dram::rowclone_engine& rowclone, scheduler_config config)
-    : mem_(mem), ambit_(ambit), rowclone_(rowclone), config_(config) {
+    : mem_(mem),
+      ambit_(ambit),
+      rowclone_(rowclone),
+      config_(config),
+      energy_model_(mem.org(), ambit.compiler().rich_decoder()) {
   host_pool_.slots = std::max(1, config_.host_slots);
   ndp_pool_.slots = std::max(1, config_.ndp_slots);
 }
@@ -387,6 +391,24 @@ void scheduler::complete(task_id id) {
   node& n = active_.at(id);
   n.future->report.complete_ps = mem_.now_ps();
   n.future->done = true;
+  // Energy is stamped exactly where ticks are: before the completion
+  // hook and the per-task callback, so every report that crosses a
+  // shard boundary or the wire already carries its charge. One relaxed
+  // load when metering is off; the charge itself is integer fJ so the
+  // meter totals below are an exact partition target for any
+  // downstream attribution.
+  if (obs::metering_on()) {
+    task_report& r = n.future->report;
+    const obs::task_energy e = energy_model_.charge(n.task, r);
+    r.energy_fj = e.energy_fj;
+    r.insitu_bytes = e.insitu_bytes;
+    r.offchip_bytes = e.offchip_bytes;
+    r.wire_bytes = e.wire_bytes;
+    stats_.energy_fj += e.energy_fj;
+    stats_.insitu_bytes += e.insitu_bytes;
+    stats_.offchip_bytes += e.offchip_bytes;
+    stats_.wire_bytes += e.wire_bytes;
+  }
   if (obs::on()) {
     const task_report& r = n.future->report;
     const std::uint32_t lane = trace_lane(n);

@@ -25,6 +25,7 @@
 
 #include "dram/memory_system.h"
 #include "dram/rowclone.h"
+#include "obs/energy.h"
 #include "runtime/task.h"
 
 namespace pim::runtime {
@@ -44,6 +45,20 @@ struct scheduler_stats {
   std::uint64_t busy_bank_ticks = 0;  // sum over ticks of busy banks
   int peak_busy_banks = 0;
   int peak_in_flight = 0;  // released, not yet complete
+
+  /// Live energy meter totals (obs/energy.h): the sum of every
+  /// completed task's charge, accumulated in integer femtojoules at
+  /// the same point the task's ticks are stamped — so any per-op /
+  /// per-backend / per-session partition of the reports sums to
+  /// exactly these totals. Zero while metering is disabled.
+  std::uint64_t energy_fj = 0;
+  std::uint64_t insitu_bytes = 0;   // moved inside the die / stack
+  std::uint64_t offchip_bytes = 0;  // moved across the DDR pins
+  std::uint64_t wire_bytes = 0;     // moved bank-to-bank (PSM)
+
+  double energy_pj() const {
+    return static_cast<double>(energy_fj) / 1000.0;
+  }
 
   /// Mean banks concurrently held by bulk sequences — the bank-level
   /// parallelism actually extracted.
@@ -134,6 +149,7 @@ class scheduler {
   dram::ambit_engine& ambit_;
   dram::rowclone_engine& rowclone_;
   scheduler_config config_;
+  obs::energy_model energy_model_;
 
   task_id next_id_ = 1;
   std::unordered_map<task_id, node> active_;

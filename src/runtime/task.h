@@ -117,6 +117,19 @@ struct task_report {
   int channel = -1;
   int bank = -1;
 
+  /// Modeled energy this task was charged at completion (obs/energy.h),
+  /// in integer femtojoules so downstream sums partition exactly, plus
+  /// the data-moved ledger split by interface. Zero when metering is
+  /// disabled.
+  std::uint64_t energy_fj = 0;
+  bytes insitu_bytes = 0;   // moved inside the memory die / stack
+  bytes offchip_bytes = 0;  // moved across the DDR pins
+  bytes wire_bytes = 0;     // moved bank-to-bank (PSM transfers)
+
+  double energy_pj() const {
+    return static_cast<double>(energy_fj) / 1000.0;
+  }
+
   picoseconds latency() const { return complete_ps - submit_ps; }
   picoseconds service_time() const { return complete_ps - start_ps; }
 

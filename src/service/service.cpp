@@ -55,6 +55,17 @@ void service_stats::to_json(json_writer& json) const {
   json.key("busy_bank_ticks").value(busy_bank_ticks);
   json.key("bank_overlap").value(avg_busy_banks());
   json.key("makespan_ps").value(static_cast<std::int64_t>(makespan_ps));
+  json.key("energy_pj").value(static_cast<double>(energy_fj) / 1000.0);
+  json.key("moved_bytes_insitu").value(moved_insitu_bytes);
+  json.key("moved_bytes_offchip").value(moved_offchip_bytes);
+  json.key("moved_bytes_wire").value(moved_wire_bytes);
+  json.end_object();
+  json.key("energy").begin_object();
+  json.key("energy_pj").value(static_cast<double>(energy_fj) / 1000.0);
+  json.key("energy_fj").value(energy_fj);
+  json.key("moved_bytes_insitu").value(moved_insitu_bytes);
+  json.key("moved_bytes_offchip").value(moved_offchip_bytes);
+  json.key("moved_bytes_wire").value(moved_wire_bytes);
   json.end_object();
   json.key("sched_submitted").value(sched_submitted);
   json.key("sched_completed").value(sched_completed);
@@ -104,6 +115,11 @@ void service_stats::to_json(json_writer& json) const {
     json.key("hazard_deferred").value(s.runtime.sched.hazard_deferred);
     json.key("avg_busy_banks").value(s.runtime.sched.avg_busy_banks());
     json.key("peak_busy_banks").value(s.runtime.sched.peak_busy_banks);
+    json.key("energy_pj")
+        .value(static_cast<double>(s.runtime.sched.energy_fj) / 1000.0);
+    json.key("moved_bytes_insitu").value(s.runtime.sched.insitu_bytes);
+    json.key("moved_bytes_offchip").value(s.runtime.sched.offchip_bytes);
+    json.key("moved_bytes_wire").value(s.runtime.sched.wire_bytes);
     json.key("backends").begin_object();
     for (const auto& [backend, b] : s.runtime.backends) {
       json.key(runtime::to_string(backend)).begin_object();
@@ -761,6 +777,10 @@ service_stats pim_service::stats() const {
     total.makespan_ps = std::max(total.makespan_ps, snap.now_ps);
     total.total_ticks += snap.runtime.sched.ticks;
     total.busy_bank_ticks += snap.runtime.sched.busy_bank_ticks;
+    total.energy_fj += snap.runtime.sched.energy_fj;
+    total.moved_insitu_bytes += snap.runtime.sched.insitu_bytes;
+    total.moved_offchip_bytes += snap.runtime.sched.offchip_bytes;
+    total.moved_wire_bytes += snap.runtime.sched.wire_bytes;
     total.sched_submitted += snap.runtime.sched.submitted;
     total.sched_completed += snap.runtime.sched.completed;
     total.hazard_deferred += snap.runtime.sched.hazard_deferred;

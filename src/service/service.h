@@ -65,6 +65,15 @@ struct service_stats {
   /// these instead of wall-clock numbers.
   std::uint64_t total_ticks = 0;
   std::uint64_t busy_bank_ticks = 0;
+  /// Live energy meter aggregates (obs/energy.h), summed across
+  /// shards: integer femtojoules plus the moved-bytes ledger split by
+  /// interface. Exact: each shard's meter is an integer sum of its
+  /// tasks' charges, so these equal the sum over every completed
+  /// task's report, independent of shard count or transport.
+  std::uint64_t energy_fj = 0;
+  bytes moved_insitu_bytes = 0;
+  bytes moved_offchip_bytes = 0;
+  bytes moved_wire_bytes = 0;
   std::uint64_t sched_submitted = 0;
   std::uint64_t sched_completed = 0;
   std::uint64_t hazard_deferred = 0;

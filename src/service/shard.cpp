@@ -1201,6 +1201,25 @@ void shard::publish_stats_locked() {
       .store(static_cast<std::int64_t>(
                  stats_.runtime.sched.avg_busy_banks() * 1000.0),
              std::memory_order_relaxed);
+  // Energy meter + moved-bytes gauges publish from the same runtime
+  // snapshot, in the same mu_ hold, as the scheduler-tick gauges —
+  // a mid-burst get_metrics can never pair energy from one publish
+  // point with ticks from another.
+  reg.gauge(prefix + "sched_ticks")
+      .store(static_cast<std::int64_t>(stats_.runtime.sched.ticks),
+             std::memory_order_relaxed);
+  reg.gauge(prefix + "energy_pj")
+      .store(static_cast<std::int64_t>(stats_.runtime.sched.energy_fj / 1000),
+             std::memory_order_relaxed);
+  reg.gauge(prefix + "moved_insitu_bytes")
+      .store(static_cast<std::int64_t>(stats_.runtime.sched.insitu_bytes),
+             std::memory_order_relaxed);
+  reg.gauge(prefix + "moved_offchip_bytes")
+      .store(static_cast<std::int64_t>(stats_.runtime.sched.offchip_bytes),
+             std::memory_order_relaxed);
+  reg.gauge(prefix + "moved_wire_bytes")
+      .store(static_cast<std::int64_t>(stats_.runtime.sched.wire_bytes),
+             std::memory_order_relaxed);
   // Every publish satisfies any pending on-demand stats() request.
   stats_pub_done_ = stats_pub_requested_;
   cv_stats_.notify_all();

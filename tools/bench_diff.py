@@ -13,15 +13,21 @@ Two classes of metric, two severities:
 - Wall-clock metrics (throughput, speedup, latency) are ADVISORY:
   machine variance makes a hard gate on them counterproductive, so
   they are reported in the summary but never affect the exit code.
-- Simulated-clock metrics (total_ticks, busy_bank_ticks) are a HARD
-  GATE: they are machine-independent, so drift beyond the per-metric
-  tolerance means the simulated behavior itself changed (pricing,
-  scheduling, batching) and the diff exits nonzero. The tolerances
-  absorb the scheduling jitter of the threaded service benches
-  (request arrival timing shifts task overlap, which moves total_ticks
-  a few percent run to run while busy_bank_ticks stays within a
-  fraction of a percent); a pricing-model regression moves both by
-  integer factors and cannot hide inside them.
+- Simulated-clock metrics (total_ticks, busy_bank_ticks, and the
+  energy meter's energy_pj / moved_bytes_*) are a HARD GATE: they are
+  machine-independent, so drift beyond the per-metric tolerance means
+  the simulated behavior itself changed (pricing, scheduling,
+  batching) and the diff exits nonzero. The tolerances absorb the
+  scheduling jitter of the threaded service benches (request arrival
+  timing shifts task overlap, which moves total_ticks a few percent
+  run to run while busy_bank_ticks stays within a fraction of a
+  percent); a pricing-model regression moves both by integer factors
+  and cannot hide inside them.
+
+When PROFILE_query.json is present in both directories, its per-op
+attributed-tick and energy trajectories are compared too — advisory
+only (tick splits shift with scheduling overlap), but they localize a
+pricing or lowering change to the plan op that moved.
 
 Rebaselining: a change that intentionally alters simulated behavior
 (e.g. the lowering emitting fewer ops) trips the hard gate against the
@@ -56,7 +62,6 @@ LOWER_BETTER_SUFFIXES = (
     "makespan_us",
     "latency_us",
     "latency_ns",
-    "energy_pj",
 )
 # Simulated-clock metrics are machine-independent: drift beyond the
 # per-metric tolerance (percent) means the simulated behavior changed
@@ -66,13 +71,28 @@ LOWER_BETTER_SUFFIXES = (
 # much tighter. Single-threaded benches (bench_runtime) reproduce both
 # exactly, so any within-tolerance drift there is still worth a look
 # in the summary.
+#
+# The energy meter's metrics (energy_pj and the moved-bytes ledger)
+# are per-task deterministic — no overlap accounting at all — so they
+# reproduce bit-identically run to run at a fixed workload; the small
+# tolerance only covers scenarios whose task mix itself is timing-
+# dependent (migration counts in the skew drain). A pricing change
+# moves them by integer factors and cannot hide inside it.
 SIM_SUFFIXES = (
     "total_ticks",
     "busy_bank_ticks",
+    "energy_pj",
+    "moved_bytes_insitu",
+    "moved_bytes_offchip",
+    "moved_bytes_wire",
 )
 SIM_TOLERANCE_PCT = {
     "total_ticks": 25.0,
     "busy_bank_ticks": 5.0,
+    "energy_pj": 5.0,
+    "moved_bytes_insitu": 5.0,
+    "moved_bytes_offchip": 5.0,
+    "moved_bytes_wire": 5.0,
 }
 
 
@@ -149,6 +169,54 @@ def diff_file(name, prev, curr, threshold):
     return regressions, sim_failures
 
 
+PROFILE_FILE = "PROFILE_query.json"
+
+
+def diff_profile(prev, curr):
+    """Advisory per-op comparison of the explain_analyze profile.
+
+    Pairs plan ops by (config, step, label) and reports attributed
+    ticks and energy that moved. Never gates: tick splits legitimately
+    shift with scheduling overlap across runs; the value is seeing
+    WHICH op a pricing or lowering change landed on.
+    """
+    def op_map(doc):
+        out = {}
+        for cfg in doc.get("configs", []):
+            cid = f"shards={cfg.get('shards')},remote={cfg.get('remote')}"
+            for op in cfg.get("ops", []):
+                out[(cid, op.get("step"), op.get("label"))] = op
+        return out
+
+    prev_ops = op_map(prev)
+    curr_ops = op_map(curr)
+    rows = []
+    for key in sorted(set(prev_ops) & set(curr_ops),
+                      key=lambda k: (k[0], k[1] if k[1] is not None else 0)):
+        p, c = prev_ops[key], curr_ops[key]
+        for metric in ("attributed_ticks", "energy_pj"):
+            pv, cv = p.get(metric), c.get(metric)
+            if not isinstance(pv, (int, float)) or isinstance(pv, bool):
+                continue
+            if not isinstance(cv, (int, float)) or isinstance(cv, bool):
+                continue
+            if pv == cv:
+                continue
+            delta = (cv - pv) / abs(pv) * 100.0 if pv else float("inf")
+            rows.append((key[0], key[1], key[2], metric, pv, cv, delta))
+    print(f"\n### {PROFILE_FILE} (advisory: per-op attribution)\n")
+    if not rows:
+        print("Per-op attributed ticks and energy unchanged.")
+        return
+    print("| config | op | metric | previous | current | delta |")
+    print("|--------|----|--------|----------|---------|-------|")
+    for cid, step, label, metric, pv, cv, delta in rows:
+        print(f"| {cid} | {step}: `{label}` | {metric} "
+              f"| {pv:.4g} | {cv:.4g} | {delta:+.1f}% |")
+    print("\nAdvisory only: per-op tick splits shift with scheduling "
+          "overlap and never affect the exit code.")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("prev_dir")
@@ -185,6 +253,18 @@ def main():
         regressed, failed = diff_file(name, prev, curr, args.threshold)
         total += regressed
         sim_failures += failed
+
+    prof_prev = os.path.join(args.prev_dir, PROFILE_FILE)
+    prof_curr = os.path.join(args.curr_dir, PROFILE_FILE)
+    if os.path.exists(prof_prev) and os.path.exists(prof_curr):
+        try:
+            with open(prof_prev) as f:
+                prev = json.load(f)
+            with open(prof_curr) as f:
+                curr = json.load(f)
+            diff_profile(prev, curr)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"\n`{PROFILE_FILE}`: unreadable ({e})")
 
     only_new = sorted(curr_files - prev_files)
     if only_new:

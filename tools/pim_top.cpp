@@ -114,7 +114,11 @@ std::string render_dashboard(const stats_view& view, std::uint64_t seq) {
       << " completed=" << view.counter("service.requests_completed")
       << " failed=" << view.counter("service.requests_failed")
       << " output=" << view.counter("service.output_bytes") << "B"
-      << " ticks=" << view.counter("service.total_ticks") << "\n";
+      << " ticks=" << view.counter("service.total_ticks")
+      << " energy=" << view.counter("service.energy_pj") << "pJ\n";
+  out << "moved: insitu=" << view.counter("service.moved_bytes_insitu")
+      << "B offchip=" << view.counter("service.moved_bytes_offchip")
+      << "B wire=" << view.counter("service.moved_bytes_wire") << "B\n";
   auto lat = view.hists.find("service.latency_ns");
   if (lat != view.hists.end()) {
     out << "latency: count=" << lat->second.count
@@ -128,14 +132,15 @@ std::string render_dashboard(const stats_view& view, std::uint64_t seq) {
   out << "slow requests observed: "
       << view.counter("service.slow_requests_observed") << "\n\n";
 
-  out << "shard  queue  inflight  sessions  busy-banks\n";
+  out << "shard  queue  inflight  sessions  busy-banks  energy-pJ\n";
   for (int s = 0;; ++s) {
     const std::string prefix = "service.shard." + std::to_string(s) + ".";
     if (view.gauges.find(prefix + "queue_depth") == view.gauges.end()) break;
     out << "  " << s << "     " << view.gauge(prefix + "queue_depth")
         << "      " << view.gauge(prefix + "inflight_tasks") << "         "
         << view.gauge(prefix + "sessions") << "         "
-        << view.gauge(prefix + "busy_banks_x1000") / 1000.0 << "\n";
+        << view.gauge(prefix + "busy_banks_x1000") / 1000.0 << "       "
+        << view.gauge(prefix + "energy_pj") << "\n";
   }
 
   out << "\ntop sessions (by requests):\n";
