@@ -587,6 +587,99 @@ int main(int argc, char** argv) {
   }
   std::cout << "wrote PROFILE_query.json\n";
 
+  // --- Critical path + what-if projections ---------------------------------
+  // Three exactness gates per profiled config (1/2/4 shards in-process
+  // plus the loopback transport):
+  //  1. The critical path's typed segments partition its span with
+  //     zero remainder (critpath.exact).
+  //  2. The what-if projector with nothing zeroed reproduces the
+  //     measured request window exactly (projection_identity) — the
+  //     self-check that makes the other projections trustworthy.
+  //  3. The profiled scan mix spawns no cross-shard wire tasks, so
+  //     zeroing `wire` must leave the makespan exactly unchanged —
+  //     gated in-process, reported for the loopback transport.
+  std::cout << "\n=== Critical path (wait-state attribution) ===\n\n";
+  bool critpath_exact = true;
+  bool critpath_identity = true;
+  bool critpath_wire_identity = true;
+  const auto critpath_line = [&](const query::explain_result& ex, int shards,
+                                 bool remote) {
+    const bool wire_unchanged =
+        ex.projected_ps[static_cast<int>(obs::wait_state::wire)] ==
+        ex.critpath.window_ps();
+    if (!ex.critpath.exact) critpath_exact = false;
+    if (!ex.projection_identity) critpath_identity = false;
+    if (!remote && !wire_unchanged) critpath_wire_identity = false;
+    std::cout << "  " << shards << " shard(s)" << (remote ? " loopback" : "")
+              << ": path " << ex.critpath.tasks.size() << " task(s), span "
+              << ex.critpath.span_ps() << " ps, dominant "
+              << obs::to_string(ex.critpath.dominant()) << " "
+              << ex.critpath.dominant_pct() << "%, "
+              << (ex.critpath.exact ? "exact" : "INEXACT") << ", identity "
+              << (ex.projection_identity ? "ok" : "MISMATCH")
+              << ", wire=0 " << (wire_unchanged ? "unchanged" : "shrinks")
+              << "\n";
+  };
+  {
+    int shards = 1;
+    for (const query::explain_result& ex : profiles) {
+      critpath_line(ex, shards, /*remote=*/false);
+      shards *= 2;
+    }
+  }
+  critpath_line(profile_remote, max_shards, /*remote=*/true);
+  const bool critpath_ok =
+      critpath_exact && critpath_identity && critpath_wire_identity;
+
+  {
+    json_writer cj;
+    cj.begin_object();
+    cj.key("bench").value("query_critpath");
+    cj.key("rows").value(static_cast<std::uint64_t>(rows));
+    cj.key("partitions").value(net_partitions);
+    cj.key("exact").value(critpath_exact);
+    cj.key("projection_identity").value(critpath_identity);
+    cj.key("wire_identity_inproc").value(critpath_wire_identity);
+    cj.key("configs").begin_array();
+    const auto critpath_json = [&](const query::explain_result& ex,
+                                   int shards, bool remote) {
+      cj.begin_object();
+      cj.key("shards").value(shards);
+      cj.key("remote").value(remote);
+      cj.key("exact").value(ex.critpath.exact);
+      cj.key("projection_identity").value(ex.projection_identity);
+      cj.key("path_tasks")
+          .value(static_cast<std::uint64_t>(ex.critpath.tasks.size()));
+      cj.key("span_ps").value(ex.critpath.span_ps());
+      cj.key("window_ps").value(ex.critpath.window_ps());
+      cj.key("dominant").value(obs::to_string(ex.critpath.dominant()));
+      cj.key("dominant_pct").value(ex.critpath.dominant_pct());
+      cj.key("state_ps").begin_object();
+      for (int w = 1; w <= 5; ++w) {
+        cj.key(obs::to_string(static_cast<obs::wait_state>(w)))
+            .value(ex.critpath.state_ps[w]);
+      }
+      cj.end_object();
+      cj.key("whatif_ps").begin_object();
+      for (int w = 0; w <= 5; ++w) {
+        cj.key(obs::to_string(static_cast<obs::wait_state>(w)))
+            .value(ex.projected_ps[w]);
+      }
+      cj.end_object();
+      cj.end_object();
+    };
+    int shards = 1;
+    for (const query::explain_result& ex : profiles) {
+      critpath_json(ex, shards, /*remote=*/false);
+      shards *= 2;
+    }
+    critpath_json(profile_remote, max_shards, /*remote=*/true);
+    cj.end_array();
+    cj.end_object();
+    cj.write_file("CRITPATH_query.json");
+  }
+  std::cout << "wrote CRITPATH_query.json\n";
+
   // --- JSON trajectory -----------------------------------------------------
   json_writer json;
   json.begin_object();
@@ -652,13 +745,18 @@ int main(int argc, char** argv) {
   json.key("invariant_across_shards").value(profile_invariant_match);
   json.key("transport_identical").value(profile_transport_match);
   json.end_object();
+  json.key("critpath").begin_object();
+  json.key("exact").value(critpath_exact);
+  json.key("projection_identity").value(critpath_identity);
+  json.key("wire_identity_inproc").value(critpath_wire_identity);
+  json.end_object();
   json.end_object();
   json.write_file("BENCH_query.json");
   std::cout << "\nwrote BENCH_query.json\n";
 
   const bool pass = digests_match && matches_reference && combine_match &&
                     agg_match && net_match && final_speedup >= 1.8 &&
-                    trace_ok && profile_ok && energy_invariant &&
-                    net_energy_match && unmetered_ok;
+                    trace_ok && profile_ok && critpath_ok &&
+                    energy_invariant && net_energy_match && unmetered_ok;
   return pass ? 0 : 1;
 }

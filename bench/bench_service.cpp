@@ -324,6 +324,31 @@ int main(int argc, char** argv) {
     }
     if (shard_sum != p.stats.energy_fj) energy_conserved = false;
   }
+  // Wait-state attribution: at every width, each shard's five typed
+  // wait/exec counters must partition its aggregate task lifetime with
+  // zero remainder, and the per-shard counters must sum exactly to the
+  // service totals. The split itself is timing-dependent (overlap
+  // differs at each width) and is deliberately not gated.
+  bool waits_partition = points.front().stats.wait_lifetime_ps > 0;
+  for (const scale_point& p : points) {
+    std::uint64_t sum_shards = 0;
+    for (const service::shard_stats& s : p.stats.shards) {
+      const auto& sc = s.runtime.sched;
+      if (sc.wait_admission_ps + sc.wait_hazard_ps + sc.wait_bank_ps +
+              sc.exec_ps + sc.wire_ps !=
+          sc.task_lifetime_ps) {
+        waits_partition = false;
+      }
+      sum_shards += sc.task_lifetime_ps;
+    }
+    if (sum_shards != p.stats.wait_lifetime_ps ||
+        p.stats.wait_admission_ps + p.stats.wait_hazard_ps +
+                p.stats.wait_bank_ps + p.stats.wait_exec_ps +
+                p.stats.wait_wire_ps !=
+            p.stats.wait_lifetime_ps) {
+      waits_partition = false;
+    }
+  }
 
   table t({"shards", "makespan (us)", "aggregate GB/s", "speedup",
            "avg busy banks", "wall (ms)", "digests"});
@@ -354,6 +379,14 @@ int main(int argc, char** argv) {
             << (energy_invariant ? "identical" : "DIFFER")
             << ", per-shard meters sum to total: "
             << (energy_conserved ? "exact" : "MISMATCH") << "\n";
+  std::cout << "waits: admission=" << last.stats.wait_admission_ps
+            << " hazard=" << last.stats.wait_hazard_ps
+            << " bank=" << last.stats.wait_bank_ps
+            << " exec=" << last.stats.wait_exec_ps
+            << " wire=" << last.stats.wait_wire_ps
+            << " ps; partition of " << last.stats.wait_lifetime_ps
+            << " ps lifetime: "
+            << (waits_partition ? "exact" : "MISMATCH") << "\n";
 
   // --- Cross-shard plans ---------------------------------------------------
   std::cout << "\n=== Cross-shard two-phase plans ===\n\n";
@@ -557,6 +590,14 @@ int main(int argc, char** argv) {
     json.key("moved_bytes_insitu").value(p.stats.moved_insitu_bytes);
     json.key("moved_bytes_offchip").value(p.stats.moved_offchip_bytes);
     json.key("moved_bytes_wire").value(p.stats.moved_wire_bytes);
+    // Wait-state attribution: the five classes partition the lifetime
+    // exactly (hard-gated); the split is advisory for bench_diff.
+    json.key("wait_admission_ps").value(p.stats.wait_admission_ps);
+    json.key("wait_hazard_ps").value(p.stats.wait_hazard_ps);
+    json.key("wait_bank_ps").value(p.stats.wait_bank_ps);
+    json.key("exec_ps").value(p.stats.wait_exec_ps);
+    json.key("wire_ps").value(p.stats.wait_wire_ps);
+    json.key("task_lifetime_ps").value(p.stats.wait_lifetime_ps);
     json.end_object();
   }
   json.end_array();
@@ -565,6 +606,9 @@ int main(int argc, char** argv) {
   json.key("shards_sum_to_total").value(energy_conserved);
   json.key("transport_identical").value(net_energy_match);
   json.key("cross_shard_wire_metered").value(cross_wire_metered);
+  json.end_object();
+  json.key("waits").begin_object();
+  json.key("partition_exact").value(waits_partition);
   json.end_object();
   json.key("cross_shard").begin_object();
   json.key("clients").value(cross_clients);
@@ -611,6 +655,6 @@ int main(int argc, char** argv) {
   const bool pass = digests_match && cross_match && skew_match && net_match &&
                     final_speedup >= 2.0 && skew_gain > 1.05 && trace_ok &&
                     energy_invariant && energy_conserved && net_energy_match &&
-                    cross_wire_metered;
+                    cross_wire_metered && waits_partition;
   return pass ? 0 : 1;
 }

@@ -84,6 +84,17 @@ void put_report(std::vector<std::uint8_t>& out, const runtime::task_report& r,
     put_u64(out, r.offchip_bytes);
     put_u64(out, r.wire_bytes);
   }
+  if (version >= 4) {
+    // v4: wait-state attribution — the admit/release stamps that
+    // split the old queue wait into admission/hazard/bank segments,
+    // the release edge (blocking task + row) the critical-path
+    // analyzer walks, and the wire-hop execution flag.
+    put_i64(out, r.admit_ps);
+    put_i64(out, r.release_ps);
+    put_u64(out, r.blocked_on);
+    put_u64(out, r.blocked_row);
+    put_u8(out, r.wire_hop ? 1 : 0);
+  }
 }
 
 // --- primitive decoding (bounds-checked against the frame) -----------------
@@ -186,6 +197,13 @@ struct reader {
       r.insitu_bytes = u64();
       r.offchip_bytes = u64();
       r.wire_bytes = u64();
+    }
+    if (version >= 4) {
+      r.admit_ps = i64();
+      r.release_ps = i64();
+      r.blocked_on = u64();
+      r.blocked_row = u64();
+      r.wire_hop = u8() != 0;
     }
     return r;
   }

@@ -42,10 +42,13 @@ namespace pim::net {
 inline constexpr std::uint32_t wire_magic = 0x50494D31;  // "1MIP" on the wire
 /// Highest protocol version this build speaks. Version 2 added the
 /// hello negotiation exchange; version 3 appends the energy charge and
-/// moved-bytes ledger to task reports (done frames) — encoders omit
-/// the fields at negotiated versions below 3, so v1/v2 peers see the
-/// exact old grammar and simply report zero energy.
-inline constexpr std::uint8_t wire_version = 3;
+/// moved-bytes ledger to task reports (done frames); version 4 appends
+/// the wait-state attribution fields (admit/release stamps, the
+/// blocking task/row release edge, the wire-hop flag) the critical-
+/// path analyzer consumes. Encoders omit each tail at negotiated
+/// versions below its floor, so older peers see the exact old grammar
+/// and simply report zeros.
+inline constexpr std::uint8_t wire_version = 4;
 /// Oldest version still parseable. A peer whose highest version is
 /// below this floor is a major-version mismatch: the server answers a
 /// clean error frame and closes.

@@ -263,6 +263,14 @@ stats_push_resp build_stats_push(service::pim_service& svc,
   snap.counters["service.moved_bytes_insitu"] = st.moved_insitu_bytes;
   snap.counters["service.moved_bytes_offchip"] = st.moved_offchip_bytes;
   snap.counters["service.moved_bytes_wire"] = st.moved_wire_bytes;
+  // Wait-state attribution: the five classes partition task_lifetime
+  // exactly, so a watcher can render shares without a remainder.
+  snap.counters["service.wait_admission_ps"] = st.wait_admission_ps;
+  snap.counters["service.wait_hazard_ps"] = st.wait_hazard_ps;
+  snap.counters["service.wait_bank_ps"] = st.wait_bank_ps;
+  snap.counters["service.exec_ps"] = st.wait_exec_ps;
+  snap.counters["service.wire_ps"] = st.wait_wire_ps;
+  snap.counters["service.task_lifetime_ps"] = st.wait_lifetime_ps;
   snap.counters["service.slow_requests_observed"] =
       obs::slow_request_log::instance().observed();
   snap.gauges["service.sessions"] = st.sessions;

@@ -1,0 +1,127 @@
+// Wait-state attribution and critical-path analysis over completed
+// task samples.
+//
+// Every task report carries five telescoping simulated-clock stamps
+// (admit <= submit <= release <= start <= complete), so its lifetime
+// partitions exactly into typed segments: admission_queued (shard
+// admission queue), hazard_blocked (row-hazard DAG wait, with the
+// blocking task id and row), bank_busy (executor-slot wait), and
+// executing or wire (PSM transfer) time. This module answers two
+// questions the per-op tick profiler cannot:
+//
+//  1. Which *chain* of tasks determined when the request finished?
+//     analyze() walks the hazard DAG backward from the last-completing
+//     task through the release edges the scheduler stamped
+//     (blocked_on: the dependency whose completion released the task,
+//     at the same simulated instant — release_ps(task) ==
+//     complete_ps(blocker)), producing a contiguous critical path
+//     whose segments partition the path's span with zero remainder —
+//     the same exactness discipline as the tick and energy meters.
+//
+//  2. What would the makespan be if one wait class vanished?
+//     project() replays the blame DAG with one segment class zeroed
+//     (e.g. wire = 0) and reports the lower-bound completion. With
+//     nothing zeroed the replay reproduces every task's measured
+//     completion exactly — the identity self-check the benches gate.
+#ifndef PIM_OBS_CRITPATH_H
+#define PIM_OBS_CRITPATH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/profile.h"
+
+namespace pim::obs {
+
+/// The typed wait states a task's lifetime partitions into. `none`
+/// is the project() argument for the identity replay; it is never a
+/// segment.
+enum class wait_state {
+  none,
+  admission_queued,
+  hazard_blocked,
+  bank_busy,
+  executing,
+  wire,
+};
+
+const char* to_string(wait_state s);
+
+/// One typed slice of the critical path, in time order.
+struct path_segment {
+  wait_state state = wait_state::none;
+  std::uint64_t task = 0;  // sample id owning the slice
+  int op = -1;             // the sample's op label (plan step)
+  std::int64_t from_ps = 0;
+  std::int64_t to_ps = 0;
+  // For hazard_blocked slices: what the task was waiting behind.
+  std::uint64_t blocked_on = 0;
+  std::uint64_t blocked_row = 0;
+
+  std::int64_t duration_ps() const { return to_ps - from_ps; }
+};
+
+/// analyze() result: the critical path and its exact decomposition.
+struct critpath_report {
+  /// Path tasks, chain root first; the last entry completed last.
+  std::vector<std::uint64_t> tasks;
+  /// The path's typed slices, contiguous and in time order: each
+  /// slice's from_ps equals the previous slice's to_ps.
+  std::vector<path_segment> segments;
+  /// [admit(chain root), complete(last task)] — the span the segments
+  /// partition.
+  std::int64_t path_start_ps = 0;
+  std::int64_t path_end_ps = 0;
+  /// The full request window [min admit, max complete] over all
+  /// samples. window_ps() - span_ps() is client-side pacing: sim time
+  /// before the critical chain's root was even admitted, which no
+  /// service-side wait state owns.
+  std::int64_t window_start_ps = 0;
+  std::int64_t window_end_ps = 0;
+  /// Per-state totals over the path segments, indexed by wait_state
+  /// (entry 0, `none`, stays zero).
+  std::uint64_t state_ps[6] = {0, 0, 0, 0, 0, 0};
+  /// True when the typed segments partition [path_start, path_end]
+  /// with zero remainder AND the chain is contiguous (every hop's
+  /// release matches its blocker's completion instant). Holds by
+  /// construction; the benches and tests gate it anyway.
+  bool exact = false;
+
+  std::int64_t span_ps() const { return path_end_ps - path_start_ps; }
+  std::int64_t window_ps() const { return window_end_ps - window_start_ps; }
+  wait_state dominant() const;
+  /// Dominant state's share of the path span, in percent (0 when the
+  /// span is empty).
+  int dominant_pct() const;
+  std::string to_string() const;
+};
+
+/// Walks the critical path of one request/plan: from the
+/// last-completing sample (ties: lowest id, so permutations of the
+/// input fold identically) backward through blocked_on edges, for as
+/// long as the blocker is present in `samples` and its completion
+/// matches the release instant. Samples with id == 0 cannot be
+/// chained through (no identity), but still bound the window.
+critpath_report analyze(const std::vector<sim_op_sample>& samples);
+
+/// What-if projector: lower-bound completion of the whole sample set
+/// if every segment of class `zeroed` took no time. Replays the blame
+/// DAG in dependency order:
+///   ready(t)    = admit(t) + admission'(t)
+///   release(t)  = max(ready(t), complete'(blocker))   [hazard kept]
+///               = ready(t)                  [when zeroing hazard]
+///   complete(t) = release(t) + bank'(t) + exec'(t)
+/// with primed durations zeroed for the chosen class. Returns
+/// max complete' - window_start (comparable to analyze()'s
+/// window_ps). With `zeroed == none` this reproduces the measured
+/// window exactly. The projection is a lower bound: chains that
+/// overlapped the zeroed segments may expose new critical paths, but
+/// nothing can finish later than measured.
+std::int64_t project(const std::vector<sim_op_sample>& samples,
+                     wait_state zeroed);
+
+}  // namespace pim::obs
+
+#endif  // PIM_OBS_CRITPATH_H

@@ -42,18 +42,36 @@ tick_profile fold_samples(const std::vector<sim_op_sample>& samples,
   p.tick_ps = tick_ps;
   if (tick_ps <= 0) return p;
 
-  // Per-task sums, independent of overlap.
+  // Per-task sums, independent of overlap. Clamp the wait-state
+  // stamps onto the telescoping invariant (admit <= submit <= release
+  // <= start): samples rebuilt from traces or pre-v4 wire peers carry
+  // zeros, which must fold as "no admission wait, hazard wait unknown
+  // -> start" rather than as garbage segments.
   for (const sim_op_sample& s : samples) {
-    const std::uint64_t queue = static_cast<std::uint64_t>(
-        std::max<std::int64_t>(0, s.start_ps - s.submit_ps) / tick_ps);
+    const std::int64_t admit =
+        s.admit_ps > 0 && s.admit_ps <= s.submit_ps ? s.admit_ps : s.submit_ps;
+    const std::int64_t release =
+        s.release_ps >= s.submit_ps && s.release_ps <= s.start_ps
+            ? s.release_ps
+            : s.start_ps;
+    const std::uint64_t admission =
+        static_cast<std::uint64_t>((s.submit_ps - admit) / tick_ps);
+    const std::uint64_t blocked =
+        static_cast<std::uint64_t>((release - s.submit_ps) / tick_ps);
+    const std::uint64_t bank = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, s.start_ps - release) / tick_ps);
     const std::uint64_t exec = static_cast<std::uint64_t>(
         std::max<std::int64_t>(0, s.complete_ps - s.start_ps) / tick_ps);
     for (op_cost* c : {&p.by_op[s.op], &p.by_backend[s.backend],
                        &p.by_lane[{s.channel, s.bank}]}) {
       c->tasks += 1;
       c->bytes += s.output_bytes;
-      c->queue_ticks += queue;
+      c->queue_ticks += admission + blocked + bank;
+      c->admission_ticks += admission;
+      c->blocked_ticks += blocked;
+      c->bank_ticks += bank;
       c->exec_ticks += exec;
+      if (s.wire_hop) c->wire_ticks += exec;
       c->energy_fj += s.energy_fj;
       c->insitu_bytes += s.insitu_bytes;
       c->offchip_bytes += s.offchip_bytes;
@@ -180,6 +198,28 @@ std::vector<sim_op_sample> samples_from_trace(
 
 // --- slow-request log ------------------------------------------------------
 
+std::pair<const char*, int> slow_request::dominant_wait() const {
+  const std::int64_t admit =
+      admit_ps > 0 && admit_ps <= submit_ps ? admit_ps : submit_ps;
+  const std::int64_t release =
+      release_ps >= submit_ps && release_ps <= start_ps ? release_ps
+                                                        : start_ps;
+  const std::int64_t lifetime = complete_ps - admit;
+  if (lifetime <= 0) return {"none", 0};
+  const std::pair<const char*, std::int64_t> segments[] = {
+      {"admission", submit_ps - admit},
+      {"hazard", release - submit_ps},
+      {"bank", start_ps - release},
+      {wire_hop ? "wire" : "exec", complete_ps - start_ps},
+  };
+  const auto* best = &segments[0];
+  for (const auto& seg : segments) {
+    if (seg.second > best->second) best = &seg;
+  }
+  return {best->first,
+          static_cast<int>(best->second * 100 / lifetime)};
+}
+
 slow_request_log& slow_request_log::instance() {
   static slow_request_log log;
   return log;
@@ -235,9 +275,21 @@ void slow_request_log::to_json(json_writer& json) const {
     json.key("latency_ns").value(r.latency_ns);
     json.key("backend").value(r.backend);
     json.key("output_bytes").value(r.output_bytes);
+    json.key("admit_ps").value(r.admit_ps);
     json.key("submit_ps").value(r.submit_ps);
+    json.key("release_ps").value(r.release_ps);
     json.key("start_ps").value(r.start_ps);
     json.key("complete_ps").value(r.complete_ps);
+    json.key("blocked_on").value(r.blocked_on);
+    json.key("blocked_row").value(r.blocked_row);
+    json.key("wire_hop").value(r.wire_hop);
+    // One-line critical-path summary, ready to grep:
+    // "dominant_wait=<state> pct=<n>".
+    const auto [state, pct] = r.dominant_wait();
+    json.key("dominant_wait").value(state);
+    json.key("dominant_wait_pct").value(pct);
+    json.key("summary").value(std::string("dominant_wait=") + state +
+                              " pct=" + std::to_string(pct));
     json.key("spans").begin_array();
     for (const trace_event& e : r.spans) {
       json.begin_object();

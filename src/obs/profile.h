@@ -58,7 +58,18 @@ struct sim_op_sample {
   int channel = -1;
   int bank = -1;
   std::uint64_t output_bytes = 0;
+  /// Wait-state stamps from the task's report (runtime/task.h):
+  /// admit <= submit <= release <= start <= complete, so the typed
+  /// segments partition the lifetime exactly. Samples rebuilt from
+  /// older sources (trace files, v<4 wire peers) carry zeros; the
+  /// fold clamps them back onto the telescoping invariant.
+  std::uint64_t id = 0;
+  std::uint64_t blocked_on = 0;   // release edge: 0 = never blocked
+  std::uint64_t blocked_row = 0;  // row key carrying that hazard
+  bool wire_hop = false;          // execution time is wire time (PSM)
+  std::int64_t admit_ps = 0;
   std::int64_t submit_ps = 0;
+  std::int64_t release_ps = 0;
   std::int64_t start_ps = 0;
   std::int64_t complete_ps = 0;
   /// The task's energy charge and moved-bytes ledger from its report
@@ -76,12 +87,26 @@ struct sim_op_sample {
 struct op_cost {
   std::uint64_t tasks = 0;
   std::uint64_t bytes = 0;
-  /// Sum of (start - submit) over the bucket's tasks, in ticks:
-  /// hazard waits + admission queueing. Overlaps across buckets.
+  /// Sum of (start - admit) over the bucket's tasks, in ticks: every
+  /// tick spent waiting before work began. Kept as the combined
+  /// backward-compatible field; the three fields below split it by
+  /// wait state, and queue_ticks == admission + blocked + bank always.
+  /// Overlaps across buckets.
   std::uint64_t queue_ticks = 0;
+  /// (submit - admit): shard admission-queue wait (router
+  /// backpressure), before the scheduler accepted the task.
+  std::uint64_t admission_ticks = 0;
+  /// (release - submit): row-hazard DAG wait behind earlier tasks.
+  std::uint64_t blocked_ticks = 0;
+  /// (start - release): executor-slot wait (host/NDP pools); zero for
+  /// Ambit/RowClone tasks, which issue at release.
+  std::uint64_t bank_ticks = 0;
   /// Sum of (complete - start) over the bucket's tasks, in ticks:
   /// issue to completion on the engines. Overlaps across buckets.
   std::uint64_t exec_ticks = 0;
+  /// The subset of exec_ticks spent on wire transfers (wire_hop
+  /// tasks: PSM bank-to-bank staging/export).
+  std::uint64_t wire_ticks = 0;
   /// This bucket's share of the exact busy-tick partition. Summed
   /// over all buckets of one projection it equals the scheduler's
   /// total_ticks delta.
@@ -147,9 +172,23 @@ struct slow_request {
   std::int64_t latency_ns = 0;
   int backend = 0;
   std::uint64_t output_bytes = 0;
+  std::int64_t admit_ps = 0;
   std::int64_t submit_ps = 0;
+  std::int64_t release_ps = 0;
   std::int64_t start_ps = 0;
   std::int64_t complete_ps = 0;
+  /// Critical-path summary of the completing task: which task/row it
+  /// was blocked behind (0 = none) and whether its execution was a
+  /// wire transfer — enough to answer "why was this one slow" without
+  /// a trace file. dominant_wait() names the largest lifetime segment.
+  std::uint64_t blocked_on = 0;
+  std::uint64_t blocked_row = 0;
+  bool wire_hop = false;
+
+  /// Largest typed segment of the request's sim lifetime, as
+  /// ("admission"|"hazard"|"bank"|"wire"|"exec", percent of
+  /// lifetime). Returns ("none", 0) for a zero-length lifetime.
+  std::pair<const char*, int> dominant_wait() const;
   std::vector<trace_event> spans;
 };
 

@@ -22,6 +22,10 @@ void cost_to_json(json_writer& json, const obs::op_cost& c) {
   json.key("tasks").value(c.tasks);
   json.key("bytes").value(c.bytes);
   json.key("queue_ticks").value(c.queue_ticks);
+  json.key("admission_ticks").value(c.admission_ticks);
+  json.key("blocked_ticks").value(c.blocked_ticks);
+  json.key("bank_ticks").value(c.bank_ticks);
+  json.key("wire_ticks").value(c.wire_ticks);
   json.key("exec_ticks").value(c.exec_ticks);
   json.key("attributed_ticks").value(c.attributed_ticks);
   json.key("energy_pj").value(static_cast<double>(c.energy_fj) / 1000.0);
@@ -77,6 +81,24 @@ explain_result explain_analyze(pim_table& table, const query_plan& plan,
             .backend_tasks[s.backend];
     }
   }
+
+  // Critical path + what-if projections over the same samples. The
+  // identity replay (nothing zeroed) must land exactly on the measured
+  // window — the self-check that makes the other projections
+  // trustworthy lower bounds.
+  out.critpath = obs::analyze(out.result.samples);
+  for (int w = 0; w <= 5; ++w) {
+    out.projected_ps[w] =
+        obs::project(out.result.samples, static_cast<obs::wait_state>(w));
+  }
+  out.projection_identity =
+      out.projected_ps[static_cast<int>(obs::wait_state::none)] ==
+      out.critpath.window_ps();
+  for (const obs::path_segment& seg : out.critpath.segments) {
+    if (seg.op >= 0 && seg.op < static_cast<int>(out.ops.size())) {
+      out.ops[static_cast<std::size_t>(seg.op)].on_critical_path = true;
+    }
+  }
   return out;
 }
 
@@ -102,10 +124,14 @@ std::string explain_result::to_string() const {
   }
   out << "\n";
   for (const explained_op& op : ops) {
-    out << "  step " << op.step << ": " << op.label << "  tasks="
-        << op.cost.tasks << " bytes=" << op.cost.bytes
-        << " queue_ticks=" << op.cost.queue_ticks
+    out << "  step " << op.step << (op.on_critical_path ? "*" : " ") << ": "
+        << op.label << "  tasks=" << op.cost.tasks
+        << " bytes=" << op.cost.bytes
+        << " wait=" << op.cost.admission_ticks << "/"
+        << op.cost.blocked_ticks << "/" << op.cost.bank_ticks
+        << " (admission/blocked/bank)"
         << " exec_ticks=" << op.cost.exec_ticks
+        << " wire_ticks=" << op.cost.wire_ticks
         << " attributed_ticks=" << op.cost.attributed_ticks
         << " energy_pj=" << static_cast<double>(op.cost.energy_fj) / 1000.0
         << " moved=" << op.cost.insitu_bytes << "/"
@@ -118,6 +144,15 @@ std::string explain_result::to_string() const {
     }
     out << "\n";
   }
+  out << "  (* = on the critical path)\n";
+  out << "  " << critpath.to_string() << "\n";
+  out << "  what-if (projected makespan, ps):";
+  for (int w = 0; w <= 5; ++w) {
+    out << " " << obs::to_string(static_cast<obs::wait_state>(w)) << "=0 -> "
+        << projected_ps[w];
+    if (w == 0) out << (projection_identity ? " (identity)" : " (MISMATCH)");
+  }
+  out << "\n";
   return out.str();
 }
 
@@ -140,6 +175,44 @@ void explain_result::to_json(json_writer& json) const {
   json.key("exact_energy").value(exact_energy);
   json.key("matches").value(static_cast<std::uint64_t>(result.matches));
   json.key("digest").value(result.digest);
+
+  json.key("critpath").begin_object();
+  json.key("exact").value(critpath.exact);
+  json.key("tasks").value(static_cast<std::uint64_t>(critpath.tasks.size()));
+  json.key("span_ps").value(critpath.span_ps());
+  json.key("window_ps").value(critpath.window_ps());
+  json.key("dominant").value(obs::to_string(critpath.dominant()));
+  json.key("dominant_pct").value(critpath.dominant_pct());
+  json.key("state_ps").begin_object();
+  for (int w = 1; w <= 5; ++w) {
+    json.key(obs::to_string(static_cast<obs::wait_state>(w)))
+        .value(critpath.state_ps[w]);
+  }
+  json.end_object();
+  json.key("segments").begin_array();
+  for (const obs::path_segment& seg : critpath.segments) {
+    json.begin_object();
+    json.key("state").value(obs::to_string(seg.state));
+    json.key("task").value(seg.task);
+    json.key("step").value(seg.op);
+    json.key("from_ps").value(seg.from_ps);
+    json.key("to_ps").value(seg.to_ps);
+    if (seg.state == obs::wait_state::hazard_blocked) {
+      json.key("blocked_on").value(seg.blocked_on);
+      json.key("blocked_row").value(seg.blocked_row);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  json.key("whatif_ps").begin_object();
+  for (int w = 0; w <= 5; ++w) {
+    json.key(obs::to_string(static_cast<obs::wait_state>(w)))
+        .value(projected_ps[w]);
+  }
+  json.end_object();
+  json.key("projection_identity").value(projection_identity);
 
   json.key("group_ticks").begin_object();
   for (const auto& [group, ticks] : profile.group_ticks) {

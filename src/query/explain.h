@@ -23,6 +23,7 @@
 #include <map>
 #include <string>
 
+#include "obs/critpath.h"
 #include "obs/profile.h"
 #include "query/exec.h"
 
@@ -64,6 +65,9 @@ struct explained_op {
   /// Tasks by backend (runtime::backend_kind as int) — the offload
   /// mix of this op across partitions.
   std::map<int, std::uint64_t> backend_tasks;
+  /// True when at least one of this op's tasks owns a slice of the
+  /// request's critical path (marked `*` in to_string).
+  bool on_critical_path = false;
 };
 
 struct explain_result {
@@ -82,6 +86,18 @@ struct explain_result {
   std::uint64_t meter_energy_delta_fj = 0;
   bool checked_energy = false;  // a total_energy_fj callback was provided
   bool exact_energy = false;    // attributed energy == meter delta
+
+  /// Critical path of the profiled run: the task chain that decided
+  /// when the query finished, with its exact wait-state decomposition
+  /// (critpath.exact gates the zero-remainder partition).
+  obs::critpath_report critpath;
+  /// What-if projections, indexed by obs::wait_state: lower-bound
+  /// makespan (ps, relative to the request window start) with that
+  /// wait class zeroed. Entry 0 (`none`) is the identity replay and
+  /// equals critpath.window_ps() exactly — the self-check
+  /// `projection_identity` records.
+  std::int64_t projected_ps[6] = {0, 0, 0, 0, 0, 0};
+  bool projection_identity = false;
 
   /// Human-readable profiled plan tree (one line per op).
   std::string to_string() const;

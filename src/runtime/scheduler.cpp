@@ -70,6 +70,15 @@ task_future scheduler::submit(pim_task task, backend_kind where,
   report.where = where;
   report.decision = decision;
   report.submit_ps = mem_.now_ps();
+  // Admission stamp: the service reads the sim clock from a relaxed
+  // mirror on the client thread, so it can lag — never lead — the
+  // worker's clock. Clamp so the timestamps always telescope (the
+  // wait-state partition is exact by construction); an unstamped task
+  // was never queued and gets a zero admission segment.
+  report.admit_ps = task.admit_ps > 0
+                        ? std::min(task.admit_ps, report.submit_ps)
+                        : report.submit_ps;
+  report.wire_hop = task.wire_hop;
   switch (task.kind()) {
     case task_kind::bulk_bool:
       report.output_bytes = std::get<bulk_bool_args>(task.payload).d.size / 8;
@@ -95,10 +104,16 @@ task_future scheduler::submit(pim_task task, backend_kind where,
   // RAW (read a pending write), WAW (write a pending write),
   // WAR (write a pending read).
   std::set<task_id> deps;
+  auto depend_on = [&](task_id dep, std::uint64_t key) {
+    // First row to carry a hazard against `dep` wins: that is the row
+    // reported as blocked_row if `dep` turns out to be the release
+    // edge (the last hazard to clear).
+    if (deps.insert(dep).second) n.dep_rows.emplace_back(dep, key);
+  };
   auto writer_of = [&](std::uint64_t key) {
     auto it = last_writer_.find(key);
     if (it != last_writer_.end() && active_.count(it->second)) {
-      deps.insert(it->second);
+      depend_on(it->second, key);
     }
   };
   for (std::uint64_t key : n.reads) writer_of(key);
@@ -107,7 +122,7 @@ task_future scheduler::submit(pim_task task, backend_kind where,
     auto it = readers_.find(key);
     if (it != readers_.end()) {
       for (task_id reader : it->second) {
-        if (active_.count(reader)) deps.insert(reader);
+        if (active_.count(reader)) depend_on(reader, key);
       }
     }
   }
@@ -197,6 +212,7 @@ void scheduler::validate(const pim_task& task, backend_kind where) const {
 void scheduler::release(task_id id) {
   node& n = active_.at(id);
   n.released = true;
+  n.future->report.release_ps = mem_.now_ps();
   n.future->report.start_ps = mem_.now_ps();
   ++in_flight_;
   stats_.peak_in_flight =
@@ -391,6 +407,22 @@ void scheduler::complete(task_id id) {
   node& n = active_.at(id);
   n.future->report.complete_ps = mem_.now_ps();
   n.future->done = true;
+  {
+    // Wait-state meter: fold this task's typed lifetime segments into
+    // the aggregate counters. The timestamps telescope, so the five
+    // segments partition complete - admit with zero remainder.
+    const task_report& r = n.future->report;
+    stats_.wait_admission_ps +=
+        static_cast<std::uint64_t>(r.submit_ps - r.admit_ps);
+    stats_.wait_hazard_ps +=
+        static_cast<std::uint64_t>(r.release_ps - r.submit_ps);
+    stats_.wait_bank_ps +=
+        static_cast<std::uint64_t>(r.start_ps - r.release_ps);
+    (r.wire_hop ? stats_.wire_ps : stats_.exec_ps) +=
+        static_cast<std::uint64_t>(r.complete_ps - r.start_ps);
+    stats_.task_lifetime_ps +=
+        static_cast<std::uint64_t>(r.complete_ps - r.admit_ps);
+  }
   // Energy is stamped exactly where ticks are: before the completion
   // hook and the per-task callback, so every report that crosses a
   // shard boundary or the wire already carries its charge. One relaxed
@@ -455,6 +487,19 @@ void scheduler::complete(task_id id) {
     auto it = active_.find(dep);
     if (it == active_.end()) continue;
     if (--it->second.unmet_deps == 0 && !it->second.released) {
+      // This completion is the dependent's release edge: the hazard
+      // that cleared last. Stamping it here (same simulated instant as
+      // the dependent's release_ps) makes critical-path chains
+      // contiguous — release_ps(dependent) == complete_ps(blocker).
+      node& d = it->second;
+      task_report& dr = d.future->report;
+      dr.blocked_on = id;
+      for (const auto& [dep_id, row] : d.dep_rows) {
+        if (dep_id == id) {
+          dr.blocked_row = row;
+          break;
+        }
+      }
       release(dep);
     }
   }

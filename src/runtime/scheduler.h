@@ -56,6 +56,21 @@ struct scheduler_stats {
   std::uint64_t offchip_bytes = 0;  // moved across the DDR pins
   std::uint64_t wire_bytes = 0;     // moved bank-to-bank (PSM)
 
+  /// Wait-state attribution totals: per-completed-task sums of each
+  /// typed lifetime segment on the simulated clock, in picoseconds
+  /// (obs/critpath.h). The task timestamps telescope, so by
+  /// construction
+  ///   wait_admission + wait_hazard + wait_bank + exec + wire
+  ///     == task_lifetime_ps
+  /// with zero remainder — the same exactness discipline as the tick
+  /// and energy meters, checked end to end by the benches.
+  std::uint64_t wait_admission_ps = 0;  // shard admission queue
+  std::uint64_t wait_hazard_ps = 0;     // row-hazard DAG wait
+  std::uint64_t wait_bank_ps = 0;       // executor-slot wait
+  std::uint64_t exec_ps = 0;            // executing (non-wire)
+  std::uint64_t wire_ps = 0;            // executing wire transfers
+  std::uint64_t task_lifetime_ps = 0;   // sum of complete - admit
+
   double energy_pj() const {
     return static_cast<double>(energy_fj) / 1000.0;
   }
@@ -132,6 +147,9 @@ class scheduler {
     std::vector<std::uint64_t> writes;  // row keys
     int unmet_deps = 0;
     std::vector<task_id> dependents;
+    // Which row carried the hazard against each dependency — looked
+    // up when the last dep clears to stamp blocked_on/blocked_row.
+    std::vector<std::pair<task_id, std::uint64_t>> dep_rows;
     bool released = false;
   };
 

@@ -76,6 +76,16 @@ struct pim_task {
   /// spawned it (obs/trace.h). Zero when tracing is off or the task
   /// is service-internal.
   std::uint64_t flow = 0;
+  /// Simulated instant the owning request entered the shard's
+  /// admission queue, when known (the service stamps it from the
+  /// shard's published sim clock at enqueue). Zero = not queued /
+  /// unknown; the scheduler clamps it to submit_ps, so the admission
+  /// segment is zero unless a real queue wait was observed.
+  picoseconds admit_ps = 0;
+  /// Marks a task whose execution time is wire time for wait-state
+  /// attribution: PSM bank-to-bank transfers (cross-shard staging and
+  /// export) rather than in-place compute.
+  bool wire_hop = false;
   /// Invoked exactly once, on the submitting thread, at the simulated
   /// instant the task completes — after its functional result has been
   /// applied to the row store and before any hazard-dependent task is
@@ -103,10 +113,29 @@ struct task_report {
   backend_kind where = backend_kind::ambit;
   core::offload_decision decision;  // what the dispatcher computed
 
+  picoseconds admit_ps = 0;     // entered the shard's admission queue
   picoseconds submit_ps = 0;    // runtime accepted the task
-  picoseconds start_ps = 0;     // hazards cleared, work began
+  picoseconds release_ps = 0;   // row hazards cleared
+  picoseconds start_ps = 0;     // executor/engine slot held, work began
   picoseconds complete_ps = 0;  // results visible
   bytes output_bytes = 0;
+
+  /// Wait-state attribution (obs/critpath.h). The five timestamps
+  /// telescope — admit <= submit <= release <= start <= complete — so
+  /// the typed segments partition the task's lifetime exactly:
+  ///   admission_queued = submit - admit    (shard admission queue)
+  ///   hazard_blocked   = release - submit  (row-hazard DAG wait)
+  ///   bank_busy        = start - release   (executor-slot wait; zero
+  ///                                         for Ambit/RowClone tasks,
+  ///                                         which issue at release)
+  ///   executing|wire   = complete - start  (wire when wire_hop)
+  /// `blocked_on` is the task whose completion released this one (the
+  /// last hazard to clear; 0 = never blocked) and `blocked_row` the
+  /// row key that carried that hazard — together they are the edges
+  /// the critical-path analyzer walks.
+  task_id blocked_on = 0;
+  std::uint64_t blocked_row = 0;
+  bool wire_hop = false;
 
   /// The (channel, bank) lane the task's output landed on — the same
   /// lane the tracer draws the task's sim span on. Host/NDP work has

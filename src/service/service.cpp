@@ -67,6 +67,14 @@ void service_stats::to_json(json_writer& json) const {
   json.key("moved_bytes_offchip").value(moved_offchip_bytes);
   json.key("moved_bytes_wire").value(moved_wire_bytes);
   json.end_object();
+  json.key("waits").begin_object();
+  json.key("admission_ps").value(wait_admission_ps);
+  json.key("hazard_ps").value(wait_hazard_ps);
+  json.key("bank_ps").value(wait_bank_ps);
+  json.key("exec_ps").value(wait_exec_ps);
+  json.key("wire_ps").value(wait_wire_ps);
+  json.key("task_lifetime_ps").value(wait_lifetime_ps);
+  json.end_object();
   json.key("sched_submitted").value(sched_submitted);
   json.key("sched_completed").value(sched_completed);
   json.key("hazard_deferred").value(hazard_deferred);
@@ -120,6 +128,14 @@ void service_stats::to_json(json_writer& json) const {
     json.key("moved_bytes_insitu").value(s.runtime.sched.insitu_bytes);
     json.key("moved_bytes_offchip").value(s.runtime.sched.offchip_bytes);
     json.key("moved_bytes_wire").value(s.runtime.sched.wire_bytes);
+    json.key("waits").begin_object();
+    json.key("admission_ps").value(s.runtime.sched.wait_admission_ps);
+    json.key("hazard_ps").value(s.runtime.sched.wait_hazard_ps);
+    json.key("bank_ps").value(s.runtime.sched.wait_bank_ps);
+    json.key("exec_ps").value(s.runtime.sched.exec_ps);
+    json.key("wire_ps").value(s.runtime.sched.wire_ps);
+    json.key("task_lifetime_ps").value(s.runtime.sched.task_lifetime_ps);
+    json.end_object();
     json.key("backends").begin_object();
     for (const auto& [backend, b] : s.runtime.backends) {
       json.key(runtime::to_string(backend)).begin_object();
@@ -781,6 +797,12 @@ service_stats pim_service::stats() const {
     total.moved_insitu_bytes += snap.runtime.sched.insitu_bytes;
     total.moved_offchip_bytes += snap.runtime.sched.offchip_bytes;
     total.moved_wire_bytes += snap.runtime.sched.wire_bytes;
+    total.wait_admission_ps += snap.runtime.sched.wait_admission_ps;
+    total.wait_hazard_ps += snap.runtime.sched.wait_hazard_ps;
+    total.wait_bank_ps += snap.runtime.sched.wait_bank_ps;
+    total.wait_exec_ps += snap.runtime.sched.exec_ps;
+    total.wait_wire_ps += snap.runtime.sched.wire_ps;
+    total.wait_lifetime_ps += snap.runtime.sched.task_lifetime_ps;
     total.sched_submitted += snap.runtime.sched.submitted;
     total.sched_completed += snap.runtime.sched.completed;
     total.hazard_deferred += snap.runtime.sched.hazard_deferred;

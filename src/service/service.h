@@ -74,6 +74,16 @@ struct service_stats {
   bytes moved_insitu_bytes = 0;
   bytes moved_offchip_bytes = 0;
   bytes moved_wire_bytes = 0;
+  /// Wait-state attribution aggregates (obs/critpath.h), summed across
+  /// shards. The first five partition wait_lifetime_ps exactly — the
+  /// same zero-remainder discipline as the energy meter — so the
+  /// dashboard's shares need no remainder bucket.
+  std::uint64_t wait_admission_ps = 0;
+  std::uint64_t wait_hazard_ps = 0;
+  std::uint64_t wait_bank_ps = 0;
+  std::uint64_t wait_exec_ps = 0;
+  std::uint64_t wait_wire_ps = 0;
+  std::uint64_t wait_lifetime_ps = 0;
   std::uint64_t sched_submitted = 0;
   std::uint64_t sched_completed = 0;
   std::uint64_t hazard_deferred = 0;

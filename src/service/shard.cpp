@@ -16,6 +16,18 @@ constexpr const char* payload_span_names[] = {
     "allocate", "write",   "read",    "run_task", "stage_run",
     "stage_in", "install", "forget",  "reserve",  "clear"};
 
+/// Admission stamp for wait-state attribution: a run_task request
+/// records the shard's simulated clock (a relaxed mirror — may lag,
+/// never leads) at the instant it enters the admission queue. The
+/// scheduler turns submit - admit into the request's admission_queued
+/// segment. Requests forwarded by migration keep their original
+/// stamp (first admission is the one that queued).
+void stamp_admission(request& r, picoseconds now) {
+  if (auto* args = std::get_if<run_task_args>(&r.payload)) {
+    if (args->task.admit_ps == 0) args->task.admit_ps = now;
+  }
+}
+
 }  // namespace
 
 shard::shard(int index, const core::pim_system_config& system_config,
@@ -184,6 +196,7 @@ request_future shard::enqueue_move(request& r) {
       // replay the share it did not use.
       s.pass = std::max(s.pass, virtual_pass_);
     }
+    stamp_admission(r, sim_now_ps_.load(std::memory_order_relaxed));
     s.queue.push_back(std::move(r));
     ++total_queued_;
     ++stats_.requests_enqueued;
@@ -213,6 +226,7 @@ std::optional<request_future> shard::try_enqueue_move(request& r) {
       // Stride re-entry rule; see enqueue().
       s.pass = std::max(s.pass, virtual_pass_);
     }
+    stamp_admission(r, sim_now_ps_.load(std::memory_order_relaxed));
     s.queue.push_back(std::move(r));
     ++total_queued_;
     ++stats_.requests_enqueued;
@@ -236,6 +250,7 @@ request_future shard::enqueue_control(request r) {
       fail(*state, "shard stopped");
       return future;
     }
+    stamp_admission(r, sim_now_ps_.load(std::memory_order_relaxed));
     control_queue_.push_back(std::move(r));
     ++total_queued_;
     ++stats_.requests_enqueued;
@@ -526,9 +541,14 @@ void shard::complete_tracked(session_id session,
     if (report != nullptr) {
       entry.backend = static_cast<int>(report->where);
       entry.output_bytes = report->output_bytes;
+      entry.admit_ps = report->admit_ps;
       entry.submit_ps = report->submit_ps;
+      entry.release_ps = report->release_ps;
       entry.start_ps = report->start_ps;
       entry.complete_ps = report->complete_ps;
+      entry.blocked_on = report->blocked_on;
+      entry.blocked_row = report->blocked_row;
+      entry.wire_hop = report->wire_hop;
     }
     slow.observe(std::move(entry));
   }
@@ -592,6 +612,8 @@ void shard::stage_row(session_id stream, const dram::address& phys,
   t.payload = runtime::row_copy_args{*wire, phys, /*same_subarray=*/false};
   t.forced_backend = runtime::backend_kind::rowclone;
   t.stream = static_cast<int>(stream);
+  t.wire_hop = true;  // cross-shard transfer: exec time is `wire` state
+  t.admit_ps = sys_.memory().now_ps();
   t.on_complete = [this, phys, data, row_index, group, track,
                    key](const runtime::task_report&) {
     // The PSM copy just deposited the wire row's (meaningless) bits;
@@ -619,6 +641,8 @@ void shard::export_row(session_id stream, const dram::address& phys,
   t.payload = runtime::row_copy_args{phys, *wire, /*same_subarray=*/false};
   t.forced_backend = runtime::backend_kind::rowclone;
   t.stream = static_cast<int>(stream);
+  t.wire_hop = true;  // cross-shard transfer: exec time is `wire` state
+  t.admit_ps = sys_.memory().now_ps();
   t.on_complete = [this, phys, rows, row_index, group,
                    key](const runtime::task_report&) {
     (*rows)[row_index] = sys_.memory().row_or_zero(phys);
@@ -1159,6 +1183,10 @@ void shard::advance(int ticks) {
   for (int i = 0; i < ticks && !sys_.runtime().idle(); ++i) {
     sched.tick();
   }
+  // Mirror the simulated clock for client-thread admission stamping.
+  // Relaxed is fine: the stamp may lag (the scheduler clamps
+  // admit <= submit), it must only never lead the worker's own reads.
+  sim_now_ps_.store(sys_.memory().now_ps(), std::memory_order_relaxed);
 }
 
 void shard::apply_weights_locked() {
@@ -1183,6 +1211,7 @@ void shard::publish_stats_locked() {
   }
   stats_.sessions = live;
   stats_.now_ps = sys_.memory().now_ps();
+  sim_now_ps_.store(stats_.now_ps, std::memory_order_relaxed);
   stats_.runtime = sys_.runtime().stats();
   // Registry gauges: published at the worker's idle points, so reads
   // see a consistent snapshot without touching the hot path.
@@ -1219,6 +1248,27 @@ void shard::publish_stats_locked() {
              std::memory_order_relaxed);
   reg.gauge(prefix + "moved_wire_bytes")
       .store(static_cast<std::int64_t>(stats_.runtime.sched.wire_bytes),
+             std::memory_order_relaxed);
+  // Wait-state attribution: the five classes partition task_lifetime
+  // exactly (scheduler invariant), so the dashboard can render shares
+  // without a remainder bucket.
+  reg.gauge(prefix + "wait_admission_ps")
+      .store(static_cast<std::int64_t>(stats_.runtime.sched.wait_admission_ps),
+             std::memory_order_relaxed);
+  reg.gauge(prefix + "wait_hazard_ps")
+      .store(static_cast<std::int64_t>(stats_.runtime.sched.wait_hazard_ps),
+             std::memory_order_relaxed);
+  reg.gauge(prefix + "wait_bank_ps")
+      .store(static_cast<std::int64_t>(stats_.runtime.sched.wait_bank_ps),
+             std::memory_order_relaxed);
+  reg.gauge(prefix + "exec_ps")
+      .store(static_cast<std::int64_t>(stats_.runtime.sched.exec_ps),
+             std::memory_order_relaxed);
+  reg.gauge(prefix + "wire_ps")
+      .store(static_cast<std::int64_t>(stats_.runtime.sched.wire_ps),
+             std::memory_order_relaxed);
+  reg.gauge(prefix + "task_lifetime_ps")
+      .store(static_cast<std::int64_t>(stats_.runtime.sched.task_lifetime_ps),
              std::memory_order_relaxed);
   // Every publish satisfies any pending on-demand stats() request.
   stats_pub_done_ = stats_pub_requested_;

@@ -317,6 +317,13 @@ class shard {
   /// without taking the worker's locks (relaxed everywhere: the gauge
   /// is a monitoring sample, not a synchronization edge).
   std::atomic<int> inflight_tasks_{0};
+  /// Relaxed mirror of the shard's simulated clock, published by the
+  /// worker after each tick slice. Client threads stamp run_task
+  /// admission (task.admit_ps) from it at enqueue time; it can lag —
+  /// never lead — the clock the scheduler later stamps submit_ps
+  /// from, and the scheduler clamps, so the wait-state partition
+  /// stays exact regardless of mirror staleness.
+  std::atomic<picoseconds> sim_now_ps_{0};
   /// Per-session runtime tasks in flight (worker-thread data, read by
   /// pop_next_locked on the same thread).
   std::unordered_map<session_id, int> session_inflight_;

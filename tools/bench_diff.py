@@ -29,6 +29,12 @@ attributed-tick and energy trajectories are compared too — advisory
 only (tick splits shift with scheduling overlap), but they localize a
 pricing or lowering change to the plan op that moved.
 
+When CRITPATH_query.json is present in both directories, each scaling
+point's dominant wait state and per-state critical-path shares are
+compared — advisory, like the tick splits — while the exactness
+booleans (segment partition, identity projection, in-process wire
+identity) are hard-gated: a true -> false flip fails the diff.
+
 Rebaselining: a change that intentionally alters simulated behavior
 (e.g. the lowering emitting fewer ops) trips the hard gate against the
 previous run's artifacts exactly once. --accept-sim-changes REASON
@@ -217,6 +223,67 @@ def diff_profile(prev, curr):
           "overlap and never affect the exit code.")
 
 
+CRITPATH_FILE = "CRITPATH_query.json"
+
+
+def diff_critpath(prev, curr):
+    """Critical-path comparison: advisory wait shares, gated exactness.
+
+    Per scaling point (config), the dominant wait state and each
+    state's share of the critical-path span are reported side by side —
+    advisory only, since overlap timing legitimately moves the split
+    between runs. The exactness booleans (segment partition, identity
+    projection, in-process wire identity) are machine-independent
+    invariants, so any true -> false flip is a hard gate failure.
+
+    Returns the number of gate failures.
+    """
+    failures = 0
+    for flag in ("exact", "projection_identity", "wire_identity_inproc"):
+        if prev.get(flag) is True and curr.get(flag) is False:
+            print(f"\n**CRITPATH gate: `{flag}` flipped true -> false.**")
+            failures += 1
+
+    def cfg_map(doc):
+        return {f"shards={c.get('shards')},remote={c.get('remote')}": c
+                for c in doc.get("configs", [])}
+
+    prev_cfgs = cfg_map(prev)
+    curr_cfgs = cfg_map(curr)
+    rows = []
+    for cid in sorted(set(prev_cfgs) & set(curr_cfgs)):
+        p, c = prev_cfgs[cid], curr_cfgs[cid]
+        p_span = p.get("span_ps") or 0
+        c_span = c.get("span_ps") or 0
+        states = sorted(set(p.get("state_ps", {})) | set(c.get("state_ps", {})))
+        for state in states:
+            p_share = (p.get("state_ps", {}).get(state, 0) / p_span * 100.0
+                       if p_span else 0.0)
+            c_share = (c.get("state_ps", {}).get(state, 0) / c_span * 100.0
+                       if c_span else 0.0)
+            if abs(p_share - c_share) < 0.05:
+                continue
+            rows.append((cid, state, p_share, c_share))
+    print(f"\n### {CRITPATH_FILE} (advisory: wait-state shares; "
+          f"exactness gated)\n")
+    for cid in sorted(set(prev_cfgs) & set(curr_cfgs)):
+        p, c = prev_cfgs[cid], curr_cfgs[cid]
+        if p.get("dominant") != c.get("dominant"):
+            print(f"- {cid}: dominant wait moved "
+                  f"`{p.get('dominant')}` -> `{c.get('dominant')}`")
+    if not rows:
+        print("Critical-path wait-state shares unchanged.")
+        return failures
+    print("| config | state | previous share | current share | delta |")
+    print("|--------|-------|----------------|---------------|-------|")
+    for cid, state, p_share, c_share in rows:
+        print(f"| {cid} | {state} | {p_share:.1f}% | {c_share:.1f}% "
+              f"| {c_share - p_share:+.1f}pp |")
+    print("\nShares are advisory: overlap timing moves the split between "
+          "runs. Only the exactness booleans gate.")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("prev_dir")
@@ -265,6 +332,18 @@ def main():
             diff_profile(prev, curr)
         except (OSError, json.JSONDecodeError) as e:
             print(f"\n`{PROFILE_FILE}`: unreadable ({e})")
+
+    crit_prev = os.path.join(args.prev_dir, CRITPATH_FILE)
+    crit_curr = os.path.join(args.curr_dir, CRITPATH_FILE)
+    if os.path.exists(crit_prev) and os.path.exists(crit_curr):
+        try:
+            with open(crit_prev) as f:
+                prev = json.load(f)
+            with open(crit_curr) as f:
+                curr = json.load(f)
+            sim_failures += diff_critpath(prev, curr)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"\n`{CRITPATH_FILE}`: unreadable ({e})")
 
     only_new = sorted(curr_files - prev_files)
     if only_new:

@@ -130,7 +130,29 @@ std::string render_dashboard(const stats_view& view, std::uint64_t seq) {
       << "B tx=" << view.counter("net.server.tx_bytes")
       << "B frames=" << view.counter("net.server.rx_frames") << "\n";
   out << "slow requests observed: "
-      << view.counter("service.slow_requests_observed") << "\n\n";
+      << view.counter("service.slow_requests_observed") << "\n";
+
+  // Wait-state attribution: the five classes partition aggregate task
+  // lifetime exactly, so the shares below always total 100%.
+  const std::uint64_t lifetime = view.counter("service.task_lifetime_ps");
+  out << "waits:";
+  if (lifetime == 0) {
+    out << " (no completed tasks yet)\n\n";
+  } else {
+    const std::pair<const char*, const char*> states[] = {
+        {"admission", "service.wait_admission_ps"},
+        {"hazard", "service.wait_hazard_ps"},
+        {"bank", "service.wait_bank_ps"},
+        {"exec", "service.exec_ps"},
+        {"wire", "service.wire_ps"},
+    };
+    for (const auto& [label, name] : states) {
+      const std::uint64_t v = view.counter(name);
+      out << " " << label << "=" << v << "ps(" << (v * 100 / lifetime)
+          << "%)";
+    }
+    out << "\n\n";
+  }
 
   out << "shard  queue  inflight  sessions  busy-banks  energy-pJ\n";
   for (int s = 0;; ++s) {
